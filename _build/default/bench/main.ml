@@ -1,0 +1,234 @@
+(* The benchmark harness: regenerates every table and figure of
+   Pallas & Ungar, "Multiprocessor Smalltalk" (PLDI 1988), plus the
+   ablations and extensions indexed in DESIGN.md.
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table2    -- one section
+     dune exec bench/main.exe -- --quick   -- reduced repetitions
+
+   Absolute numbers are simulated seconds on the simulated Firefly
+   (1 MIPS); the workloads are sized so the baseline column lands near the
+   paper's.  The shape -- who wins, by roughly what factor -- is the
+   reproduction target. *)
+
+let fmt = Format.std_formatter
+
+let section title =
+  Format.fprintf fmt "@.=== %s ===@.@." title
+
+(* --- E1/E2/E5: static content --- *)
+
+let run_figure1 () =
+  section "Figure 1: system structure";
+  Format.fprintf fmt "%s@." Report.figure1
+
+let run_table1 () =
+  section "Table 1: process and interpreter relationships";
+  Format.fprintf fmt "%s@." Report.table1
+
+let run_table3 () =
+  section "Table 3: applications of the three strategies";
+  Format.fprintf fmt "%s@." Report.table3
+
+(* --- E3/E4: Table 2 and Figure 2 --- *)
+
+let scale_reps factor benchmarks =
+  List.map
+    (fun (b : Macro.benchmark) ->
+      { b with Macro.reps = max 1 (b.Macro.reps / factor) })
+    benchmarks
+
+let run_table2 ~quick () =
+  section "Table 2 / Figure 2: macro benchmarks in the four system states";
+  let benchmarks =
+    if quick then scale_reps 6 Macro.benchmarks else Macro.benchmarks
+  in
+  if quick then
+    Format.fprintf fmt
+      "(quick mode: repetitions reduced 6x; absolute seconds scale down \
+       accordingly)@.@.";
+  let t0 = Unix.gettimeofday () in
+  let results = Macro.run_table2 ~benchmarks () in
+  Report.print_table2 fmt results;
+  Format.fprintf fmt "@.";
+  Report.print_figure2 fmt results;
+  Report.print_summary fmt results;
+  Format.fprintf fmt "@.(real time for this section: %.1f s)@."
+    (Unix.gettimeofday () -. t0)
+
+(* --- E6/E7/E9/E11: ablations --- *)
+
+let run_ablation_contexts ~quick () =
+  section "Ablation E6: the free-context list (paper: 160% -> 65% worst case)";
+  let reps = if quick then 6 else 14 in
+  Ablations.print_result fmt (Ablations.free_contexts ~reps ());
+  Ablations.print_result fmt (Ablations.no_free_contexts ~reps ())
+
+let run_ablation_cache ~quick () =
+  section
+    "Ablation E7: the method cache (paper: locked shared cache was 'much too slow')";
+  let reps = if quick then 4 else 12 in
+  Ablations.print_result fmt (Ablations.method_cache ~reps ())
+
+let run_ablation_eden ~quick () =
+  section
+    "Ablation E9: replicating the new-object space (the paper's proposed improvement)";
+  let reps = if quick then 4 else 12 in
+  List.iter (Ablations.print_result fmt) (Ablations.replicated_eden ~reps ())
+
+let run_ablation_sched ~quick () =
+  section "Ablation E11: the scheduler reorganization";
+  let reps = if quick then 4 else 12 in
+  Ablations.print_result fmt (Ablations.scheduler_reorganization ~reps ())
+
+(* --- E8/E10: scavenge economics --- *)
+
+let run_scavenge ~quick () =
+  section "E8: scavenge economics (section 3.1)";
+  let iterations = if quick then 8_000 else 30_000 in
+  Gc_study.print_rows fmt
+    ~label:
+      "Eden size sweep (one allocator): interval grows with s, share stays small"
+    (Gc_study.eden_sweep ~iterations ());
+  Format.fprintf fmt "@.";
+  Gc_study.print_rows fmt
+    ~label:"k allocators with eden k*s: the scavenge interval holds"
+    (Gc_study.scaling_sweep ~iterations ())
+
+let run_parallel_scavenge ~quick () =
+  section
+    "E10: applying multiple processors to the scavenge (future work in the paper)";
+  let iterations = if quick then 8_000 else 30_000 in
+  Gc_study.print_rows fmt
+    ~label:"4 busy allocators, eden 80 KB, k scavenge workers"
+    (Gc_study.parallel_scavenge_sweep ~iterations ())
+
+(* --- instrumentation: the paper's section-6 plan, realized --- *)
+
+let run_instrumentation ~quick () =
+  section
+    "Instrumentation (paper section 6): resource contention under MS + 4 busy";
+  let vm = Macro.prepare_vm Macro.Ms_busy in
+  let b =
+    { (List.find (fun (b : Macro.benchmark) -> b.Macro.key = "organization")
+         Macro.benchmarks)
+      with Macro.reps = (if quick then 4 else 12) }
+  in
+  ignore (Macro.run_on vm b);
+  Instrumentation.print fmt (Instrumentation.gather vm)
+
+(* --- E12: micro benchmarks --- *)
+
+let run_micro () =
+  section "E12: micro benchmarks";
+  (* simulated cycle costs per operation, measured from a calibration run *)
+  let vm = Vm.create (Config.ms ~processors:1 ()) in
+  let measure label src =
+    let st = vm.Vm.states.(0) in
+    let steps0 = st.State.steps in
+    let c0 = Vm.cycles vm in
+    ignore (Vm.eval vm src);
+    let steps = st.State.steps - steps0 in
+    let cycles = Vm.cycles vm - c0 in
+    Format.fprintf fmt "  %-44s %8.1f cycles/bytecode (%d bytecodes)@." label
+      (float_of_int cycles /. float_of_int (max 1 steps))
+      steps
+  in
+  Format.fprintf fmt "Simulated costs (MS uniprocessor):@.";
+  measure "jump loop (bounded whileTrue)"
+    "| i | i := 0. [i < 20000] whileTrue: [i := i + 1]";
+  measure "send-heavy (printString loop)" "1 to: 800 do: [:i | i printString]";
+  measure "allocation-heavy (Array new: 8 loop)"
+    "1 to: 4000 do: [:i | Array new: 8]";
+  (* real time of the simulator itself, via bechamel *)
+  let open Bechamel in
+  let open Toolkit in
+  Format.fprintf fmt "@.Real (host) time of simulator internals:@.";
+  let heap_for_alloc =
+    Heap.create ~old_words:4096 ~eden_words:262144 ~survivor_words:4096 ()
+  in
+  let cls =
+    Heap.alloc_old heap_for_alloc ~slots:0 ~raw:false ~cls:Oop.sentinel ()
+  in
+  let counter = ref 0 in
+  let lock = Spinlock.make ~enabled:true ~cost:Cost_model.firefly "bench" in
+  let eval_vm = Vm.create (Config.testing ()) in
+  let tests =
+    [ Test.make ~name:"oop tag/untag"
+        (Staged.stage (fun () -> Oop.small_val (Oop.of_small 42)));
+      Test.make ~name:"opcode decode"
+        (Staged.stage (fun () ->
+             Opcode.tag (Opcode.encode (Opcode.Push_temp 3))));
+      Test.make ~name:"heap alloc (8 slots)"
+        (Staged.stage (fun () ->
+             if Heap.eden_avail heap_for_alloc ~vp:0 < 64 then
+               ignore (Scavenger.scavenge heap_for_alloc);
+             ignore
+               (Heap.alloc_new heap_for_alloc ~vp:0 ~slots:8 ~raw:false ~cls ())));
+      Test.make ~name:"spinlock locked_op"
+        (Staged.stage (fun () ->
+             counter := !counter + 100;
+             ignore (Spinlock.locked_op lock ~now:!counter ~op_cycles:10)));
+      Test.make ~name:"eval '3 + 4'"
+        (Staged.stage (fun () -> ignore (Vm.eval eval_vm "3 + 4")));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"simulator" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name r acc -> (name, r) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Format.fprintf fmt "  %-44s %12.1f ns/run@." name est
+      | Some _ | None -> Format.fprintf fmt "  %-44s (no estimate)@." name)
+    rows
+
+(* --- driver --- *)
+
+let all_sections ~quick =
+  [ ("figure1", fun () -> run_figure1 ());
+    ("table1", fun () -> run_table1 ());
+    ("table3", fun () -> run_table3 ());
+    ("table2", fun () -> run_table2 ~quick ());
+    ("figure2", fun () -> run_table2 ~quick ());
+    ("ablation-contexts", fun () -> run_ablation_contexts ~quick ());
+    ("ablation-cache", fun () -> run_ablation_cache ~quick ());
+    ("ablation-eden", fun () -> run_ablation_eden ~quick ());
+    ("ablation-sched", fun () -> run_ablation_sched ~quick ());
+    ("scavenge", fun () -> run_scavenge ~quick ());
+    ("instrumentation", fun () -> run_instrumentation ~quick ());
+    ("parallel-scavenge", fun () -> run_parallel_scavenge ~quick ());
+    ("micro", fun () -> run_micro ()) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let sections = all_sections ~quick in
+  Format.fprintf fmt
+    "Multiprocessor Smalltalk (Pallas & Ungar, PLDI 1988) - reproduction harness@.";
+  Format.fprintf fmt
+    "Simulated Firefly: 5 processors at 1 MIPS, 80 KB eden, Generation Scavenging@.";
+  match wanted with
+  | [] ->
+      List.iter (fun (name, f) -> if name <> "figure2" then f ()) sections
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> f ()
+          | None ->
+              Format.fprintf fmt "unknown section %s; available: %s@." name
+                (String.concat ", " (List.map fst sections)))
+        names

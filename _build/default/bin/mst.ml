@@ -1,0 +1,134 @@
+(* mst - the Multiprocessor Smalltalk command line.
+
+     mst eval "3 + 4"                     evaluate an expression
+     mst eval -p 5 --state busy EXPR      with background competition
+     mst run FILE.st                      load classes, then evaluate Main
+     mst disasm CLASS SELECTOR            disassemble a kernel method
+     mst decompile CLASS SELECTOR         decompile a kernel method
+     mst browse CLASS                     definition, hierarchy, selectors
+     mst bench SECTION...                 same sections as bench/main.exe *)
+
+open Cmdliner
+
+let processors =
+  let doc = "Number of simulated processors." in
+  Arg.(value & opt int 1 & info [ "p"; "processors" ] ~doc)
+
+let state =
+  let doc = "Background competition: none, idle or busy (four Processes)." in
+  Arg.(value & opt string "none" & info [ "state" ] ~doc)
+
+let make_vm processors state =
+  let config =
+    if processors <= 1 && state = "none" then Config.baseline_bs ()
+    else Config.ms ~processors:(max processors 1) ()
+  in
+  let vm = Vm.create config in
+  (match state with
+   | "idle" -> ignore (Workloads.spawn_idle vm 4)
+   | "busy" -> ignore (Workloads.spawn_busy vm 4)
+   | _ -> ());
+  vm
+
+let report_time vm =
+  Printf.printf "(simulated: %.3f s, scavenges: %d)\n" (Vm.seconds vm)
+    (Heap.scavenge_count vm.Vm.heap)
+
+(* --- eval --- *)
+
+let eval_cmd =
+  let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
+  let run processors state expr =
+    let vm = make_vm processors state in
+    (try print_endline (Vm.eval_to_string vm expr) with
+     | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
+     | Interp.Does_not_understand msg ->
+         Printf.eprintf "doesNotUnderstand: %s\n" msg);
+    let tr = Vm.transcript vm in
+    if tr <> "" then Printf.printf "--- transcript ---\n%s\n" tr;
+    report_time vm
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Smalltalk expression")
+    Term.(const run $ processors $ state $ expr)
+
+(* --- run --- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run processors state file =
+    let vm = make_vm processors state in
+    let source = In_channel.with_open_text file In_channel.input_all in
+    Vm.load_classes vm source;
+    (match Universe.find_class vm.Vm.u "Main" with
+     | Some _ ->
+         print_endline (Vm.eval_to_string vm "Main new main")
+     | None -> print_endline "(no Main class; classes loaded)");
+    let tr = Vm.transcript vm in
+    if tr <> "" then print_string tr;
+    report_time vm
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Load a class file (image-definition format) and run Main new main")
+    Term.(const run $ processors $ state $ file)
+
+(* --- disasm / decompile / browse --- *)
+
+let find_method vm cls_name sel_name =
+  match Universe.find_class vm.Vm.u cls_name with
+  | None -> Error (Printf.sprintf "unknown class %s" cls_name)
+  | Some cls ->
+      let sel = Universe.intern vm.Vm.u sel_name in
+      let dict = Heap.get vm.Vm.heap cls Layout.Class.method_dict in
+      (match Class_builder.dict_find vm.Vm.u dict sel with
+       | Some m -> Ok m
+       | None -> Error (Printf.sprintf "%s does not define #%s" cls_name sel_name))
+
+let method_cmd name doc render =
+  let cls = Arg.(required & pos 0 (some string) None & info [] ~docv:"CLASS") in
+  let sel = Arg.(required & pos 1 (some string) None & info [] ~docv:"SELECTOR") in
+  let run cls_name sel_name =
+    let vm = make_vm 1 "none" in
+    match find_method vm cls_name sel_name with
+    | Ok m -> print_string (render vm m)
+    | Error e -> Printf.eprintf "error: %s\n" e
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ cls $ sel)
+
+let disasm_cmd =
+  method_cmd "disasm" "Disassemble a method"
+    (fun vm m -> Method_mirror.disassemble vm.Vm.u m)
+
+let decompile_cmd =
+  method_cmd "decompile" "Decompile a method back to source"
+    (fun vm m -> Method_mirror.decompile vm.Vm.u m)
+
+let browse_cmd =
+  let cls = Arg.(required & pos 0 (some string) None & info [] ~docv:"CLASS") in
+  let run cls_name =
+    let vm = make_vm 1 "none" in
+    match Universe.find_class vm.Vm.u cls_name with
+    | None -> Printf.eprintf "error: unknown class %s\n" cls_name
+    | Some _ ->
+        let s expr = Heap.string_value vm.Vm.heap (Vm.eval vm expr) in
+        print_endline (s (cls_name ^ " definitionString"));
+        print_endline "";
+        print_endline "hierarchy:";
+        print_string (s (cls_name ^ " hierarchyString"));
+        print_endline "";
+        print_endline "selectors:";
+        print_endline (s ("(" ^ cls_name ^ " selectors collect: [:e | e asString]) printString"))
+  in
+  Cmd.v (Cmd.info "browse" ~doc:"Show a class definition and its protocol")
+    Term.(const run $ cls)
+
+(* --- main --- *)
+
+let main_cmd =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  Cmd.group ~default
+    (Cmd.info "mst" ~version:"1.0"
+       ~doc:"Multiprocessor Smalltalk on a simulated Firefly")
+    [ eval_cmd; run_cmd; disasm_cmd; decompile_cmd; browse_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

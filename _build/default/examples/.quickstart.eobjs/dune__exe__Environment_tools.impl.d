@@ -1,0 +1,1 @@
+examples/environment_tools.ml: Class_builder Config Heap Layout Method_mirror Printf Universe Vm

@@ -1,0 +1,1 @@
+examples/environment_tools.mli:

@@ -1,0 +1,1 @@
+examples/parallel_workers.ml: Config Cost_model List Oop Printf Vm

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Config Instrumentation List Printf Vm

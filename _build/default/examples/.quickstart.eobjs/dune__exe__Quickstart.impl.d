@@ -1,0 +1,1 @@
+examples/quickstart.ml: Config Heap Printf Vm

@@ -1,0 +1,44 @@
+(* Dining philosophers with Smalltalk Semaphores on five simulated
+   processors: the classic exercise for the Process/Semaphore machinery
+   the paper keeps ("the basic mechanisms remain the Process and the
+   Semaphore").  Deadlock is avoided by the resource-ordering trick. *)
+
+let classes = {st|
+CLASS Philosopher SUPER Object IVARS id meals
+METHODS Philosopher
+dineWith: forks id: k log: plate done: sem
+    [ | first second |
+      "pick forks in a fixed global order to avoid deadlock"
+      first := forks at: (k min: (k \\ 5) + 1).
+      second := forks at: (k max: (k \\ 5) + 1).
+      1 to: 6 do: [:round |
+          first wait.
+          second wait.
+          plate at: k put: (plate at: k) + 1.
+          second signal.
+          first signal].
+      sem signal ] fork
+!
+|st}
+
+let () =
+  print_endline "Dining philosophers (5 processors, 5 Processes)";
+  let vm = Vm.create (Config.ms ~processors:5 ()) in
+  Vm.load_classes vm classes;
+  let result =
+    Vm.eval_to_string vm
+      {st|
+| forks plate sem |
+forks := (1 to: 5) collect: [:i | Semaphore forMutualExclusion].
+plate := Array with: 0 with: 0 with: 0 with: 0 with: 0.
+sem := Semaphore new.
+1 to: 5 do: [:k |
+    Philosopher new dineWith: forks id: k log: plate done: sem].
+1 to: 5 do: [:k | sem wait].
+plate printString
+|st}
+  in
+  Printf.printf "meals eaten per philosopher: %s\n" result;
+  Printf.printf "simulated time: %.2f s, context switches: %d\n"
+    (Vm.seconds vm)
+    (Array.fold_left (fun n st -> n + st.State.ctx_switches) 0 vm.Vm.states)

@@ -1,0 +1,47 @@
+(* The programming environment: the interactive tools the macro benchmarks
+   are built from - browsing, searching, compiling, decompiling and
+   inspecting, all running as Smalltalk code on the VM. *)
+
+let () =
+  let vm = Vm.create (Config.ms ~processors:1 ()) in
+  let eval src = Vm.eval vm src in
+  let show_string src = Heap.string_value vm.Vm.heap (eval src) in
+  print_endline "-- class definition ------------------------------------";
+  print_endline (show_string "Point definitionString");
+  print_endline "";
+  print_endline "-- hierarchy under Collection ---------------------------";
+  print_string (show_string "Collection hierarchyString");
+  print_endline "";
+  print_endline "-- implementors of #printString -------------------------";
+  print_endline
+    (show_string
+       "((Mirror implementorsOf: #printString) collect: [:c | c name asString]) printString");
+  print_endline "";
+  print_endline "-- senders of #factorial --------------------------------";
+  print_endline
+    (show_string "(Mirror sendersOf: #factorial) printString");
+  print_endline "";
+  print_endline "-- decompiling Integer>>factorial -----------------------";
+  print_endline (show_string "(Integer methodAt: #factorial) decompile");
+  print_endline "-- the same method, disassembled ------------------------";
+  (match Universe.find_class vm.Vm.u "Integer" with
+   | Some cls ->
+       let sel = Universe.intern vm.Vm.u "factorial" in
+       let dict = Heap.get vm.Vm.heap cls Layout.Class.method_dict in
+       (match Class_builder.dict_find vm.Vm.u dict sel with
+        | Some meth -> print_string (Method_mirror.disassemble vm.Vm.u meth)
+        | None -> print_endline "factorial not found")
+   | None -> print_endline "Integer not found");
+  print_endline "";
+  print_endline "-- inspecting a Point -----------------------------------";
+  print_endline
+    (show_string
+       {st|
+| insp ws |
+insp := Inspector on: (Point x: 3 y: 4).
+ws := WriteStream on: (String new: 32).
+insp labels with: insp fields do: [:l :f |
+    ws nextPutAll: l; nextPutAll: ': '; nextPutAll: f; cr].
+ws contents
+|st});
+  Printf.printf "simulated time: %.2f s\n" (Vm.seconds vm)

@@ -1,0 +1,40 @@
+(* Quickstart: create a VM, evaluate Smalltalk expressions, and watch the
+   compiler, interpreter and Generation Scavenging collector at work. *)
+
+let () =
+  print_endline "Multiprocessor Smalltalk - quickstart";
+  print_endline "=====================================";
+  let vm = Vm.create (Config.baseline_bs ()) in
+  let show expr =
+    Printf.printf "%-58s => %s\n%!" expr (Vm.eval_to_string vm expr)
+  in
+  show "3 + 4";
+  show "10 factorial";
+  show "(1 to: 10) inject: 0 into: [:a :b | a + b]";
+  show "'hello' , ' ' , 'world'";
+  show "#(3 1 2) asOrderedCollection printString";
+  show "((Point x: 1 y: 2) + (Point x: 10 y: 20)) printString";
+  show "((1 to: 50) select: [:i | i isPrime]) printString";
+  show "3.25 + 0.75";
+  (* define a class and methods at runtime, from OCaml... *)
+  Vm.load_classes vm
+    {st|
+CLASS Counter SUPER Object IVARS count
+METHODS Counter
+increment
+    count := (count ifNil: [0]) + 1.
+    ^count
+!
+count
+    ^count ifNil: [0]
+!
+|st};
+  show "| c | c := Counter new. 5 timesRepeat: [c increment]. c count";
+  (* ... and from Smalltalk, through the Mirror *)
+  show "Mirror compile: 'double ^count * 2' into: Counter classSide: false. \
+        (Counter new increment; increment; yourself) double";
+  (* the interpreter runs on a simulated 1-MIPS Firefly; how long did all
+     of this take in 1988? *)
+  Printf.printf "\nsimulated time on the Firefly: %.2f seconds\n" (Vm.seconds vm);
+  Printf.printf "scavenges: %d, objects allocated: %d\n"
+    (Heap.scavenge_count vm.Vm.heap) (Heap.allocations vm.Vm.heap)

@@ -1,0 +1,1 @@
+lib/benchmarks/ablations.ml: Config Format List Macro Vm

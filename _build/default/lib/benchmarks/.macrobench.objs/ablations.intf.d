@@ -1,0 +1,1 @@
+lib/benchmarks/ablations.mli: Format

@@ -1,0 +1,1 @@
+lib/benchmarks/gc_study.ml: Config Cost_model Format Heap List Printf Vm

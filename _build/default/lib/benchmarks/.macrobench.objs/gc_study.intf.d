@@ -1,0 +1,1 @@
+lib/benchmarks/gc_study.mli: Format

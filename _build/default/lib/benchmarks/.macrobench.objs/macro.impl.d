@@ -1,0 +1,1 @@
+lib/benchmarks/macro.ml: Config Cost_model Heap List Printf Vm Workloads

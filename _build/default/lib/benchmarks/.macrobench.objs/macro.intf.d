@@ -1,0 +1,1 @@
+lib/benchmarks/macro.mli: Config Vm

@@ -1,0 +1,1 @@
+lib/benchmarks/report.ml: Array Format List Macro String

@@ -1,0 +1,1 @@
+lib/benchmarks/report.mli: Format Macro

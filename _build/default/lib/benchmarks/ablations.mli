@@ -1,0 +1,38 @@
+(** Ablations of the strategy choices the paper discusses: the
+    free-context list (E6, the 160% -> 65% story), the method cache (E7,
+    "much too slow" when shared and locked), the new-object space (E9, the
+    paper's proposed replication), and the scheduler reorganization (E11).
+
+    Each runs a suitable benchmark in the MS + 4 busy state under the
+    competing strategies, reporting busy-over-baseline overheads so the
+    numbers line up with the paper's phrasing. *)
+
+type result = {
+  label : string;
+  variant_a : string;
+  seconds_a : float;
+  overhead_a : float;  (** vs the baseline BS run of the same benchmark *)
+  variant_b : string;
+  seconds_b : float;
+  overhead_b : float;
+}
+
+(** E6: serialized vs replicated free-context lists, on a deep-call-chain
+    workload. *)
+val free_contexts : ?reps:int -> unit -> result
+
+(** E6b: no free list at all vs the replicated one. *)
+val no_free_contexts : ?reps:int -> unit -> result
+
+(** E7: shared two-level-locked vs per-processor method caches. *)
+val method_cache : ?reps:int -> unit -> result
+
+(** E9: serialized allocation vs replicated eden (same total, and the
+    paper's full k*s proposal) on an allocation-churn workload; two
+    comparison rows. *)
+val replicated_eden : ?reps:int -> unit -> result list
+
+(** E11: BS remove-on-run vs MS keep-in-queue ready-list semantics. *)
+val scheduler_reorganization : ?reps:int -> unit -> result
+
+val print_result : Format.formatter -> result -> unit

@@ -1,0 +1,114 @@
+(* Scavenge economics (paper section 3.1).
+
+   The paper argues: the scavenge interval is roughly s/r (allocation-space
+   size over allocation rate), so doubling s doubles the interval; with k
+   processors allocating, an allocation space of k*s keeps the interval —
+   and scavenging stays a small fraction (~3%) of processor time.  The
+   parallel-scavenge extension ("applying multiple processors to the
+   scavenging operation") should hold the total overhead near the
+   uniprocessor figure. *)
+
+type row = {
+  eden_kb : int;
+  allocators : int;
+  scavenge_workers : int;
+  scavenges : int;
+  interval_s : float;        (* mean simulated time between scavenges *)
+  gc_share : float;          (* fraction of run time spent scavenging *)
+  total_s : float;
+}
+
+(* An allocation-heavy workload: the per-iteration allocation mirrors the
+   busy Process. *)
+let churn_classes = {st|
+CLASS GcChurn SUPER Object
+METHODS GcChurn
+churn: n
+    "allocate continuously, keeping a window of recent objects live so
+     every scavenge has real survivors to copy"
+    | keep p |
+    keep := Array new: 300.
+    1 to: n do: [:i |
+        p := Point x: i y: i.
+        (Array new: 16) at: 1 put: p.
+        keep at: i \\ 300 + 1 put: (Array with: p with: i)].
+    ^n
+!
+spawnChurn: n done: sem
+    [ self churn: n. sem signal ] fork
+!
+|st}
+
+let run_one ~eden_kb ~allocators ~scavenge_workers ~iterations =
+  let processors = max 1 allocators in
+  let config =
+    let base =
+      if processors = 1 then Config.ms ~processors:1 ()
+      else Config.ms ~processors ()
+    in
+    { base with
+      Config.eden_words = eden_kb * 1024 / 8;
+      Config.scavenge_workers }
+  in
+  let vm = Vm.create config in
+  Vm.load_classes vm churn_classes;
+  let src =
+    if allocators <= 1 then
+      Printf.sprintf "GcChurn new churn: %d" iterations
+    else
+      Printf.sprintf
+        "| sem churn |\n\
+         sem := Semaphore new.\n\
+         churn := GcChurn new.\n\
+         1 to: %d do: [:k | churn spawnChurn: %d done: sem].\n\
+         1 to: %d do: [:k | sem wait].\n\
+         ^0"
+        allocators (iterations / allocators) allocators
+  in
+  let t0 = Vm.cycles vm in
+  (match Vm.run ~watch:(Vm.spawn vm src) vm with
+   | Vm.Finished _ -> ()
+   | Vm.Deadlock | Vm.Cycle_limit -> failwith "gc study run failed");
+  let cycles = Vm.cycles vm - t0 in
+  let scavenges = Heap.scavenge_count vm.Vm.heap in
+  let cm = config.Config.cost in
+  { eden_kb;
+    allocators;
+    scavenge_workers;
+    scavenges;
+    interval_s =
+      (if scavenges = 0 then infinity
+       else Cost_model.seconds cm (cycles / scavenges));
+    gc_share = float_of_int vm.Vm.scavenge_cycles /. float_of_int cycles;
+    total_s = Cost_model.seconds cm cycles }
+
+(* E8: eden size sweep with one allocator. *)
+let eden_sweep ?(iterations = 30_000) () =
+  List.map
+    (fun eden_kb -> run_one ~eden_kb ~allocators:1 ~scavenge_workers:1 ~iterations)
+    [ 40; 80; 160; 320 ]
+
+(* E8b: k allocating processes, eden scaled as k*s keeps the interval. *)
+let scaling_sweep ?(iterations = 30_000) () =
+  List.map
+    (fun k ->
+      run_one ~eden_kb:(80 * k) ~allocators:k ~scavenge_workers:1 ~iterations)
+    [ 1; 2; 4 ]
+
+(* E10: parallel scavenging with 4 busy allocators. *)
+let parallel_scavenge_sweep ?(iterations = 30_000) () =
+  List.map
+    (fun workers ->
+      run_one ~eden_kb:80 ~allocators:4 ~scavenge_workers:workers ~iterations)
+    [ 1; 2; 3; 5 ]
+
+let print_rows fmt ~label rows =
+  Format.fprintf fmt "%s@." label;
+  Format.fprintf fmt
+    "  eden(KB)  allocators  gc-workers  scavenges  interval(s)  gc-share  total(s)@.";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %7d  %9d  %9d  %9d  %10.3f  %7.1f%%  %8.2f@."
+        r.eden_kb r.allocators r.scavenge_workers r.scavenges r.interval_s
+        (100.0 *. r.gc_share) r.total_s)
+    rows

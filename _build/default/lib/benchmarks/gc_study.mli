@@ -1,0 +1,30 @@
+(** Scavenge economics (paper section 3.1).
+
+    The scavenge interval is roughly s/r (allocation-space size over
+    allocation rate): doubling s doubles the interval, and k allocating
+    processors with a k*s space keep it.  The parallel-scavenge extension
+    divides the copying work across workers. *)
+
+type row = {
+  eden_kb : int;
+  allocators : int;
+  scavenge_workers : int;
+  scavenges : int;
+  interval_s : float;  (** mean simulated time between scavenges *)
+  gc_share : float;  (** fraction of run time spent scavenging *)
+  total_s : float;
+}
+
+val run_one :
+  eden_kb:int -> allocators:int -> scavenge_workers:int -> iterations:int -> row
+
+(** E8: eden size sweep with one allocator. *)
+val eden_sweep : ?iterations:int -> unit -> row list
+
+(** E8b: k allocators with eden k*s holds the interval. *)
+val scaling_sweep : ?iterations:int -> unit -> row list
+
+(** E10: parallel scavenging with 4 busy allocators. *)
+val parallel_scavenge_sweep : ?iterations:int -> unit -> row list
+
+val print_rows : Format.formatter -> label:string -> row list -> unit

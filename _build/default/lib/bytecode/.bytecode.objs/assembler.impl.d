@@ -1,0 +1,1 @@
+lib/bytecode/assembler.ml: Array List Opcode

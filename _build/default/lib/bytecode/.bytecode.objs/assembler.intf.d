@@ -1,0 +1,1 @@
+lib/bytecode/assembler.mli: Opcode

@@ -1,0 +1,1 @@
+lib/bytecode/disasm.ml: Array Format List Opcode Printf

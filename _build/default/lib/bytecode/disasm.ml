@@ -1,0 +1,41 @@
+(* Disassembler: decodes a word array back into instructions and renders a
+   human-readable listing.  [~literal] supplies a printable form for
+   literal-table entries (selectors, constants, globals). *)
+
+let decode_all code =
+  Array.to_list (Array.mapi (fun pc w -> (pc, Opcode.decode w)) code)
+
+let pp_listing ?literal fmt code =
+  let lit n =
+    match literal with
+    | Some f -> f n
+    | None -> Printf.sprintf "lit%d" n
+  in
+  List.iter
+    (fun (pc, op) ->
+      let target off = pc + 1 + off in
+      (match op with
+       | Opcode.Send { selector; nargs } ->
+           Format.fprintf fmt "%4d  send %s (%d args)@." pc (lit selector) nargs
+       | Opcode.Super_send { selector; nargs } ->
+           Format.fprintf fmt "%4d  superSend %s (%d args)@." pc (lit selector)
+             nargs
+       | Opcode.Push_literal n ->
+           Format.fprintf fmt "%4d  pushLiteral %s@." pc (lit n)
+       | Opcode.Push_global n ->
+           Format.fprintf fmt "%4d  pushGlobal %s@." pc (lit n)
+       | Opcode.Store_global n ->
+           Format.fprintf fmt "%4d  storeGlobal %s@." pc (lit n)
+       | Opcode.Jump off -> Format.fprintf fmt "%4d  jump -> %d@." pc (target off)
+       | Opcode.Jump_if_true off ->
+           Format.fprintf fmt "%4d  jumpIfTrue -> %d@." pc (target off)
+       | Opcode.Jump_if_false off ->
+           Format.fprintf fmt "%4d  jumpIfFalse -> %d@." pc (target off)
+       | Opcode.Push_block { nargs; arg_start; body_len } ->
+           Format.fprintf fmt "%4d  pushBlock args:%d@%d body -> %d..%d@." pc
+             nargs arg_start (pc + 1) (pc + body_len)
+       | other -> Format.fprintf fmt "%4d  %a@." pc Opcode.pp other))
+    (decode_all code)
+
+let to_string ?literal code =
+  Format.asprintf "%a" (fun fmt -> pp_listing ?literal fmt) code

@@ -1,0 +1,9 @@
+(** Disassembler: decodes a word array back into instructions and renders
+    a listing.  [literal] supplies a printable form for literal-table
+    entries (selectors, constants, globals). *)
+
+val decode_all : int array -> (int * Opcode.t) list
+
+val pp_listing : ?literal:(int -> string) -> Format.formatter -> int array -> unit
+
+val to_string : ?literal:(int -> string) -> int array -> string

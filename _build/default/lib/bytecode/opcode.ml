@@ -1,0 +1,170 @@
+(* The bytecode set of the virtual machine.
+
+   Each instruction is one word: a 6-bit tag, a 20-bit [a] operand and the
+   remaining bits for [b].  Jump offsets and immediate integers are biased
+   so they encode negative values.  The interpreter dispatches on the raw
+   word (see the [tag]/[a]/[b] accessors); the [t] variant is used by the
+   assembler, the disassembler and the decompiler. *)
+
+type t =
+  | Push_receiver
+  | Push_temp of int            (* frame temporary (in home for blocks) *)
+  | Push_ivar of int
+  | Push_literal of int
+  | Push_nil
+  | Push_true
+  | Push_false
+  | Push_smallint of int        (* immediate constant *)
+  | Push_global of int          (* literal index of an Association *)
+  | Push_block of { nargs : int; arg_start : int; body_len : int }
+  | Store_temp of int           (* store, leaving the value on the stack *)
+  | Store_ivar of int
+  | Store_global of int
+  | Pop
+  | Dup
+  | Send of { selector : int; nargs : int }   (* selector = literal index *)
+  | Super_send of { selector : int; nargs : int }
+  | Jump of int                 (* relative to the following instruction *)
+  | Jump_if_true of int         (* pops the condition *)
+  | Jump_if_false of int
+  | Return_top                  (* ^expr — from the home context in blocks *)
+  | Return_receiver             (* ^self, and method fall-through *)
+  | Block_return                (* value of the block body, to its caller *)
+
+(* --- tags --- *)
+
+let tag_push_receiver = 0
+let tag_push_temp = 1
+let tag_push_ivar = 2
+let tag_push_literal = 3
+let tag_push_nil = 4
+let tag_push_true = 5
+let tag_push_false = 6
+let tag_push_smallint = 7
+let tag_push_global = 8
+let tag_push_block = 9
+let tag_store_temp = 10
+let tag_store_ivar = 11
+let tag_store_global = 12
+let tag_pop = 13
+let tag_dup = 14
+let tag_send = 15
+let tag_super_send = 16
+let tag_jump = 17
+let tag_jump_if_true = 18
+let tag_jump_if_false = 19
+let tag_return_top = 20
+let tag_return_receiver = 21
+let tag_block_return = 22
+
+let a_bits = 20
+let a_mask = (1 lsl a_bits) - 1
+let bias = 1 lsl (a_bits - 1)
+
+(* --- word accessors (the interpreter's fast path) --- *)
+
+let tag w = w land 0x3f
+let a w = (w lsr 6) land a_mask
+let signed_a w = a w - bias
+let b w = w lsr (6 + a_bits)
+
+(* --- encoding --- *)
+
+let pack ~tag:t ~a ~b =
+  if a < 0 || a > a_mask then invalid_arg "Opcode.pack: a out of range";
+  t lor (a lsl 6) lor (b lsl (6 + a_bits))
+
+let encode = function
+  | Push_receiver -> pack ~tag:tag_push_receiver ~a:0 ~b:0
+  | Push_temp n -> pack ~tag:tag_push_temp ~a:n ~b:0
+  | Push_ivar n -> pack ~tag:tag_push_ivar ~a:n ~b:0
+  | Push_literal n -> pack ~tag:tag_push_literal ~a:n ~b:0
+  | Push_nil -> pack ~tag:tag_push_nil ~a:0 ~b:0
+  | Push_true -> pack ~tag:tag_push_true ~a:0 ~b:0
+  | Push_false -> pack ~tag:tag_push_false ~a:0 ~b:0
+  | Push_smallint v -> pack ~tag:tag_push_smallint ~a:(v + bias) ~b:0
+  | Push_global n -> pack ~tag:tag_push_global ~a:n ~b:0
+  | Push_block { nargs; arg_start; body_len } ->
+      pack ~tag:tag_push_block ~a:body_len ~b:(nargs lor (arg_start lsl 5))
+  | Store_temp n -> pack ~tag:tag_store_temp ~a:n ~b:0
+  | Store_ivar n -> pack ~tag:tag_store_ivar ~a:n ~b:0
+  | Store_global n -> pack ~tag:tag_store_global ~a:n ~b:0
+  | Pop -> pack ~tag:tag_pop ~a:0 ~b:0
+  | Dup -> pack ~tag:tag_dup ~a:0 ~b:0
+  | Send { selector; nargs } -> pack ~tag:tag_send ~a:selector ~b:nargs
+  | Super_send { selector; nargs } ->
+      pack ~tag:tag_super_send ~a:selector ~b:nargs
+  | Jump off -> pack ~tag:tag_jump ~a:(off + bias) ~b:0
+  | Jump_if_true off -> pack ~tag:tag_jump_if_true ~a:(off + bias) ~b:0
+  | Jump_if_false off -> pack ~tag:tag_jump_if_false ~a:(off + bias) ~b:0
+  | Return_top -> pack ~tag:tag_return_top ~a:0 ~b:0
+  | Return_receiver -> pack ~tag:tag_return_receiver ~a:0 ~b:0
+  | Block_return -> pack ~tag:tag_block_return ~a:0 ~b:0
+
+let decode w =
+  let t = tag w in
+  if t = tag_push_receiver then Push_receiver
+  else if t = tag_push_temp then Push_temp (a w)
+  else if t = tag_push_ivar then Push_ivar (a w)
+  else if t = tag_push_literal then Push_literal (a w)
+  else if t = tag_push_nil then Push_nil
+  else if t = tag_push_true then Push_true
+  else if t = tag_push_false then Push_false
+  else if t = tag_push_smallint then Push_smallint (signed_a w)
+  else if t = tag_push_global then Push_global (a w)
+  else if t = tag_push_block then
+    Push_block { nargs = b w land 0x1f; arg_start = b w lsr 5; body_len = a w }
+  else if t = tag_store_temp then Store_temp (a w)
+  else if t = tag_store_ivar then Store_ivar (a w)
+  else if t = tag_store_global then Store_global (a w)
+  else if t = tag_pop then Pop
+  else if t = tag_dup then Dup
+  else if t = tag_send then Send { selector = a w; nargs = b w }
+  else if t = tag_super_send then Super_send { selector = a w; nargs = b w }
+  else if t = tag_jump then Jump (signed_a w)
+  else if t = tag_jump_if_true then Jump_if_true (signed_a w)
+  else if t = tag_jump_if_false then Jump_if_false (signed_a w)
+  else if t = tag_return_top then Return_top
+  else if t = tag_return_receiver then Return_receiver
+  else if t = tag_block_return then Block_return
+  else invalid_arg (Printf.sprintf "Opcode.decode: unknown tag %d" t)
+
+(* Net effect on the stack depth, for the code generator's max-stack
+   computation.  [Push_block] pushes the new BlockContext. *)
+let stack_effect = function
+  | Push_receiver | Push_temp _ | Push_ivar _ | Push_literal _
+  | Push_nil | Push_true | Push_false | Push_smallint _
+  | Push_global _ | Push_block _ | Dup -> 1
+  | Store_temp _ | Store_ivar _ | Store_global _ | Jump _ -> 0
+  | Pop | Jump_if_true _ | Jump_if_false _ -> -1
+  | Send { nargs; _ } | Super_send { nargs; _ } -> -nargs
+  | Return_top | Return_receiver | Block_return -> 0
+
+let pp fmt op =
+  let s = Format.fprintf in
+  match op with
+  | Push_receiver -> s fmt "pushReceiver"
+  | Push_temp n -> s fmt "pushTemp %d" n
+  | Push_ivar n -> s fmt "pushIvar %d" n
+  | Push_literal n -> s fmt "pushLiteral %d" n
+  | Push_nil -> s fmt "pushNil"
+  | Push_true -> s fmt "pushTrue"
+  | Push_false -> s fmt "pushFalse"
+  | Push_smallint v -> s fmt "pushInt %d" v
+  | Push_global n -> s fmt "pushGlobal %d" n
+  | Push_block { nargs; arg_start; body_len } ->
+      s fmt "pushBlock nargs:%d argStart:%d len:%d" nargs arg_start body_len
+  | Store_temp n -> s fmt "storeTemp %d" n
+  | Store_ivar n -> s fmt "storeIvar %d" n
+  | Store_global n -> s fmt "storeGlobal %d" n
+  | Pop -> s fmt "pop"
+  | Dup -> s fmt "dup"
+  | Send { selector; nargs } -> s fmt "send lit:%d nargs:%d" selector nargs
+  | Super_send { selector; nargs } ->
+      s fmt "superSend lit:%d nargs:%d" selector nargs
+  | Jump n -> s fmt "jump %+d" n
+  | Jump_if_true n -> s fmt "jumpIfTrue %+d" n
+  | Jump_if_false n -> s fmt "jumpIfFalse %+d" n
+  | Return_top -> s fmt "returnTop"
+  | Return_receiver -> s fmt "returnReceiver"
+  | Block_return -> s fmt "blockReturn"

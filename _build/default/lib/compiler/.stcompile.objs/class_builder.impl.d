@@ -1,0 +1,1 @@
+lib/compiler/class_builder.ml: Class_file Codegen Heap Layout Lexer List Oop Parser Printf Universe

@@ -1,0 +1,1 @@
+lib/compiler/class_builder.mli: Class_file Oop Universe

@@ -1,0 +1,1 @@
+lib/compiler/class_file.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/compiler/class_file.mli:

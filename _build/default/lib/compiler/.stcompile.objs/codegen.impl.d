@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Assembler Ast Heap Layout List Oop Opcode Parser Printf String Universe

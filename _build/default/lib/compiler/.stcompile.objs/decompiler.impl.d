@@ -1,0 +1,1 @@
+lib/compiler/decompiler.ml: Array Ast List Opcode Printf

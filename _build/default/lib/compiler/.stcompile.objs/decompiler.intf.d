@@ -1,0 +1,1 @@
+lib/compiler/decompiler.mli: Ast Opcode

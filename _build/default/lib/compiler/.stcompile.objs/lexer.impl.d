@@ -1,0 +1,1 @@
+lib/compiler/lexer.ml: Array Buffer Char List Printf String

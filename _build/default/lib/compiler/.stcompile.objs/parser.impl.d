@@ -1,0 +1,1 @@
+lib/compiler/parser.ml: Array Ast Buffer Lexer List Printf String

@@ -1,0 +1,129 @@
+(* The image definition format: a line-oriented container for class
+   declarations and method chunks, playing the role of Smalltalk-80's
+   "fileIn" chunk format.
+
+     CLASS Point SUPER Object IVARS x y [FORMAT variable] [CATEGORY Kernel]
+     METHODS Point
+     <method source>
+     !
+     <method source>
+     !
+     CLASSMETHODS Point
+     <method source>
+     !
+
+   Method chunks are terminated by a line containing only "!".  Everything
+   else inside a chunk, including comments, belongs to the method source. *)
+
+exception Error of string
+
+type format = Pointers | Variable | Raw_words | Raw_bytes
+
+type class_decl = {
+  name : string;
+  super : string option;       (* None only for Object *)
+  ivars : string list;
+  format : format;
+  category : string;
+}
+
+type chunk_group = {
+  class_name : string;
+  class_side : bool;
+  methods : string list;       (* method sources, in file order *)
+}
+
+type item =
+  | Class_decl of class_decl
+  | Methods of chunk_group
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.filter (fun w -> w <> "")
+
+let parse_class_line lineno words =
+  let rec go decl = function
+    | [] -> decl
+    | "SUPER" :: s :: rest -> go { decl with super = Some s } rest
+    | "IVARS" :: rest ->
+        (* ivars run until the next directive keyword *)
+        let is_kw w = List.mem w [ "FORMAT"; "CATEGORY"; "SUPER" ] in
+        let rec take acc = function
+          | w :: rest when not (is_kw w) -> take (w :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let ivars, rest = take [] rest in
+        go { decl with ivars } rest
+    | "FORMAT" :: f :: rest ->
+        let format =
+          match f with
+          | "pointers" -> Pointers
+          | "variable" -> Variable
+          | "words" -> Raw_words
+          | "bytes" -> Raw_bytes
+          | other -> error "line %d: unknown format %s" lineno other
+        in
+        go { decl with format } rest
+    | "CATEGORY" :: c :: rest -> go { decl with category = c } rest
+    | w :: _ -> error "line %d: unexpected token %s in CLASS line" lineno w
+  in
+  match words with
+  | name :: rest ->
+      go { name; super = None; ivars = []; format = Pointers;
+           category = "Kernel" }
+        rest
+  | [] -> error "line %d: CLASS needs a name" lineno
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let items = ref [] in
+  let current_group = ref None in
+  let chunk = Buffer.create 256 in
+  let flush_chunk () =
+    let text = String.trim (Buffer.contents chunk) in
+    Buffer.clear chunk;
+    if text <> "" then
+      match !current_group with
+      | Some g -> g := { !(g) with methods = text :: !(g).methods }
+      | None -> error "method chunk outside a METHODS section"
+  in
+  let close_group () =
+    (match !current_group with
+     | Some g ->
+         if String.trim (Buffer.contents chunk) <> "" then flush_chunk ();
+         Buffer.clear chunk;
+         items := Methods { !(g) with methods = List.rev !(g).methods } :: !items
+     | None -> ());
+    current_group := None
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let trimmed = String.trim line in
+      let words = split_words trimmed in
+      match words with
+      | "CLASS" :: rest ->
+          close_group ();
+          items := Class_decl (parse_class_line lineno rest) :: !items
+      | [ "METHODS"; cls ] ->
+          close_group ();
+          current_group :=
+            Some (ref { class_name = cls; class_side = false; methods = [] })
+      | [ "CLASSMETHODS"; cls ] ->
+          close_group ();
+          current_group :=
+            Some (ref { class_name = cls; class_side = true; methods = [] })
+      | [ "!" ] -> flush_chunk ()
+      | _ ->
+          (match !current_group with
+           | Some _ ->
+               Buffer.add_string chunk line;
+               Buffer.add_char chunk '\n'
+           | None ->
+               if trimmed <> "" && not (String.length trimmed >= 1 && trimmed.[0] = '#')
+               then error "line %d: text outside any section: %s" lineno trimmed))
+    lines;
+  close_group ();
+  List.rev !items

@@ -1,0 +1,39 @@
+(** The image-definition format: a line-oriented container for class
+    declarations and method chunks, playing the role of Smalltalk-80's
+    "fileIn" chunk format.
+
+    {v
+    CLASS Point SUPER Object IVARS x y [FORMAT variable] [CATEGORY Kernel]
+    METHODS Point
+    <method source>
+    !
+    CLASSMETHODS Point
+    <method source>
+    !
+    v}
+
+    Method chunks end at a line containing only [!]. *)
+
+exception Error of string
+
+type format = Pointers | Variable | Raw_words | Raw_bytes
+
+type class_decl = {
+  name : string;
+  super : string option;  (** [None] only for Object *)
+  ivars : string list;
+  format : format;
+  category : string;
+}
+
+type chunk_group = {
+  class_name : string;
+  class_side : bool;
+  methods : string list;  (** method sources, in file order *)
+}
+
+type item =
+  | Class_decl of class_decl
+  | Methods of chunk_group
+
+val parse : string -> item list

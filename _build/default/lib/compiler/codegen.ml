@@ -1,0 +1,469 @@
+(* Code generation: AST -> CompiledMethod heap objects.
+
+   Like the Smalltalk-80 compiler, the common control-flow messages are
+   inlined into conditional and unconditional jumps when their arguments
+   are block literals: ifTrue:/ifFalse: (and the two-armed forms),
+   and:/or:, whileTrue:/whileFalse: (unary and keyword), to:do: and
+   to:by:do:.  The paper relies on this: the idle Process's
+   [[true] whileTrue] compiles to bytecode that "neither looks up messages
+   nor allocates memory".
+
+   All block temporaries and parameters are allocated in the home
+   (method) context's frame, Smalltalk-80 style; a block context's own
+   frame holds only its evaluation stack. *)
+
+exception Error of string
+
+let max_frame_slots = 96
+
+type scope = (string * int) list  (* name -> frame slot *)
+
+type env = {
+  u : Universe.t;
+  cls : Oop.t;                   (* defining class (sentinel for doIts) *)
+  ivars : string array;
+  asm : Assembler.t;
+  mutable scopes : scope list;   (* innermost first; last is method scope *)
+  mutable ntemps : int;          (* frame temp slots allocated so far *)
+  mutable literals : Oop.t list; (* reversed *)
+  mutable nlits : int;
+  mutable depth : int;
+  mutable maxdepth : int;
+  mutable has_blocks : bool;
+}
+
+let error fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* --- emission with stack-depth tracking --- *)
+
+let emit env op =
+  Assembler.emit env.asm op;
+  env.depth <- env.depth + Opcode.stack_effect op;
+  if env.depth > env.maxdepth then env.maxdepth <- env.depth
+
+let emit_jump env kind target =
+  Assembler.emit_jump env.asm kind target;
+  (match kind with
+   | `If_true | `If_false -> env.depth <- env.depth - 1
+   | `Jump -> ()
+   | `Block _ ->
+       env.depth <- env.depth + 1;
+       if env.depth > env.maxdepth then env.maxdepth <- env.depth)
+
+(* --- literals --- *)
+
+let add_literal env (oop : Oop.t) =
+  let rec find i = function
+    | [] -> None
+    | l :: _ when Oop.equal l oop -> Some (env.nlits - 1 - i)
+    | _ :: rest -> find (i + 1) rest
+  in
+  match find 0 env.literals with
+  | Some idx -> idx
+  | None ->
+      env.literals <- oop :: env.literals;
+      env.nlits <- env.nlits + 1;
+      env.nlits - 1
+
+let rec literal_oop env (lit : Ast.literal) =
+  let u = env.u in
+  match lit with
+  | Ast.Lit_int n -> Oop.of_small n
+  | Ast.Lit_float f -> Universe.new_float_old u f
+  | Ast.Lit_string s -> Universe.new_string u s
+  | Ast.Lit_symbol s -> Universe.intern u s
+  | Ast.Lit_char c -> Universe.char_oop u c
+  | Ast.Lit_nil -> u.Universe.nil
+  | Ast.Lit_true -> u.Universe.true_
+  | Ast.Lit_false -> u.Universe.false_
+  | Ast.Lit_array els ->
+      Universe.new_array u (List.map (literal_oop env) els)
+
+(* --- variable resolution --- *)
+
+type binding =
+  | Temp of int
+  | Ivar of int
+  | Global of int  (* literal index of the Association *)
+
+let lookup_var env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest ->
+        (match List.assoc_opt name scope with
+         | Some slot -> Some (Temp slot)
+         | None -> in_scopes rest)
+  in
+  match in_scopes env.scopes with
+  | Some b -> Some b
+  | None ->
+      let rec ivar i =
+        if i >= Array.length env.ivars then None
+        else if env.ivars.(i) = name then Some (Ivar i)
+        else ivar (i + 1)
+      in
+      ivar 0
+
+let resolve env name ~for_store =
+  match lookup_var env name with
+  | Some b -> b
+  | None ->
+      (* Capitalised names denote globals (classes, Transcript, Processor,
+         ...), created on first reference so the kernel can be compiled in
+         any order.  Lowercase undeclared names are programming errors. *)
+      if name <> "" && name.[0] >= 'A' && name.[0] <= 'Z' then
+        Global (add_literal env (Universe.global_assoc env.u name))
+      else if for_store then error "undeclared variable %s" name
+      else error "undeclared variable %s" name
+
+let alloc_temp env name =
+  let slot = env.ntemps in
+  env.ntemps <- env.ntemps + 1;
+  if env.ntemps > max_frame_slots then error "too many temporaries";
+  (match env.scopes with
+   | scope :: rest -> env.scopes <- ((name, slot) :: scope) :: rest
+   | [] -> assert false);
+  slot
+
+let fresh_hidden env = alloc_temp env (Printf.sprintf "<hidden%d>" env.ntemps)
+
+(* --- expressions --- *)
+
+let is_nullary_block = function
+  | Ast.Block { params = []; _ } -> true
+  | _ -> false
+
+let rec gen_expr env (e : Ast.expr) =
+  match e with
+  | Ast.Self | Ast.Super -> emit env Opcode.Push_receiver
+  | Ast.Var name ->
+      (match resolve env name ~for_store:false with
+       | Temp slot -> emit env (Opcode.Push_temp slot)
+       | Ivar i -> emit env (Opcode.Push_ivar i)
+       | Global l -> emit env (Opcode.Push_global l))
+  | Ast.Lit (Ast.Lit_nil) -> emit env Opcode.Push_nil
+  | Ast.Lit (Ast.Lit_true) -> emit env Opcode.Push_true
+  | Ast.Lit (Ast.Lit_false) -> emit env Opcode.Push_false
+  | Ast.Lit (Ast.Lit_int n)
+    when n > -(1 lsl 18) && n < 1 lsl 18 ->
+      emit env (Opcode.Push_smallint n)
+  | Ast.Lit lit ->
+      emit env (Opcode.Push_literal (add_literal env (literal_oop env lit)))
+  | Ast.Assign (name, value) ->
+      gen_expr env value;
+      (match resolve env name ~for_store:true with
+       | Temp slot -> emit env (Opcode.Store_temp slot)
+       | Ivar i -> emit env (Opcode.Store_ivar i)
+       | Global l -> emit env (Opcode.Store_global l))
+  | Ast.Message { receiver; selector; args } ->
+      gen_message env ~receiver ~selector ~args
+  | Ast.Cascade { receiver; messages } ->
+      gen_expr env receiver;
+      let rec go = function
+        | [] -> assert false
+        | [ (sel, args) ] -> gen_send env ~super:false ~selector:sel ~args
+        | (sel, args) :: rest ->
+            emit env Opcode.Dup;
+            gen_send env ~super:false ~selector:sel ~args;
+            emit env Opcode.Pop;
+            go rest
+      in
+      go messages
+  | Ast.Block _ as b -> gen_block_literal env b
+
+(* An ordinary (non-inlined) send: receiver is already handled here. *)
+and gen_send env ~super ~selector ~args =
+  List.iter (gen_expr env) args;
+  let sel_oop = Universe.intern env.u selector in
+  let sel_lit = add_literal env sel_oop in
+  let nargs = List.length args in
+  if super then begin
+    if Oop.equal env.cls Oop.sentinel then error "super outside a class";
+    emit env (Opcode.Super_send { selector = sel_lit; nargs })
+  end
+  else emit env (Opcode.Send { selector = sel_lit; nargs })
+
+(* A send whose arguments are already on the stack (inlined loops). *)
+and emit_send_raw env ~selector ~nargs =
+  let sel_lit = add_literal env (Universe.intern env.u selector) in
+  emit env (Opcode.Send { selector = sel_lit; nargs })
+
+and gen_message env ~receiver ~selector ~args =
+  let inline_done = try_inline env ~receiver ~selector ~args in
+  if not inline_done then begin
+    let super = receiver = Ast.Super in
+    gen_expr env receiver;
+    gen_send env ~super ~selector ~args
+  end
+
+(* Generate a block literal: a Push_block instruction whose body follows
+   inline.  Parameters and block temporaries get home-frame slots. *)
+and gen_block_literal env = function
+  | Ast.Block { params; temps; body } ->
+      env.has_blocks <- true;
+      let end_label = Assembler.new_label env.asm in
+      env.scopes <- [] :: env.scopes;
+      let arg_start = env.ntemps in
+      List.iter (fun p -> ignore (alloc_temp env p)) params;
+      List.iter (fun t -> ignore (alloc_temp env t)) temps;
+      emit_jump env (`Block (List.length params, arg_start)) end_label;
+      (* the block body runs on its own context's stack *)
+      let saved_depth = env.depth in
+      env.depth <- 0;
+      gen_body env body ~value:`Block_value;
+      env.depth <- saved_depth;
+      env.scopes <- List.tl env.scopes;
+      Assembler.place_label env.asm end_label
+  | _ -> assert false
+
+(* Statement sequences.  [`Pop_all] discards every statement's value
+   (inlined loop bodies); [`Last_value] leaves the last statement's value
+   on the stack (inlined conditional arms); [`Block_value] is [`Last_value]
+   terminated by a Block_return; [`Method] pops everything and relies on
+   the caller to emit the fall-through return. *)
+and gen_body env body ~value =
+  let emit_return_stmt e =
+    gen_expr env e;
+    emit env Opcode.Return_top
+  in
+  let rec go = function
+    | [] ->
+        (match value with
+         | `Block_value ->
+             emit env Opcode.Push_nil;
+             emit env Opcode.Block_return
+         | `Last_value -> emit env Opcode.Push_nil
+         | `Pop_all | `Method -> ())
+    | [ Ast.Expr e ] ->
+        (match value with
+         | `Block_value ->
+             gen_expr env e;
+             emit env Opcode.Block_return
+         | `Last_value -> gen_expr env e
+         | `Pop_all | `Method ->
+             gen_expr env e;
+             emit env Opcode.Pop)
+    | [ Ast.Return e ] -> emit_return_stmt e
+    | Ast.Return e :: _ -> emit_return_stmt e
+    | Ast.Expr e :: rest ->
+        gen_expr env e;
+        emit env Opcode.Pop;
+        go rest
+  in
+  go body
+
+(* --- control-flow inlining --- *)
+
+and gen_inline_body env block ~value =
+  match block with
+  | Ast.Block { params = []; temps; body } ->
+      env.scopes <- [] :: env.scopes;
+      List.iter (fun t -> ignore (alloc_temp env t)) temps;
+      gen_body env body ~value;
+      env.scopes <- List.tl env.scopes
+  | _ -> assert false
+
+and try_inline env ~receiver ~selector ~args =
+  match (selector, args) with
+  | "ifTrue:", [ b ] when is_nullary_block b ->
+      gen_conditional env ~receiver ~when_:`True ~then_:(Some b) ~else_:None;
+      true
+  | "ifFalse:", [ b ] when is_nullary_block b ->
+      gen_conditional env ~receiver ~when_:`False ~then_:(Some b) ~else_:None;
+      true
+  | "ifTrue:ifFalse:", [ t; f ] when is_nullary_block t && is_nullary_block f ->
+      gen_conditional env ~receiver ~when_:`True ~then_:(Some t) ~else_:(Some f);
+      true
+  | "ifFalse:ifTrue:", [ f; t ] when is_nullary_block t && is_nullary_block f ->
+      gen_conditional env ~receiver ~when_:`False ~then_:(Some f) ~else_:(Some t);
+      true
+  | "and:", [ b ] when is_nullary_block b ->
+      gen_short_circuit env ~receiver ~arg:b ~kind:`And;
+      true
+  | "or:", [ b ] when is_nullary_block b ->
+      gen_short_circuit env ~receiver ~arg:b ~kind:`Or;
+      true
+  | "whileTrue:", [ b ] when is_nullary_block receiver && is_nullary_block b ->
+      gen_while env ~cond:receiver ~body:(Some b) ~until:`False;
+      true
+  | "whileFalse:", [ b ] when is_nullary_block receiver && is_nullary_block b ->
+      gen_while env ~cond:receiver ~body:(Some b) ~until:`True;
+      true
+  | "whileTrue", [] when is_nullary_block receiver ->
+      gen_while env ~cond:receiver ~body:None ~until:`False;
+      true
+  | "whileFalse", [] when is_nullary_block receiver ->
+      gen_while env ~cond:receiver ~body:None ~until:`True;
+      true
+  | "to:do:", [ limit; (Ast.Block { params = [ _ ]; _ } as b) ] ->
+      gen_to_do env ~start:receiver ~limit ~step:1 ~block:b;
+      true
+  | "to:by:do:",
+    [ limit; Ast.Lit (Ast.Lit_int step);
+      (Ast.Block { params = [ _ ]; _ } as b) ]
+    when step <> 0 ->
+      gen_to_do env ~start:receiver ~limit ~step ~block:b;
+      true
+  | _ -> false
+
+and gen_conditional env ~receiver ~when_ ~then_ ~else_ =
+  gen_expr env receiver;
+  let else_label = Assembler.new_label env.asm in
+  let end_label = Assembler.new_label env.asm in
+  (match when_ with
+   | `True -> emit_jump env `If_false else_label
+   | `False -> emit_jump env `If_true else_label);
+  let depth0 = env.depth in
+  (match then_ with
+   | Some b -> gen_inline_body env b ~value:`Last_value
+   | None -> emit env Opcode.Push_nil);
+  emit_jump env `Jump end_label;
+  env.depth <- depth0;
+  Assembler.place_label env.asm else_label;
+  (match else_ with
+   | Some b -> gen_inline_body env b ~value:`Last_value
+   | None -> emit env Opcode.Push_nil);
+  Assembler.place_label env.asm end_label
+
+and gen_short_circuit env ~receiver ~arg ~kind =
+  gen_expr env receiver;
+  let short_label = Assembler.new_label env.asm in
+  let end_label = Assembler.new_label env.asm in
+  (match kind with
+   | `And -> emit_jump env `If_false short_label
+   | `Or -> emit_jump env `If_true short_label);
+  let depth0 = env.depth in
+  gen_inline_body env arg ~value:`Last_value;
+  emit_jump env `Jump end_label;
+  env.depth <- depth0;
+  Assembler.place_label env.asm short_label;
+  (match kind with
+   | `And -> emit env Opcode.Push_false
+   | `Or -> emit env Opcode.Push_true);
+  Assembler.place_label env.asm end_label
+
+and gen_while env ~cond ~body ~until =
+  let top_label = Assembler.new_label env.asm in
+  let end_label = Assembler.new_label env.asm in
+  Assembler.place_label env.asm top_label;
+  gen_inline_body env cond ~value:`Last_value;
+  (match until with
+   | `False -> emit_jump env `If_false end_label
+   | `True -> emit_jump env `If_true end_label);
+  (match body with
+   | Some b -> gen_inline_body env b ~value:`Pop_all
+   | None -> ());
+  emit_jump env `Jump top_label;
+  Assembler.place_label env.asm end_label;
+  emit env Opcode.Push_nil
+
+and gen_to_do env ~start ~limit ~step ~block =
+  match block with
+  | Ast.Block { params = [ var ]; temps; body } ->
+      env.scopes <- [] :: env.scopes;
+      let var_slot = alloc_temp env var in
+      List.iter (fun t -> ignore (alloc_temp env t)) temps;
+      let limit_slot = fresh_hidden env in
+      (* unlike Smalltalk-80, the inlined loop's value is nil rather than
+         the receiver: the bytecode then stays purely sequential, which
+         both the scavenger's restartable steps and the decompiler rely
+         on (the value of a to:do: is essentially never used) *)
+      gen_expr env start;
+      emit env (Opcode.Store_temp var_slot);
+      emit env Opcode.Pop;
+      gen_expr env limit;
+      emit env (Opcode.Store_temp limit_slot);
+      emit env Opcode.Pop;
+      let top_label = Assembler.new_label env.asm in
+      let end_label = Assembler.new_label env.asm in
+      Assembler.place_label env.asm top_label;
+      emit env (Opcode.Push_temp var_slot);
+      emit env (Opcode.Push_temp limit_slot);
+      emit_send_raw env ~selector:(if step > 0 then "<=" else ">=") ~nargs:1;
+      emit_jump env `If_false end_label;
+      gen_body env body ~value:`Pop_all;
+      emit env (Opcode.Push_temp var_slot);
+      emit env (Opcode.Push_smallint step);
+      emit_send_raw env ~selector:"+" ~nargs:1;
+      emit env (Opcode.Store_temp var_slot);
+      emit env Opcode.Pop;
+      emit_jump env `Jump top_label;
+      Assembler.place_label env.asm end_label;
+      emit env Opcode.Push_nil;
+      env.scopes <- List.tl env.scopes
+  | _ -> assert false
+
+(* --- methods --- *)
+
+let compile_ast u ~cls ~ivars (m : Ast.meth) =
+  let env = {
+    u;
+    cls;
+    ivars;
+    asm = Assembler.create ();
+    scopes = [ [] ];
+    ntemps = 0;
+    literals = [];
+    nlits = 0;
+    depth = 0;
+    maxdepth = 2;
+    has_blocks = false;
+  } in
+  List.iter (fun p -> ignore (alloc_temp env p)) m.Ast.params;
+  List.iter (fun t -> ignore (alloc_temp env t)) m.Ast.temps;
+  gen_body env m.Ast.body ~value:`Method;
+  emit env Opcode.Return_receiver;
+  let code = Assembler.finish env.asm in
+  let h = Universe.heap u in
+  (* bytecodes as a raw words object *)
+  let bc =
+    Heap.alloc_old h ~slots:(Array.length code) ~raw:true
+      ~cls:u.Universe.classes.Universe.array ()
+  in
+  Array.iteri (fun i w -> Heap.set_raw h bc i w) code;
+  let nlits = env.nlits in
+  let meth =
+    Heap.alloc_old h ~slots:(Layout.Method.fixed_slots + nlits) ~raw:false
+      ~cls:u.Universe.classes.Universe.compiled_method ()
+  in
+  let info =
+    Layout.Minfo.make
+      ~nargs:(List.length m.Ast.params)
+      ~ntemps:env.ntemps
+      ~maxstack:(env.maxdepth + 4)  (* headroom for interpreter pushes *)
+      ~prim:(match m.Ast.primitive with Some n -> n | None -> 0)
+      ~has_blocks:env.has_blocks
+  in
+  let set i v = ignore (Heap.store_ptr h meth i v) in
+  set Layout.Method.info (Oop.of_small info);
+  set Layout.Method.selector (Universe.intern u m.Ast.selector);
+  set Layout.Method.bytecodes bc;
+  set Layout.Method.source (Universe.new_string u m.Ast.source);
+  set Layout.Method.defining_class
+    (if Oop.equal cls Oop.sentinel then u.Universe.nil else cls);
+  List.iteri
+    (fun i lit -> set (Layout.Method.fixed_slots + i) lit)
+    (List.rev env.literals);
+  meth
+
+(* Instance-variable names of [cls], inherited ones first, as the compiler
+   environment.  Reads the ivar_names array stored in the class. *)
+let class_ivars u cls =
+  if Oop.equal cls Oop.sentinel then [||]
+  else begin
+    let h = Universe.heap u in
+    let arr = Heap.get h cls Layout.Class.ivar_names in
+    if Oop.equal arr u.Universe.nil then [||]
+    else
+      Array.init
+        (Heap.slots h (Oop.addr arr))
+        (fun i -> Heap.string_value h (Heap.get h arr i))
+  end
+
+let compile_method u ~cls source =
+  let ast = Parser.parse_method source in
+  compile_ast u ~cls ~ivars:(class_ivars u cls) ast
+
+let compile_do_it u source =
+  let ast = Parser.parse_do_it source in
+  compile_ast u ~cls:Oop.sentinel ~ivars:[||] ast

@@ -1,0 +1,234 @@
+(* Decompilation: CompiledMethod -> Smalltalk source.
+
+   The decompiler symbolically executes the bytecode, rebuilding an AST.
+   Control flow is reconstructed by recognising the shapes our code
+   generator emits: the conditional diamond (ifTrue:/ifFalse:/
+   ifTrue:ifFalse:), the short-circuit forms (and:/or:), and loops
+   (backward jumps).  Inlined to:do: loops decompile to an equivalent
+   whileTrue: form — semantically identical, syntactically humbler; the
+   "decompile class" macro benchmark measures reconstruction work, not
+   pretty-printing fidelity.
+
+   Temporaries are renamed positionally: method arguments become a1..an,
+   other frame slots t<k>, block parameters keep their frame-slot names. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type input = {
+  code : Opcode.t array;
+  literal : int -> Ast.literal;       (* literal table as AST literals *)
+  selector_of : int -> string;        (* literal index -> selector name *)
+  nargs : int;
+}
+
+let temp_name inp slot =
+  if slot < inp.nargs then Printf.sprintf "a%d" (slot + 1)
+  else Printf.sprintf "t%d" (slot + 1)
+
+(* Decode the range [lo, hi) producing statements; the final stack is
+   returned so callers can extract branch values. *)
+let rec decode inp ~lo ~hi =
+  let stmts = ref [] in
+  let stack = ref [] in
+  let push e = stack := e :: !stack in
+  let pop () =
+    match !stack with
+    | e :: rest -> stack := rest; e
+    | [] -> unsupported "stack underflow during decompilation"
+  in
+  let flush_stmt e =
+    match e with
+    | Ast.Lit _ | Ast.Self | Ast.Var _ -> ()   (* effect-free; drop *)
+    | _ -> stmts := Ast.Expr e :: !stmts
+  in
+  let pc = ref lo in
+  while !pc < hi do
+    let op = inp.code.(!pc) in
+    let next = !pc + 1 in
+    (match op with
+     | Opcode.Push_receiver -> push Ast.Self; pc := next
+     | Opcode.Push_temp n -> push (Ast.Var (temp_name inp n)); pc := next
+     | Opcode.Push_ivar n ->
+         push (Ast.Var (Printf.sprintf "iv%d" (n + 1))); pc := next
+     | Opcode.Push_literal n -> push (Ast.Lit (inp.literal n)); pc := next
+     | Opcode.Push_nil -> push (Ast.Lit Ast.Lit_nil); pc := next
+     | Opcode.Push_true -> push (Ast.Lit Ast.Lit_true); pc := next
+     | Opcode.Push_false -> push (Ast.Lit Ast.Lit_false); pc := next
+     | Opcode.Push_smallint v -> push (Ast.Lit (Ast.Lit_int v)); pc := next
+     | Opcode.Push_global n -> push (Ast.Var (inp.selector_of n)); pc := next
+     | Opcode.Store_temp n ->
+         let v = pop () in
+         push (Ast.Assign (temp_name inp n, v));
+         pc := next
+     | Opcode.Store_ivar n ->
+         let v = pop () in
+         push (Ast.Assign (Printf.sprintf "iv%d" (n + 1), v));
+         pc := next
+     | Opcode.Store_global n ->
+         let v = pop () in
+         push (Ast.Assign (inp.selector_of n, v));
+         pc := next
+     | Opcode.Pop -> flush_stmt (pop ()); pc := next
+     | Opcode.Dup ->
+         (* cascades duplicate the receiver; reuse the expression *)
+         let e = pop () in
+         push e; push e; pc := next
+     | Opcode.Send { selector; nargs } ->
+         let args = List.init nargs (fun _ -> pop ()) |> List.rev in
+         let receiver = pop () in
+         push (Ast.Message { receiver; selector = inp.selector_of selector; args });
+         pc := next
+     | Opcode.Super_send { selector; nargs } ->
+         let args = List.init nargs (fun _ -> pop ()) |> List.rev in
+         let _receiver = pop () in
+         push (Ast.Message
+                 { receiver = Ast.Super;
+                   selector = inp.selector_of selector; args });
+         pc := next
+     | Opcode.Push_block { nargs; arg_start; body_len } ->
+         let body_lo = next and body_hi = next + body_len in
+         let body, _ = decode inp ~lo:body_lo ~hi:body_hi in
+         let params =
+           List.init nargs (fun i -> temp_name inp (arg_start + i))
+         in
+         push (Ast.Block { params; temps = []; body });
+         pc := body_hi
+     | Opcode.Return_top ->
+         let v = pop () in
+         stmts := Ast.Return v :: !stmts;
+         pc := next
+     | Opcode.Return_receiver ->
+         (* method fall-through: nothing to record *)
+         pc := next
+     | Opcode.Block_return ->
+         (* the block's value is the remaining stack top, if any; leave it
+            for the caller of [decode] to collect as the body value *)
+         pc := next
+     | Opcode.Jump off when off < 0 ->
+         unsupported "unstructured backward jump"
+     | Opcode.Jump _ ->
+         unsupported "unstructured forward jump"
+     | Opcode.Jump_if_true off | Opcode.Jump_if_false off ->
+         let polarity =
+           match op with
+           | Opcode.Jump_if_true _ -> `True
+           | _ -> `False
+         in
+         pc := decode_branch inp ~stmts ~stack ~pc:!pc ~off ~polarity ~hi);
+    ()
+  done;
+  (List.rev !stmts, !stack)
+
+(* Structured control flow starting at a conditional jump at [pc]. *)
+and decode_branch inp ~stmts ~stack ~pc ~off ~polarity ~hi =
+  ignore hi;
+  let cond =
+    match !stack with
+    | e :: rest -> stack := rest; e
+    | [] -> unsupported "conditional with empty stack"
+  in
+  let else_pc = pc + 1 + off in
+  if off < 0 then unsupported "backward conditional jump";
+  (* the then-part runs pc+1 .. (some Jump) .. else_pc *)
+  match inp.code.(else_pc - 1) with
+  | Opcode.Jump j when j < 0 ->
+      (* a loop: [top: cond-code; Jump_if_xxx end; body; Jump top; end:]
+         The jump target is the loop head; condition code began there. *)
+      let body, _ = decode inp ~lo:(pc + 1) ~hi:(else_pc - 1) in
+      let cond_block = Ast.Block { params = []; temps = []; body = [ Ast.Expr cond ] } in
+      let body_block = Ast.Block { params = []; temps = []; body } in
+      let sel = match polarity with `False -> "whileTrue:" | `True -> "whileFalse:" in
+      stmts :=
+        Ast.Expr (Ast.Message { receiver = cond_block; selector = sel;
+                                args = [ body_block ] })
+        :: !stmts;
+      (* the loop leaves a Push_nil as its value: reproduce it so a
+         following Pop (statement position) or block return (value
+         position) sees the same stack shape *)
+      (match inp.code.(else_pc) with
+       | Opcode.Push_nil ->
+           stack := Ast.Lit Ast.Lit_nil :: !stack;
+           else_pc + 1
+       | _ -> else_pc)
+  | Opcode.Jump j when j >= 0 ->
+      let end_pc = else_pc + j in
+      let then_stmts, then_stack = decode inp ~lo:(pc + 1) ~hi:(else_pc - 1) in
+      let else_stmts, else_stack = decode inp ~lo:else_pc ~hi:end_pc in
+      let branch_value stmts stack =
+        match stack with
+        | [ v ] -> (stmts, Some v)
+        | [] -> (stmts, None)
+        | v :: _ -> (stmts, Some v)
+      in
+      let then_body, then_v = branch_value then_stmts then_stack in
+      let else_body, else_v = branch_value else_stmts else_stack in
+      let block body v =
+        let body =
+          match v with
+          | Some v -> body @ [ Ast.Expr v ]
+          | None -> body
+        in
+        Ast.Block { params = []; temps = []; body }
+      in
+      let msg =
+        match (polarity, then_body, then_v, else_body, else_v) with
+        (* and: / or: short-circuit shapes *)
+        | `False, _, _, [], Some (Ast.Lit Ast.Lit_false) ->
+            Ast.Message { receiver = cond; selector = "and:";
+                          args = [ block then_body then_v ] }
+        | `True, _, _, [], Some (Ast.Lit Ast.Lit_true) ->
+            Ast.Message { receiver = cond; selector = "or:";
+                          args = [ block then_body then_v ] }
+        (* one-armed conditionals: the synthesized arm is a bare nil *)
+        | `False, _, _, [], Some (Ast.Lit Ast.Lit_nil) ->
+            Ast.Message { receiver = cond; selector = "ifTrue:";
+                          args = [ block then_body then_v ] }
+        | `True, _, _, [], Some (Ast.Lit Ast.Lit_nil) ->
+            Ast.Message { receiver = cond; selector = "ifFalse:";
+                          args = [ block then_body then_v ] }
+        | `False, _, _, _, _ ->
+            Ast.Message { receiver = cond; selector = "ifTrue:ifFalse:";
+                          args = [ block then_body then_v;
+                                   block else_body else_v ] }
+        | `True, _, _, _, _ ->
+            Ast.Message { receiver = cond; selector = "ifFalse:ifTrue:";
+                          args = [ block then_body then_v;
+                                   block else_body else_v ] }
+      in
+      stack := msg :: !stack;
+      end_pc
+  | _ -> unsupported "conditional without a matching join"
+
+(* --- public interface --- *)
+
+(* Decompile from raw pieces (used by tests and by the primitive, which
+   extracts them from a CompiledMethod heap object).  All frame slots
+   beyond the arguments are declared as method temporaries; block
+   parameters re-declare their slots inside their blocks, which shadows
+   harmlessly on recompilation. *)
+let decompile_parts ~selector ~nargs ~ntemps ~code ~literal ~selector_of =
+  let inp = { code; literal; selector_of; nargs } in
+  let stmts, stack = decode inp ~lo:0 ~hi:(Array.length code) in
+  let stmts =
+    match stack with
+    | [] -> stmts
+    | v :: _ ->
+        (match v with
+         | Ast.Lit _ | Ast.Self | Ast.Var _ -> stmts
+         | _ -> stmts @ [ Ast.Expr v ])
+  in
+  let params = List.init nargs (fun i -> Printf.sprintf "a%d" (i + 1)) in
+  let temps =
+    List.init (max 0 (ntemps - nargs)) (fun i ->
+        Printf.sprintf "t%d" (nargs + i + 1))
+  in
+  { Ast.selector;
+    params;
+    temps;
+    primitive = None;
+    body = stmts;
+    source = "" }
+
+let to_source m = Ast.method_to_string m

@@ -1,0 +1,26 @@
+(** Decompilation: CompiledMethod bytecode -> Smalltalk source.
+
+    The decompiler symbolically executes the bytecode, rebuilding an AST
+    by recognising the shapes the code generator emits: the conditional
+    diamond, the short-circuit forms, and loops (backward jumps; inlined
+    [to:do:] decompiles to an equivalent [whileTrue:]).  Temporaries are
+    renamed positionally: arguments a1..an, other frame slots t<k>. *)
+
+exception Unsupported of string
+
+(** Decompile from raw pieces (the primitive extracts them from a
+    CompiledMethod heap object): [literal] renders literal-table entries
+    as AST literals, [selector_of] renders selector/global entries as
+    names.
+    @raise Unsupported on bytecode shapes the generator never emits. *)
+val decompile_parts :
+  selector:string ->
+  nargs:int ->
+  ntemps:int ->
+  code:Opcode.t array ->
+  literal:(int -> Ast.literal) ->
+  selector_of:(int -> string) ->
+  Ast.meth
+
+(** Render a decompiled method as source text. *)
+val to_source : Ast.meth -> string

@@ -1,0 +1,40 @@
+(** Lexer for the Smalltalk-80 method language: identifiers and keywords,
+    binary selectors (two characters at most), integers with radix
+    ([16rFF]), floats, characters ([$x]), strings with doubled-quote
+    escapes, symbols ([#foo:bar:], [#+]), literal-array openers [#(],
+    assignment [:=], and ["..."] comments.  [!] is reserved as the chunk
+    terminator of the class-file format and never reaches the parser. *)
+
+type token =
+  | Ident of string
+  | Keyword of string  (** trailing colon included: ["at:"] *)
+  | Binary of string
+  | Int of int
+  | Float of float
+  | Str of string
+  | Char of char
+  | Sym of string
+  | Hash_paren  (** [#(] *)
+  | Assign  (** [:=] *)
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Period
+  | Semi
+  | Caret
+  | Bar
+  | Colon
+  | Lt  (** also a binary selector, but pragmas need it distinct *)
+  | Gt
+  | Eof
+
+exception Error of string
+
+val token_to_string : token -> string
+
+(** Tokenize a whole source; ends with [Eof].
+    @raise Error with a line number on malformed input. *)
+val tokenize : string -> token array

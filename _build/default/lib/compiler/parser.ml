@@ -1,0 +1,353 @@
+(* Recursive-descent parser for Smalltalk-80 methods and expressions.
+
+   Grammar (standard Smalltalk-80):
+
+     method      ::= pattern pragma? temps? statements
+     pattern     ::= unary-sel | binary-sel ident | (keyword ident)+
+     pragma      ::= '<' 'primitive:' integer '>'
+     temps       ::= '|' ident* '|'
+     statements  ::= (statement '.')* ('^' expression '.'?)?
+     expression  ::= ident ':=' expression | cascade
+     cascade     ::= keyword-expr (';' message)*
+     keyword     ::= binary (keyword-sel binary)*
+     binary      ::= unary (binary-sel unary)*
+     unary       ::= primary unary-sel*
+     primary     ::= ident | literal | block | '(' expression ')'
+     block       ::= '[' (':' ident)* '|'? temps? statements ']' *)
+
+exception Error of string
+
+type t = {
+  toks : Lexer.token array;
+  mutable pos : int;
+}
+
+let error p msg =
+  raise
+    (Error
+       (Printf.sprintf "%s (at token %d: %s)" msg p.pos
+          (Lexer.token_to_string p.toks.(min p.pos (Array.length p.toks - 1)))))
+
+let peek p = p.toks.(p.pos)
+let peek2 p =
+  if p.pos + 1 < Array.length p.toks then p.toks.(p.pos + 1) else Lexer.Eof
+let advance p = p.pos <- p.pos + 1
+let next p = let t = peek p in advance p; t
+
+let expect p tok what =
+  if peek p = tok then advance p else error p ("expected " ^ what)
+
+let ident p =
+  match next p with
+  | Lexer.Ident name -> name
+  | _ -> p.pos <- p.pos - 1; error p "expected an identifier"
+
+(* --- literals --- *)
+
+let rec parse_array_literal p =
+  (* after '#(' ; elements until ')' *)
+  let rec go acc =
+    match peek p with
+    | Lexer.Rparen -> advance p; List.rev acc
+    | Lexer.Eof -> error p "unterminated literal array"
+    | _ -> go (parse_array_element p :: acc)
+  in
+  Ast.Lit_array (go [])
+
+and parse_array_element p =
+  match next p with
+  | Lexer.Int n -> Ast.Lit_int n
+  | Lexer.Float f -> Ast.Lit_float f
+  | Lexer.Str s -> Ast.Lit_string s
+  | Lexer.Char c -> Ast.Lit_char c
+  | Lexer.Sym s -> Ast.Lit_symbol s
+  | Lexer.Hash_paren | Lexer.Lparen -> parse_array_literal p
+  | Lexer.Ident "nil" -> Ast.Lit_nil
+  | Lexer.Ident "true" -> Ast.Lit_true
+  | Lexer.Ident "false" -> Ast.Lit_false
+  (* bare words and keywords inside #( ) denote symbols *)
+  | Lexer.Ident s -> Ast.Lit_symbol s
+  | Lexer.Keyword k ->
+      (* glue consecutive keywords: #(at:put:) lexes as two tokens *)
+      let buf = Buffer.create 16 in
+      Buffer.add_string buf k;
+      let rec glue () =
+        match peek p with
+        | Lexer.Keyword k2 -> advance p; Buffer.add_string buf k2; glue ()
+        | _ -> ()
+      in
+      glue ();
+      Ast.Lit_symbol (Buffer.contents buf)
+  | Lexer.Binary s -> Ast.Lit_symbol s
+  | Lexer.Lt -> Ast.Lit_symbol "<"
+  | Lexer.Gt -> Ast.Lit_symbol ">"
+  | Lexer.Assign | Lexer.Rparen | Lexer.Lbracket
+  | Lexer.Rbracket | Lexer.Lbrace | Lexer.Rbrace | Lexer.Period | Lexer.Semi
+  | Lexer.Caret | Lexer.Bar | Lexer.Colon | Lexer.Eof ->
+      p.pos <- p.pos - 1;
+      error p "bad element in literal array"
+
+(* --- expressions --- *)
+
+let rec parse_expression p =
+  match (peek p, peek2 p) with
+  | Lexer.Ident name, Lexer.Assign ->
+      advance p; advance p;
+      Ast.Assign (name, parse_expression p)
+  | _ -> parse_cascade p
+
+and parse_cascade p =
+  let e = parse_keyword_expr p in
+  if peek p <> Lexer.Semi then e
+  else begin
+    (* split the last message off [e]; its receiver anchors the cascade *)
+    let receiver, first =
+      match e with
+      | Ast.Message { receiver; selector; args } -> (receiver, (selector, args))
+      | _ -> error p "cascade must follow a message send"
+    in
+    let messages = ref [ first ] in
+    while peek p = Lexer.Semi do
+      advance p;
+      messages := parse_cascade_message p :: !messages
+    done;
+    Ast.Cascade { receiver; messages = List.rev !messages }
+  end
+
+and parse_cascade_message p =
+  (* one message without a receiver: unary, binary or keyword *)
+  match peek p with
+  | Lexer.Ident sel -> advance p; (sel, [])
+  | Lexer.Keyword _ ->
+      let parts = ref [] and args = ref [] in
+      let rec go () =
+        match peek p with
+        | Lexer.Keyword k ->
+            advance p;
+            parts := k :: !parts;
+            args := parse_binary_expr p :: !args;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      (String.concat "" (List.rev !parts), List.rev !args)
+  | Lexer.Binary sel -> advance p; (sel, [ parse_unary_expr p ])
+  | Lexer.Lt -> advance p; ("<", [ parse_unary_expr p ])
+  | Lexer.Gt -> advance p; (">", [ parse_unary_expr p ])
+  | Lexer.Bar -> advance p; ("|", [ parse_unary_expr p ])
+  | _ -> error p "expected a message after ';'"
+
+and parse_keyword_expr p =
+  let receiver = parse_binary_expr p in
+  match peek p with
+  | Lexer.Keyword _ ->
+      let parts = ref [] and args = ref [] in
+      let rec go () =
+        match peek p with
+        | Lexer.Keyword k ->
+            advance p;
+            parts := k :: !parts;
+            args := parse_binary_expr p :: !args;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      Ast.Message
+        { receiver;
+          selector = String.concat "" (List.rev !parts);
+          args = List.rev !args }
+  | _ -> receiver
+
+and parse_binary_expr p =
+  let rec go receiver =
+    match peek p with
+    | Lexer.Binary sel ->
+        advance p;
+        let arg = parse_unary_expr p in
+        go (Ast.Message { receiver; selector = sel; args = [ arg ] })
+    | Lexer.Lt ->
+        advance p;
+        let arg = parse_unary_expr p in
+        go (Ast.Message { receiver; selector = "<"; args = [ arg ] })
+    | Lexer.Gt ->
+        advance p;
+        let arg = parse_unary_expr p in
+        go (Ast.Message { receiver; selector = ">"; args = [ arg ] })
+    | Lexer.Bar ->
+        (* '|' as a binary selector; unambiguous here because temporary
+           declarations only occur before the first statement *)
+        advance p;
+        let arg = parse_unary_expr p in
+        go (Ast.Message { receiver; selector = "|"; args = [ arg ] })
+    | _ -> receiver
+  in
+  go (parse_unary_expr p)
+
+and parse_unary_expr p =
+  let rec go receiver =
+    match peek p with
+    | Lexer.Ident sel when peek2 p <> Lexer.Assign ->
+        advance p;
+        go (Ast.Message { receiver; selector = sel; args = [] })
+    | _ -> receiver
+  in
+  go (parse_primary p)
+
+and parse_primary p =
+  match next p with
+  | Lexer.Ident "self" -> Ast.Self
+  | Lexer.Ident "super" -> Ast.Super
+  | Lexer.Ident "nil" -> Ast.Lit Ast.Lit_nil
+  | Lexer.Ident "true" -> Ast.Lit Ast.Lit_true
+  | Lexer.Ident "false" -> Ast.Lit Ast.Lit_false
+  | Lexer.Ident name -> Ast.Var name
+  | Lexer.Int n -> Ast.Lit (Ast.Lit_int n)
+  | Lexer.Float f -> Ast.Lit (Ast.Lit_float f)
+  | Lexer.Str s -> Ast.Lit (Ast.Lit_string s)
+  | Lexer.Char c -> Ast.Lit (Ast.Lit_char c)
+  | Lexer.Sym s -> Ast.Lit (Ast.Lit_symbol s)
+  | Lexer.Hash_paren -> Ast.Lit (parse_array_literal p)
+  | Lexer.Binary "-" ->
+      (* negative numeric literal: -5 *)
+      (match next p with
+       | Lexer.Int n -> Ast.Lit (Ast.Lit_int (-n))
+       | Lexer.Float f -> Ast.Lit (Ast.Lit_float (-.f))
+       | _ -> p.pos <- p.pos - 2; error p "'-' is not a unary operator")
+  | Lexer.Lparen ->
+      let e = parse_expression p in
+      expect p Lexer.Rparen "')'";
+      e
+  | Lexer.Lbracket -> parse_block p
+  | _ ->
+      p.pos <- p.pos - 1;
+      error p "expected an expression"
+
+and parse_block p =
+  let params = ref [] in
+  while peek p = Lexer.Colon do
+    advance p;
+    params := ident p :: !params
+  done;
+  if !params <> [] then expect p Lexer.Bar "'|' after block parameters";
+  let temps =
+    if peek p = Lexer.Bar then begin
+      advance p;
+      let ts = ref [] in
+      while (match peek p with Lexer.Ident _ -> true | _ -> false) do
+        ts := ident p :: !ts
+      done;
+      expect p Lexer.Bar "'|' closing block temporaries";
+      List.rev !ts
+    end
+    else []
+  in
+  let body = parse_statements p ~stop:Lexer.Rbracket in
+  expect p Lexer.Rbracket "']'";
+  Ast.Block { params = List.rev !params; temps; body }
+
+and parse_statements p ~stop =
+  let stmts = ref [] in
+  let rec go () =
+    if peek p = stop || peek p = Lexer.Eof then ()
+    else if peek p = Lexer.Period then begin
+      advance p; go ()  (* tolerate empty statements / trailing periods *)
+    end
+    else if peek p = Lexer.Caret then begin
+      advance p;
+      stmts := Ast.Return (parse_expression p) :: !stmts;
+      (* optional trailing period(s) before the closer *)
+      while peek p = Lexer.Period do advance p done;
+      if peek p <> stop && peek p <> Lexer.Eof then
+        error p "statements after a return"
+    end
+    else begin
+      stmts := Ast.Expr (parse_expression p) :: !stmts;
+      match peek p with
+      | t when t = stop -> ()
+      | Lexer.Eof -> ()
+      | Lexer.Period -> advance p; go ()
+      | _ -> error p "expected '.' between statements"
+    end
+  in
+  go ();
+  List.rev !stmts
+
+(* --- methods --- *)
+
+let parse_pattern p =
+  match next p with
+  | Lexer.Ident sel -> (sel, [])
+  | Lexer.Binary sel -> (sel, [ ident p ])
+  | Lexer.Lt -> ("<", [ ident p ])
+  | Lexer.Gt -> (">", [ ident p ])
+  | Lexer.Bar -> ("|", [ ident p ])
+  | Lexer.Keyword _ ->
+      p.pos <- p.pos - 1;
+      let parts = ref [] and params = ref [] in
+      let rec go () =
+        match peek p with
+        | Lexer.Keyword k ->
+            advance p;
+            parts := k :: !parts;
+            params := ident p :: !params;
+            go ()
+        | _ -> ()
+      in
+      go ();
+      (String.concat "" (List.rev !parts), List.rev !params)
+  | _ -> p.pos <- p.pos - 1; error p "expected a method pattern"
+
+let parse_pragma p =
+  (* <primitive: N> *)
+  if peek p = Lexer.Lt then begin
+    advance p;
+    match next p with
+    | Lexer.Keyword "primitive:" ->
+        (match next p with
+         | Lexer.Int n ->
+             expect p Lexer.Gt "'>' closing the pragma";
+             Some n
+         | _ -> error p "expected a primitive number")
+    | _ -> error p "unknown pragma"
+  end
+  else None
+
+let parse_temps p =
+  if peek p = Lexer.Bar then begin
+    advance p;
+    let ts = ref [] in
+    while (match peek p with Lexer.Ident _ -> true | _ -> false) do
+      ts := ident p :: !ts
+    done;
+    expect p Lexer.Bar "'|' closing temporaries";
+    List.rev !ts
+  end
+  else []
+
+let parse_method source =
+  let p = { toks = Lexer.tokenize source; pos = 0 } in
+  let selector, params = parse_pattern p in
+  let primitive = parse_pragma p in
+  let temps = parse_temps p in
+  let body = parse_statements p ~stop:Lexer.Eof in
+  if peek p <> Lexer.Eof then error p "trailing tokens after method body";
+  { Ast.selector; params; temps; primitive; body; source }
+
+(* A free-standing expression sequence (a "doIt"), compiled as the body of
+   a method on nil. *)
+let parse_do_it source =
+  let p = { toks = Lexer.tokenize source; pos = 0 } in
+  let temps = parse_temps p in
+  let body = parse_statements p ~stop:Lexer.Eof in
+  (* a doIt answers its last expression *)
+  let rec return_last = function
+    | [] -> []
+    | [ Ast.Expr e ] -> [ Ast.Return e ]
+    | s :: rest -> s :: return_last rest
+  in
+  { Ast.selector = "doIt";
+    params = [];
+    temps;
+    primitive = None;
+    body = return_last body;
+    source }

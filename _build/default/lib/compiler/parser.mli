@@ -1,0 +1,17 @@
+(** Recursive-descent parser for Smalltalk-80 methods and expressions.
+
+    The standard grammar: unary binds tighter than binary, binary tighter
+    than keyword; cascades with [;]; blocks with parameters and
+    temporaries; [^] returns; a [<primitive: n>] pragma after the method
+    pattern; [|] doubles as the temporaries delimiter and a binary
+    selector (unambiguous, since temporaries precede the first
+    statement). *)
+
+exception Error of string
+
+(** Parse one complete method: pattern, pragma, temporaries, body. *)
+val parse_method : string -> Ast.meth
+
+(** Parse a free-standing expression sequence (a "doIt") as a method on
+    nil; the last expression becomes the return value. *)
+val parse_do_it : string -> Ast.meth

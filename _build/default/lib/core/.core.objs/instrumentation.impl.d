@@ -1,0 +1,1 @@
+lib/core/instrumentation.ml: Array Devices Format Free_contexts Heap List Machine Method_cache Scheduler Spinlock State Vm

@@ -1,0 +1,1 @@
+lib/core/instrumentation.mli: Format Vm

@@ -1,0 +1,1 @@
+lib/core/vm.mli: Config Heap Interp Machine Oop State Universe

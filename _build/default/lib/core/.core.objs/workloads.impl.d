@@ -1,0 +1,1 @@
+lib/core/workloads.ml: List Printf Vm

@@ -1,0 +1,83 @@
+(* Configuration of the multiprocessor adaptation strategies.
+
+   Each shared resource the paper identifies carries its strategy here, so
+   a VM can be assembled as baseline Berkeley Smalltalk (single-threaded,
+   no synchronization at all), as Multiprocessor Smalltalk with the
+   published strategy assignment (Table 3), or as any of the ablation
+   variants the paper discusses:
+
+   - the method cache serialized with a shared lock (the configuration the
+     paper found "much too slow") versus replicated per processor;
+   - the free-context list serialized versus replicated (the 160% -> 65%
+     improvement);
+   - allocation serialized (published MS) versus a replicated new-object
+     space (the improvement the paper proposes in section 4);
+   - running Processes removed from the ready queue (BS behaviour) versus
+     kept in it (the MS reorganization). *)
+
+type cache_strategy = Cache_replicated | Cache_shared_locked
+type context_strategy = Ctx_replicated | Ctx_shared_locked | Ctx_disabled
+type alloc_strategy = Alloc_serialized | Alloc_replicated_eden
+
+type t = {
+  processors : int;
+  locks_enabled : bool;          (* false: baseline BS, no synchronization *)
+  method_cache : cache_strategy;
+  free_contexts : context_strategy;
+  allocation : alloc_strategy;
+  keep_running_in_queue : bool;  (* the MS reorganization *)
+  old_words : int;
+  eden_words : int;              (* the paper's s: 80 KB by default *)
+  survivor_words : int;
+  tenure_age : int;
+  (* section 3.1: "it may be possible to apply multiple processors to the
+     garbage collection task" — scavenge work parallelised over this many
+     processors (1 = the published MS) *)
+  scavenge_workers : int;
+  cost : Cost_model.t;
+}
+
+(* 80 KB eden as in the paper (section 3.1), expressed in 8-byte words. *)
+let default_eden_words = 80 * 1024 / 8
+
+let baseline_bs ?(cost = Cost_model.firefly) () = {
+  processors = 1;
+  locks_enabled = false;
+  method_cache = Cache_shared_locked;   (* one interpreter, lock disabled *)
+  free_contexts = Ctx_shared_locked;
+  allocation = Alloc_serialized;
+  keep_running_in_queue = false;        (* BS removes the running Process *)
+  old_words = 2 * 1024 * 1024;
+  eden_words = default_eden_words;
+  survivor_words = 4 * 1024;
+  tenure_age = 4;
+  scavenge_workers = 1;
+  cost;
+}
+
+(* Multiprocessor Smalltalk as published: serialization for allocation,
+   GC, entry tables, scheduling and I/O; replication for the interpreters,
+   method caches and free-context lists; the scheduler reorganization. *)
+let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
+  processors;
+  locks_enabled = true;
+  method_cache = Cache_replicated;
+  free_contexts = Ctx_replicated;
+  allocation = Alloc_serialized;
+  keep_running_in_queue = true;
+  old_words = 2 * 1024 * 1024;
+  eden_words = default_eden_words;
+  survivor_words = 4 * 1024;
+  tenure_age = 4;
+  scavenge_workers = 1;
+  cost;
+}
+
+(* A fast uniform-cost configuration for unit tests. *)
+let testing ?(processors = 1) () =
+  let base =
+    if processors = 1 then baseline_bs ~cost:Cost_model.uniform ()
+    else ms ~processors ~cost:Cost_model.uniform ()
+  in
+  { base with old_words = 512 * 1024; eden_words = 8 * 1024;
+              survivor_words = 2 * 1024 }

@@ -1,0 +1,57 @@
+(** Configuration of the multiprocessor adaptation strategies.
+
+    Each shared resource the paper identifies carries its strategy here,
+    so a VM can be assembled as baseline Berkeley Smalltalk, as the
+    published Multiprocessor Smalltalk (Table 3's strategy assignment), or
+    as any of the ablation variants the paper discusses. *)
+
+type cache_strategy =
+  | Cache_replicated  (** one method cache per processor (published MS) *)
+  | Cache_shared_locked
+      (** one cache behind a two-level lock — the configuration the paper
+          found "much too slow" *)
+
+type context_strategy =
+  | Ctx_replicated  (** per-processor free-context lists (published MS) *)
+  | Ctx_shared_locked  (** one locked list — the paper's 160 % bottleneck *)
+  | Ctx_disabled  (** no recycling: every context allocated fresh *)
+
+type alloc_strategy =
+  | Alloc_serialized  (** eden bump pointer under one lock (published MS) *)
+  | Alloc_replicated_eden
+      (** per-processor eden regions — the improvement the paper proposes
+          in section 4 *)
+
+type t = {
+  processors : int;
+  locks_enabled : bool;  (** [false]: baseline BS, no synchronization *)
+  method_cache : cache_strategy;
+  free_contexts : context_strategy;
+  allocation : alloc_strategy;
+  keep_running_in_queue : bool;
+      (** the MS reorganization: running Processes stay in the ready
+          queue; [false] restores BS semantics *)
+  old_words : int;
+  eden_words : int;  (** the paper's [s]: 80 KB by default *)
+  survivor_words : int;
+  tenure_age : int;  (** scavenges survived before promotion *)
+  scavenge_workers : int;
+      (** processors applied to the scavenge (1 = published MS; more is
+          the paper's section-3.1 suggestion) *)
+  cost : Cost_model.t;
+}
+
+val default_eden_words : int
+
+(** Baseline Berkeley Smalltalk: one interpreter, no multiprocessor
+    support at all. *)
+val baseline_bs : ?cost:Cost_model.t -> unit -> t
+
+(** Multiprocessor Smalltalk as published: serialization for allocation,
+    GC, entry tables, scheduling and I/O; replication for interpreters,
+    method caches and free contexts; the scheduler reorganization. *)
+val ms : ?processors:int -> ?cost:Cost_model.t -> unit -> t
+
+(** A small-heap, uniform-cost configuration for unit tests;
+    single-processor gives baseline BS semantics, more gives MS. *)
+val testing : ?processors:int -> unit -> t

@@ -1,0 +1,129 @@
+(* Instrumentation (the paper's section 6: "we plan to add sufficient
+   instrumentation to MS to gather data about ... contention for
+   resources").
+
+   Every shared resource in the simulation already counts its traffic;
+   this module gathers the counters into one report: lock acquisitions,
+   contention and spin time; per-interpreter execution statistics; cache
+   and free-list effectiveness; storage and scavenging totals; device
+   queues. *)
+
+type lock_row = {
+  lock_name : string;
+  enabled : bool;
+  acquisitions : int;
+  contended : int;
+  spin_cycles : int;
+}
+
+type interp_row = {
+  processor : int;
+  steps : int;
+  sends : int;
+  cache_hits : int;
+  cache_misses : int;
+  ctx_reuses : int;
+  ctx_fresh : int;
+  switches : int;
+  gc_wait : int;
+}
+
+type report = {
+  locks : lock_row list;
+  interps : interp_row list;
+  scavenges : int;
+  scavenge_cycles : int;
+  words_allocated : int;
+  words_copied : int;
+  words_tenured : int;
+  remembered : int;
+  display_commands : int;
+  display_wait : int;
+  input_polls : int;
+  total_cycles : int;
+}
+
+let lock_row l = {
+  lock_name = Spinlock.name l;
+  enabled = Spinlock.enabled l;
+  acquisitions = Spinlock.acquisitions l;
+  contended = Spinlock.contended l;
+  spin_cycles = Spinlock.spin_cycles l;
+}
+
+let gather (vm : Vm.t) =
+  let sh = vm.Vm.shared in
+  let locks =
+    [ lock_row sh.State.alloc_lock;
+      lock_row sh.State.entry_lock;
+      lock_row sh.State.sched.Scheduler.lock;
+      lock_row (Devices.display_lock sh.State.display);
+      lock_row (Devices.input_lock sh.State.input) ]
+  in
+  let interps =
+    Array.to_list
+      (Array.mapi
+         (fun i st ->
+           { processor = i;
+             steps = st.State.steps;
+             sends = st.State.sends;
+             cache_hits = Method_cache.hits st.State.mcache;
+             cache_misses = Method_cache.misses st.State.mcache;
+             ctx_reuses = Free_contexts.reuses st.State.free_ctxs;
+             ctx_fresh = Free_contexts.fresh_allocations st.State.free_ctxs;
+             switches = st.State.ctx_switches;
+             gc_wait = (Machine.vp vm.Vm.machine i).Machine.gc_wait_cycles })
+         vm.Vm.states)
+  in
+  { locks;
+    interps;
+    scavenges = Heap.scavenge_count vm.Vm.heap;
+    scavenge_cycles = vm.Vm.scavenge_cycles;
+    words_allocated = Heap.words_allocated vm.Vm.heap;
+    words_copied = Heap.words_copied_total vm.Vm.heap;
+    words_tenured = Heap.tenured_words_total vm.Vm.heap;
+    remembered = Heap.remembered_count vm.Vm.heap;
+    display_commands = Devices.display_commands sh.State.display;
+    display_wait = Devices.display_producer_wait sh.State.display;
+    input_polls = Devices.input_polls sh.State.input;
+    total_cycles = Vm.cycles vm }
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let print fmt r =
+  Format.fprintf fmt "Instrumentation report (%d cycles = %.2f simulated s)@."
+    r.total_cycles
+    (float_of_int r.total_cycles /. 1_000_000.0);
+  Format.fprintf fmt "@.Locks:@.";
+  Format.fprintf fmt "  %-22s %12s %10s %7s %12s@." "resource" "acquisitions"
+    "contended" "rate" "spin cycles";
+  List.iter
+    (fun l ->
+      if l.enabled then
+        Format.fprintf fmt "  %-22s %12d %10d %6.1f%% %12d@." l.lock_name
+          l.acquisitions l.contended
+          (pct l.contended l.acquisitions)
+          l.spin_cycles
+      else Format.fprintf fmt "  %-22s %12s@." l.lock_name "(disabled)")
+    r.locks;
+  Format.fprintf fmt "@.Interpreters:@.";
+  Format.fprintf fmt "  %-4s %10s %9s %11s %10s %9s %9s@." "proc" "bytecodes"
+    "sends" "cache-hit%" "ctx-reuse%" "switches" "gc-wait";
+  List.iter
+    (fun i ->
+      Format.fprintf fmt "  %-4d %10d %9d %10.1f%% %9.1f%% %9d %9d@."
+        i.processor i.steps i.sends
+        (pct i.cache_hits (i.cache_hits + i.cache_misses))
+        (pct i.ctx_reuses (i.ctx_reuses + i.ctx_fresh))
+        i.switches i.gc_wait)
+    r.interps;
+  Format.fprintf fmt "@.Storage:@.";
+  Format.fprintf fmt
+    "  %d scavenges (%d cycles total); %d words allocated, %d copied, %d \
+     tenured; %d remembered objects@."
+    r.scavenges r.scavenge_cycles r.words_allocated r.words_copied
+    r.words_tenured r.remembered;
+  Format.fprintf fmt "Devices:@.";
+  Format.fprintf fmt
+    "  display: %d commands, %d cycles of producer wait; input: %d polls@."
+    r.display_commands r.display_wait r.input_polls

@@ -1,0 +1,47 @@
+(** Instrumentation (the paper's section 6: "we plan to add sufficient
+    instrumentation to MS to gather data about ... contention for
+    resources").
+
+    Gathers the counters every shared resource already keeps into one
+    report: lock acquisitions/contention/spin time, per-interpreter
+    execution statistics, cache and free-list effectiveness, storage and
+    scavenging totals, and device queues. *)
+
+type lock_row = {
+  lock_name : string;
+  enabled : bool;
+  acquisitions : int;
+  contended : int;
+  spin_cycles : int;
+}
+
+type interp_row = {
+  processor : int;
+  steps : int;
+  sends : int;
+  cache_hits : int;
+  cache_misses : int;
+  ctx_reuses : int;
+  ctx_fresh : int;
+  switches : int;
+  gc_wait : int;
+}
+
+type report = {
+  locks : lock_row list;
+  interps : interp_row list;
+  scavenges : int;
+  scavenge_cycles : int;
+  words_allocated : int;
+  words_copied : int;
+  words_tenured : int;
+  remembered : int;
+  display_commands : int;
+  display_wait : int;
+  input_polls : int;
+  total_cycles : int;
+}
+
+val gather : Vm.t -> report
+
+val print : Format.formatter -> report -> unit

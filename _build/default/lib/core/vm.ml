@@ -1,0 +1,377 @@
+(* Assembling and driving Multiprocessor Smalltalk on the simulated
+   Firefly.
+
+   [create] wires every subsystem together according to the strategy
+   configuration; [run] is the simulation engine: it always steps the
+   runnable virtual processor with the smallest clock, and performs the
+   stop-the-world scavenge rendezvous — every interpreter parks at a step
+   boundary, the collection runs, and all clocks resynchronize past the
+   pause, exactly the "global flag plus IPC" discipline of the paper. *)
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  heap : Heap.t;
+  u : Universe.t;
+  shared : State.shared;
+  states : State.t array;
+  interps : Interp.t array;
+  mutable gc_requested : bool;
+  mutable scavenge_pauses : int;
+  mutable scavenge_cycles : int;
+}
+
+exception Stuck of string
+
+let create (config : Config.t) =
+  let cm =
+    let base = config.Config.cost in
+    if config.Config.locks_enabled then
+      { base with
+        Cost_model.dispatch =
+          base.Cost_model.dispatch + base.Cost_model.ms_static_penalty;
+        Cost_model.push =
+          base.Cost_model.push + base.Cost_model.ms_static_penalty }
+    else base
+  in
+  let processors = config.Config.processors in
+  let machine = Machine.make ~processors cm in
+  let policy =
+    if not config.Config.locks_enabled then Heap.Unlocked
+    else
+      match config.Config.allocation with
+      | Config.Alloc_serialized -> Heap.Shared_locked
+      | Config.Alloc_replicated_eden -> Heap.Replicated_eden
+  in
+  let heap =
+    Heap.create ~policy ~processors ~tenure_age:config.Config.tenure_age
+      ~old_words:config.Config.old_words
+      ~eden_words:config.Config.eden_words
+      ~survivor_words:config.Config.survivor_words ()
+  in
+  let u = Bootstrap.install heap in
+  let locks = config.Config.locks_enabled in
+  let alloc_lock =
+    Spinlock.make
+      ~enabled:(locks && config.Config.allocation = Config.Alloc_serialized)
+      ~cost:cm "allocation"
+  in
+  let entry_lock = Spinlock.make ~enabled:locks ~cost:cm "entry table" in
+  let sched_lock = Spinlock.make ~enabled:locks ~cost:cm "scheduler" in
+  let display = Devices.make_display ~enabled_locks:locks ~cost:cm in
+  let input = Devices.make_input_queue ~enabled_locks:locks ~cost:cm in
+  let sched =
+    Scheduler.create ~u ~lock:sched_lock ~op_cycles:cm.Cost_model.sched_op
+      ~keep_running_in_queue:config.Config.keep_running_in_queue ~processors
+  in
+  (* transcript capture is per-VM in spirit; reset the (module-level)
+     buffer so successive VMs in one process don't interleave *)
+  Buffer.clear Primitives.transcript;
+  let shared = {
+    State.u;
+    heap;
+    cm;
+    machine;
+    sched;
+    alloc_lock;
+    entry_lock;
+    display;
+    input;
+    sym_does_not_understand = Universe.intern u "doesNotUnderstand:";
+    input_semaphore = ref Oop.sentinel;
+    on_terminate = (fun _ _ -> ());
+    on_method_install = (fun () -> ());
+    timers = [];
+    gc_wanted = false;
+    compile_hook =
+      Some (fun ~cls ~class_side source ->
+          Class_builder.add_method u ~cls ~class_side source);
+    decompile_hook = Some (fun ~meth -> Method_mirror.decompile u meth);
+  } in
+  (* method caches *)
+  let shared_cache_table = Method_cache.make_table () in
+  let shared_cache_lock = Spinlock.make ~enabled:locks ~cost:cm "method cache" in
+  let make_cache _i =
+    match config.Config.method_cache with
+    | Config.Cache_replicated -> Method_cache.create_replicated ()
+    | Config.Cache_shared_locked ->
+        Method_cache.create_shared ~lock:shared_cache_lock
+          ~table:shared_cache_table
+  in
+  (* free-context lists *)
+  let shared_ctx_lists = Free_contexts.empty_lists () in
+  let shared_ctx_lock = Spinlock.make ~enabled:locks ~cost:cm "free contexts" in
+  let make_free_ctxs _i =
+    match config.Config.free_contexts with
+    | Config.Ctx_replicated -> Free_contexts.create_replicated ()
+    | Config.Ctx_shared_locked ->
+        Free_contexts.create_shared ~lock:shared_ctx_lock
+          ~lists:shared_ctx_lists
+    | Config.Ctx_disabled -> Free_contexts.create_disabled ()
+  in
+  let states =
+    Array.init processors (fun id ->
+        State.make ~id ~sh:shared ~mcache:(make_cache id)
+          ~free_ctxs:(make_free_ctxs id))
+  in
+  let interps = Array.map Interp.create states in
+  (* the scheduler's per-processor running table holds process oops *)
+  Heap.add_array_root heap sched.Scheduler.running;
+  Heap.add_root heap shared.State.input_semaphore;
+  (* scavenge hooks: flush caches and free lists, drop cached decodes *)
+  Heap.on_scavenge heap (fun () ->
+      Array.iter
+        (fun st ->
+          Method_cache.flush st.State.mcache;
+          Free_contexts.flush st.State.free_ctxs;
+          State.invalidate_cache st)
+        states);
+  (* installing or replacing a method invalidates cached lookups *)
+  shared.State.on_method_install <-
+    (fun () -> Array.iter (fun st -> Method_cache.flush st.State.mcache) states);
+  { config; machine; heap; u; shared; states; interps;
+    gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0 }
+
+(* --- spawning Smalltalk Processes from OCaml --- *)
+
+let do_scavenge_fwd : (t -> unit) ref =
+  ref (fun _ -> failwith "scavenge hook not yet installed")
+
+(* Allocate in new space; between engine runs every interpreter is at a
+   step boundary, so a scavenge may run right here when eden is full. *)
+let rec alloc_spawn vm ~slots ~cls =
+  match Heap.alloc_new vm.heap ~vp:0 ~slots ~raw:false ~cls () with
+  | o -> o
+  | exception Heap.Scavenge_needed ->
+      !do_scavenge_fwd vm;
+      alloc_spawn vm ~slots ~cls
+
+let spawn_method vm ~priority ~name meth =
+  let h = vm.heap in
+  let u = vm.u in
+  let n = u.Universe.nil in
+  let info = Oop.small_val (Heap.get h meth Layout.Method.info) in
+  let ntemps = Layout.Minfo.ntemps info in
+  let frame = Layout.Ctx.large_frame in
+  let ctx =
+    alloc_spawn vm ~slots:(Layout.Ctx.fixed_slots + frame)
+      ~cls:u.Universe.classes.Universe.method_context
+  in
+  let set i v = ignore (Heap.store_ptr h ctx i v) in
+  set Layout.Ctx.sender n;
+  Heap.set_raw h ctx Layout.Ctx.pc (Oop.of_small 0);
+  Heap.set_raw h ctx Layout.Ctx.stackp (Oop.of_small ntemps);
+  set Layout.Ctx.meth meth;
+  set Layout.Ctx.receiver n;
+  set Layout.Ctx.home n;
+  Heap.set_raw h ctx Layout.Ctx.startpc (Oop.of_small 0);
+  Heap.set_raw h ctx Layout.Ctx.argstart (Oop.of_small 0);
+  Heap.set_raw h ctx Layout.Ctx.nargs (Oop.of_small 0);
+  for i = 0 to ntemps - 1 do
+    set (Layout.Ctx.fixed_slots + i) n
+  done;
+  (* protect the context while the Process object is allocated *)
+  let ctx_cell = ref ctx in
+  Heap.add_root h ctx_cell;
+  let proc =
+    alloc_spawn vm ~slots:Layout.Process.fixed_slots
+      ~cls:u.Universe.classes.Universe.process
+  in
+  Heap.remove_root h ctx_cell;
+  let ctx = !ctx_cell in
+  let set i v = ignore (Heap.store_ptr h ctx i v) in
+  ignore set;
+  let setp i v = ignore (Heap.store_ptr h proc i v) in
+  setp Layout.Process.next_link n;
+  setp Layout.Process.suspended_context ctx;
+  Heap.set_raw h proc Layout.Process.priority (Oop.of_small priority);
+  setp Layout.Process.my_list n;
+  setp Layout.Process.running_on n;
+  setp Layout.Process.name (Universe.new_string u name);
+  Heap.set_raw h proc Layout.Process.state
+    (Oop.of_small Layout.Process_state.runnable);
+  let now = Machine.max_clock vm.machine in
+  ignore (Scheduler.wake vm.shared.State.sched ~now proc);
+  proc
+
+let spawn vm ?(priority = 5) ?(name = "doIt") source =
+  let meth = Codegen.compile_do_it vm.u source in
+  spawn_method vm ~priority ~name meth
+
+(* --- the engine --- *)
+
+let do_scavenge vm =
+  let m = vm.machine in
+  (* rendezvous: the collection starts once the laggard reaches its
+     safepoint; in the simulation every runnable processor is at a step
+     boundary, so that instant is the maximum clock *)
+  let t0 = Machine.max_clock m in
+  let stats = Scavenger.scavenge vm.heap in
+  let workers =
+    min vm.config.Config.scavenge_workers vm.config.Config.processors
+  in
+  let cost = Scavenger.cost_parallel vm.shared.State.cm stats ~workers in
+  Machine.synchronize_clocks m (t0 + cost);
+  vm.scavenge_pauses <- vm.scavenge_pauses + 1;
+  vm.scavenge_cycles <- vm.scavenge_cycles + cost;
+  vm.gc_requested <- false;
+  vm.shared.State.gc_wanted <- false
+
+let () = do_scavenge_fwd := do_scavenge
+
+(* Fire every Delay timer that is due at or before the frontier of
+   virtual time (the smallest runnable clock, or unconditionally when
+   nothing is runnable). *)
+let fire_due_timers vm =
+  let due t =
+    match Machine.min_runnable vm.machine with
+    | Some vp -> t <= vp.Machine.clock
+    | None -> true
+  in
+  let rec go () =
+    match vm.shared.State.timers with
+    | (t, cell) :: rest when due t ->
+        vm.shared.State.timers <- rest;
+        let sem = !cell in
+        Heap.remove_root vm.heap cell;
+        let sched = vm.shared.State.sched in
+        (match Scheduler.ll_pop_first sched sem with
+         | Some waiter -> ignore (Scheduler.wake sched ~now:t waiter)
+         | None ->
+             let excess =
+               Oop.small_val (Heap.get vm.heap sem Layout.Semaphore.excess_signals)
+             in
+             Heap.set_raw vm.heap sem Layout.Semaphore.excess_signals
+               (Oop.of_small (excess + 1)));
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* True when no Process can make progress anywhere: every interpreter is
+   empty-handed, nothing is ready, no input event is still in flight, and
+   no Delay timer is pending. *)
+let nothing_runnable vm =
+  Array.for_all
+    (fun st -> Oop.equal !(st.State.active_process) Oop.sentinel)
+    vm.states
+  && not (Scheduler.better_ready vm.shared.State.sched ~than:0)
+  && Devices.input_pending vm.shared.State.input = 0
+  && vm.shared.State.timers = []
+
+type run_outcome =
+  | Finished of Oop.t      (* the watched Process returned this value *)
+  | Deadlock               (* nothing left to run *)
+  | Cycle_limit
+
+(* Run until the watched Process terminates (or the system quiesces).
+   Returns the outcome; virtual time advances on [vm.machine]. *)
+let run ?(max_cycles = 100_000_000_000) ?watch vm =
+  let result = ref None in
+  let finished = ref false in
+  (* the watched Process lives in new space; keep the comparison oop up to
+     date across scavenges *)
+  let watch_cell = ref (match watch with Some w -> w | None -> Oop.sentinel) in
+  if watch <> None then Heap.add_root vm.heap watch_cell;
+  (vm.shared).State.on_terminate <-
+    (fun proc value ->
+      match watch with
+      | Some _ when Oop.equal proc !watch_cell ->
+          result := Some value;
+          finished := true
+      | Some _ | None -> ());
+  let outcome = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      if watch <> None then Heap.remove_root vm.heap watch_cell)
+  @@ fun () ->
+  while !outcome = None do
+    if !finished then
+      outcome := Some (Finished (Option.get !result))
+    else if vm.gc_requested || vm.shared.State.gc_wanted then do_scavenge vm
+    else begin
+      if vm.shared.State.timers <> [] then fire_due_timers vm;
+      match Machine.min_runnable vm.machine with
+      | None -> outcome := Some Deadlock
+      | Some vp when vp.Machine.clock > max_cycles -> outcome := Some Cycle_limit
+      | Some vp ->
+          let st = vm.states.(vp.Machine.id) in
+          (match Interp.step vm.interps.(vp.Machine.id) with
+           | exception e ->
+               (* a VM-level error killed the running Process; take it off
+                  the machine so later evaluations start clean, then let
+                  the error propagate *)
+               if not (Oop.equal !(st.State.active_process) Oop.sentinel)
+               then Primitives.finish_process st ~result:vm.u.Universe.nil;
+               raise e
+           | Interp.Ran ->
+               if vp.Machine.state <> Machine.Running then
+                 Machine.set_state vm.machine vp Machine.Running;
+               Machine.charge_mem vm.machine vp st.State.cost
+           | Interp.Idle ->
+               (* an idle interpreter keeps watching the input queue *)
+               st.State.cost <- 0;
+               Interp.idle_poll vm.interps.(vp.Machine.id);
+               Machine.charge vm.machine vp st.State.cost;
+               if nothing_runnable vm then outcome := Some Deadlock
+               else begin
+                 if vp.Machine.state <> Machine.Idle then
+                   Machine.set_state vm.machine vp Machine.Idle;
+                 (* an idle processor re-polls the ready queue only every
+                    few Delay quanta, or the scheduler lock saturates *)
+                 Machine.charge vm.machine vp
+                   (10 * vm.shared.State.cm.Cost_model.delay_quantum)
+               end
+           | Interp.Need_gc -> vm.gc_requested <- true)
+    end
+  done;
+  Option.get !outcome
+
+(* --- convenience API --- *)
+
+exception Error of string
+
+(* Install additional classes (image-definition format) after bootstrap:
+   workload classes for the benchmarks, user code for the examples. *)
+let load_classes vm source =
+  Class_builder.load vm.u source;
+  vm.shared.State.on_method_install ()
+
+let eval ?(priority = 5) vm source =
+  let proc = spawn vm ~priority ~name:"doIt" source in
+  match run ~watch:proc vm with
+  | Finished value -> value
+  | Deadlock -> raise (Error "evaluation deadlocked")
+  | Cycle_limit -> raise (Error "evaluation exceeded the cycle limit")
+
+(* A short printable description of [oop], computed on the OCaml side. *)
+let describe vm (o : Oop.t) =
+  let u = vm.u in
+  let h = vm.heap in
+  let c = u.Universe.classes in
+  if Oop.is_small o then string_of_int (Oop.small_val o)
+  else if Oop.equal o u.Universe.nil then "nil"
+  else if Oop.equal o u.Universe.true_ then "true"
+  else if Oop.equal o u.Universe.false_ then "false"
+  else if Oop.equal o Oop.sentinel then "<sentinel>"
+  else begin
+    let cls = Heap.class_at h (Oop.addr o) in
+    if Oop.equal cls c.Universe.string then
+      Printf.sprintf "'%s'" (Heap.string_value h o)
+    else if Oop.equal cls c.Universe.symbol then
+      "#" ^ Heap.string_value h o
+    else if Oop.equal cls c.Universe.character then
+      Printf.sprintf "$%c" (Universe.char_value u o)
+    else if Oop.equal cls c.Universe.float_c then
+      Printf.sprintf "%g" (Universe.float_value u o)
+    else if Oop.equal cls c.Universe.class_c then
+      Universe.class_name u o
+    else "a " ^ Universe.class_name u cls
+  end
+
+let eval_to_string ?priority vm source = describe vm (eval ?priority vm source)
+
+let transcript _vm = Buffer.contents Primitives.transcript
+
+let cycles vm = Machine.max_clock vm.machine
+let seconds vm = Cost_model.seconds vm.config.Config.cost (cycles vm)

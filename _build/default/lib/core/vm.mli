@@ -1,0 +1,84 @@
+(** Assembling and driving Multiprocessor Smalltalk on the simulated
+    Firefly.
+
+    [create] bootstraps a complete virtual machine — object memory,
+    universe, kernel image, interpreters, caches, devices — wired
+    according to the strategy configuration.  [run] is the simulation
+    engine: it always steps the runnable virtual processor with the
+    smallest clock, fires due Delay timers, and performs the stop-the-world
+    scavenge rendezvous in which every parked processor pays the pause.
+
+    The whole simulation is single-threaded and deterministic: identical
+    inputs give identical cycle counts. *)
+
+type t = {
+  config : Config.t;
+  machine : Machine.t;
+  heap : Heap.t;
+  u : Universe.t;
+  shared : State.shared;
+  states : State.t array;  (** one interpreter state per processor *)
+  interps : Interp.t array;
+  mutable gc_requested : bool;
+  mutable scavenge_pauses : int;
+  mutable scavenge_cycles : int;  (** total stop-the-world cycles *)
+}
+
+exception Stuck of string
+
+exception Error of string
+
+(** Bootstrap a VM.  Expensive (compiles the kernel image); reuse the VM
+    for several evaluations where possible. *)
+val create : Config.t -> t
+
+(** Install additional classes (image-definition format) after bootstrap:
+    workload classes for benchmarks, user code for examples.  Flushes the
+    method caches. *)
+val load_classes : t -> string -> unit
+
+(** Compile [source] as a doIt and schedule a new Process for it at
+    [priority] (default 5, the user scheduling priority).  The Process
+    starts running at the next {!run}. *)
+val spawn : t -> ?priority:int -> ?name:string -> string -> Oop.t
+
+(** Like {!spawn} for an already-compiled method. *)
+val spawn_method : t -> priority:int -> name:string -> Oop.t -> Oop.t
+
+type run_outcome =
+  | Finished of Oop.t  (** the watched Process returned this value *)
+  | Deadlock  (** no Process, event or timer can make progress *)
+  | Cycle_limit
+
+(** Drive the machine until the watched Process terminates, the system
+    quiesces, or [max_cycles] of virtual time elapse.  Background
+    Processes keep running while the watched one is alive.  A VM-level
+    error (doesNotUnderstand, mustBeBoolean, Smalltalk [error:]) removes
+    the erring Process from the machine and re-raises, leaving the VM
+    usable. *)
+val run : ?max_cycles:int -> ?watch:Oop.t -> t -> run_outcome
+
+(** [eval vm source] spawns, runs and returns the doIt's value.  The
+    returned oop is valid until the next scavenge (i.e. the next run).
+    @raise Error on deadlock or cycle-limit. *)
+val eval : ?priority:int -> t -> string -> Oop.t
+
+(** A short printable description of an oop (integers, strings, symbols,
+    characters, booleans, class names, or ["a ClassName"]). *)
+val describe : t -> Oop.t -> string
+
+val eval_to_string : ?priority:int -> t -> string -> string
+
+(** Everything written to the Transcript since [create]. *)
+val transcript : t -> string
+
+(** Virtual time: the maximum processor clock, in cycles / in simulated
+    seconds. *)
+val cycles : t -> int
+
+val seconds : t -> float
+
+(** Run one scavenge immediately (all processors are between steps). *)
+val do_scavenge : t -> unit
+
+val nothing_runnable : t -> bool

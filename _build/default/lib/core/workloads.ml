@@ -1,0 +1,40 @@
+(* The background Processes of the paper's evaluation (section 4).
+
+   The idle Process is the literal [[true] whileTrue]: the compiler turns
+   it into a jump loop that "neither looks up messages nor allocates
+   memory", so it represents the minimum possible interference.
+
+   The busy Process is modelled on the "sweep hand" background Process: it
+   sends messages, allocates objects, and contends for the display. *)
+
+let idle_source = "[true] whileTrue"
+
+let busy_source = {st|
+| i p sum scratch |
+i := 0.
+sum := 0.
+[true] whileTrue: [
+    i := i + 1.
+    p := Point x: i y: i * 2.
+    p := p + (Point x: 1 y: 1).
+    scratch := Array new: 64.
+    scratch at: 1 put: p.
+    sum := sum + p x + p y.
+    i \\ 2 = 0 ifTrue: [Display drawCommand: i].
+    i \\ 512 = 0 ifTrue: [sum := 0]]
+|st}
+
+(* Background Processes run below the benchmark's user priority. *)
+let background_priority = 2
+
+let spawn_idle vm count =
+  List.init count (fun i ->
+      Vm.spawn vm ~priority:background_priority
+        ~name:(Printf.sprintf "idle-%d" (i + 1))
+        idle_source)
+
+let spawn_busy vm count =
+  List.init count (fun i ->
+      Vm.spawn vm ~priority:background_priority
+        ~name:(Printf.sprintf "busy-%d" (i + 1))
+        busy_source)

@@ -1,0 +1,1 @@
+lib/image/bootstrap.ml: Class_builder Heap Kernel_sources Layout List Oop Universe

@@ -1,0 +1,1 @@
+lib/image/bootstrap.mli: Heap Universe

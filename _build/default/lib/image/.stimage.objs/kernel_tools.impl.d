@@ -1,0 +1,1 @@
+lib/image/kernel_tools.ml:

@@ -1,0 +1,1 @@
+lib/image/method_mirror.ml: Array Ast Decompiler Disasm Heap Layout List Oop Opcode Universe

@@ -1,0 +1,1 @@
+lib/image/method_mirror.mli: Ast Oop Opcode Universe

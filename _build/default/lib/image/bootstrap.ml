@@ -1,0 +1,107 @@
+(* Bootstrapping the virtual image.
+
+   The metacircular knot is tied here: bare class objects for every class
+   the VM knows about are allocated first (with their fields zeroed), the
+   class [Class] is made an instance of itself, and nil/true/false are
+   instantiated — only then can symbols be interned and the kernel sources
+   compiled through the normal class builder, which recognises the
+   pre-allocated classes by their global bindings and keeps their
+   identity. *)
+
+let proto_class h =
+  Heap.alloc_old h ~slots:Layout.Class.fixed_slots ~raw:false
+    ~cls:Oop.sentinel ()
+
+let install heap =
+  let u = Universe.create heap in
+  let c = u.Universe.classes in
+  (* 1. bare class objects for the VM-known classes *)
+  let protos = [
+    ("Object", fun o -> c.Universe.object_c <- o);
+    ("UndefinedObject", fun o -> c.Universe.undefined_object <- o);
+    ("Boolean", fun o -> c.Universe.boolean <- o);
+    ("True", fun o -> c.Universe.true_c <- o);
+    ("False", fun o -> c.Universe.false_c <- o);
+    ("SmallInteger", fun o -> c.Universe.small_integer <- o);
+    ("Float", fun o -> c.Universe.float_c <- o);
+    ("Character", fun o -> c.Universe.character <- o);
+    ("String", fun o -> c.Universe.string <- o);
+    ("Symbol", fun o -> c.Universe.symbol <- o);
+    ("Array", fun o -> c.Universe.array <- o);
+    ("Association", fun o -> c.Universe.association <- o);
+    ("CompiledMethod", fun o -> c.Universe.compiled_method <- o);
+    ("MethodDictionary", fun o -> c.Universe.method_dictionary <- o);
+    ("MethodContext", fun o -> c.Universe.method_context <- o);
+    ("BlockContext", fun o -> c.Universe.block_context <- o);
+    ("Process", fun o -> c.Universe.process <- o);
+    ("Semaphore", fun o -> c.Universe.semaphore <- o);
+    ("LinkedList", fun o -> c.Universe.linked_list <- o);
+    ("ProcessorScheduler", fun o -> c.Universe.processor_scheduler <- o);
+    ("Class", fun o -> c.Universe.class_c <- o);
+    ("Message", fun o -> c.Universe.message <- o);
+  ] in
+  let class_oops =
+    List.map
+      (fun (name, assign) ->
+        let o = proto_class heap in
+        assign o;
+        (name, o))
+      protos
+  in
+  (* every class, including Class, is an instance of Class *)
+  List.iter
+    (fun (_, o) -> Heap.set_class heap (Oop.addr o) c.Universe.class_c)
+    class_oops;
+  (* 2. nil, true, false *)
+  u.Universe.nil <-
+    Heap.alloc_old heap ~slots:0 ~raw:false ~cls:c.Universe.undefined_object ();
+  Heap.set_nil heap u.Universe.nil;
+  u.Universe.true_ <-
+    Heap.alloc_old heap ~slots:0 ~raw:false ~cls:c.Universe.true_c ();
+  u.Universe.false_ <-
+    Heap.alloc_old heap ~slots:0 ~raw:false ~cls:c.Universe.false_c ();
+  (* 3. symbols and characters can now exist *)
+  Universe.init_char_table u;
+  (* 4. bind the protos as globals so the class builder keeps identity *)
+  List.iter (fun (name, o) -> Universe.set_global u name o) class_oops;
+  Universe.register_context_classes u;
+  (* 5. the ProcessorScheduler instance and its ready lists *)
+  let new_linked_list () =
+    let o =
+      Heap.alloc_old heap ~slots:Layout.Linked_list.fixed_slots ~raw:false
+        ~cls:c.Universe.linked_list ()
+    in
+    ignore (Heap.store_ptr heap o Layout.Linked_list.first u.Universe.nil);
+    ignore (Heap.store_ptr heap o Layout.Linked_list.last u.Universe.nil);
+    o
+  in
+  let ready =
+    Universe.new_array u
+      (List.init Layout.Scheduler.priorities (fun _ -> new_linked_list ()))
+  in
+  let scheduler =
+    Heap.alloc_old heap ~slots:Layout.Scheduler.fixed_slots ~raw:false
+      ~cls:c.Universe.processor_scheduler ()
+  in
+  ignore (Heap.store_ptr heap scheduler Layout.Scheduler.ready_lists ready);
+  ignore
+    (Heap.store_ptr heap scheduler Layout.Scheduler.active_process
+       u.Universe.nil);
+  u.Universe.scheduler <- scheduler;
+  Universe.set_global u "Processor" scheduler;
+  (* 6. compile the kernel *)
+  List.iter
+    (fun source -> Class_builder.load u source)
+    Kernel_sources.all;
+  (* 7. service objects bound to globals *)
+  let instance_of name =
+    match Universe.find_class u name with
+    | Some cls ->
+        Heap.alloc_old heap
+          ~slots:(Oop.small_val (Heap.get heap cls Layout.Class.inst_size))
+          ~raw:false ~cls ()
+    | None -> failwith ("bootstrap: kernel class missing: " ^ name)
+  in
+  Universe.set_global u "Transcript" (instance_of "TranscriptStream");
+  Universe.set_global u "Display" (instance_of "DisplayScreen");
+  u

@@ -1,0 +1,12 @@
+(** Bootstrapping the virtual image.
+
+    Ties the metacircular knot: bare class objects for the VM-known
+    classes are allocated first, [Class] is made an instance of itself,
+    nil/true/false and the character table are instantiated, the
+    ProcessorScheduler and its ready lists are built, and only then is the
+    kernel compiled through the normal class builder (which recognises the
+    pre-allocated classes by their global bindings). *)
+
+(** Build a complete universe — kernel classes, globals, Transcript,
+    Display, Processor — on the given heap. *)
+val install : Heap.t -> Universe.t

@@ -1,0 +1,730 @@
+(* Kernel classes, part 2: collections and streams. *)
+
+let source = {st|
+CLASS Collection SUPER Object CATEGORY Kernel-Collections
+CLASS SequenceableCollection SUPER Collection CATEGORY Kernel-Collections
+CLASS ArrayedCollection SUPER SequenceableCollection CATEGORY Kernel-Collections
+CLASS Array SUPER ArrayedCollection FORMAT variable CATEGORY Kernel-Collections
+CLASS String SUPER ArrayedCollection FORMAT bytes CATEGORY Kernel-Collections
+CLASS Symbol SUPER String FORMAT bytes CATEGORY Kernel-Collections
+CLASS Interval SUPER SequenceableCollection IVARS start stop step CATEGORY Kernel-Collections
+CLASS OrderedCollection SUPER SequenceableCollection IVARS array firstIndex lastIndex CATEGORY Kernel-Collections
+CLASS Dictionary SUPER Collection IVARS keyArray valueArray tally CATEGORY Kernel-Collections
+CLASS Set SUPER Collection IVARS contents CATEGORY Kernel-Collections
+CLASS Stream SUPER Object IVARS collection position CATEGORY Kernel-Streams
+CLASS ReadStream SUPER Stream CATEGORY Kernel-Streams
+CLASS WriteStream SUPER Stream CATEGORY Kernel-Streams
+
+METHODS Collection
+do: aBlock
+    ^self subclassResponsibility
+!
+isEmpty
+    ^self size = 0
+!
+notEmpty
+    ^self isEmpty not
+!
+size
+    | count |
+    count := 0.
+    self do: [:each | count := count + 1].
+    ^count
+!
+includes: anObject
+    self do: [:each | each = anObject ifTrue: [^true]].
+    ^false
+!
+detect: aBlock ifNone: noneBlock
+    self do: [:each | (aBlock value: each) ifTrue: [^each]].
+    ^noneBlock value
+!
+detect: aBlock
+    ^self detect: aBlock ifNone: [self error: 'element not found']
+!
+anySatisfy: aBlock
+    self do: [:each | (aBlock value: each) ifTrue: [^true]].
+    ^false
+!
+allSatisfy: aBlock
+    self do: [:each | (aBlock value: each) ifFalse: [^false]].
+    ^true
+!
+select: aBlock
+    | result |
+    result := OrderedCollection new.
+    self do: [:each | (aBlock value: each) ifTrue: [result add: each]].
+    ^result
+!
+reject: aBlock
+    | result |
+    result := OrderedCollection new.
+    self do: [:each | (aBlock value: each) ifFalse: [result add: each]].
+    ^result
+!
+collect: aBlock
+    | result |
+    result := OrderedCollection new.
+    self do: [:each | result add: (aBlock value: each)].
+    ^result
+!
+inject: thisValue into: binaryBlock
+    | acc |
+    acc := thisValue.
+    self do: [:each | acc := binaryBlock value: acc value: each].
+    ^acc
+!
+count: aBlock
+    | n |
+    n := 0.
+    self do: [:each | (aBlock value: each) ifTrue: [n := n + 1]].
+    ^n
+!
+asOrderedCollection
+    | result |
+    result := OrderedCollection new.
+    self do: [:each | result add: each].
+    ^result
+!
+asArray
+    | result i |
+    result := Array new: self size.
+    i := 1.
+    self do: [:each | result at: i put: each. i := i + 1].
+    ^result
+!
+asSortedArray: lessBlock
+    "insertion sort into a fresh Array"
+    | arr current j |
+    arr := self asArray.
+    2 to: arr size do: [:i |
+        current := arr at: i.
+        j := i - 1.
+        [j >= 1 and: [lessBlock value: current value: (arr at: j)]]
+            whileTrue: [
+                arr at: j + 1 put: (arr at: j).
+                j := j - 1].
+        arr at: j + 1 put: current].
+    ^arr
+!
+asSortedArray
+    ^self asSortedArray: [:a :b | a < b]
+!
+max
+    ^self inject: (self detect: [:e | true]) into: [:a :b | a max: b]
+!
+min
+    ^self inject: (self detect: [:e | true]) into: [:a :b | a min: b]
+!
+sum
+    ^self inject: 0 into: [:a :b | a + b]
+!
+printString
+    | ws |
+    ws := WriteStream on: (String new: 16).
+    ws nextPutAll: self class name asString.
+    ws nextPutAll: ' ('.
+    self do: [:each | ws print: each. ws space].
+    ws nextPutAll: ')'.
+    ^ws contents
+!
+
+METHODS SequenceableCollection
+do: aBlock
+    1 to: self size do: [:i | aBlock value: (self at: i)]
+!
+reverseDo: aBlock
+    self size to: 1 by: -1 do: [:i | aBlock value: (self at: i)]
+!
+doWithIndex: aBlock
+    1 to: self size do: [:i | aBlock value: (self at: i) value: i]
+!
+with: other do: aBlock
+    1 to: self size do: [:i | aBlock value: (self at: i) value: (other at: i)]
+!
+first
+    ^self at: 1
+!
+last
+    ^self at: self size
+!
+indexOf: anObject
+    1 to: self size do: [:i | (self at: i) = anObject ifTrue: [^i]].
+    ^0
+!
+occurrencesOf: anObject
+    ^self count: [:each | each = anObject]
+!
+replaceFrom: start to: stop with: other startingAt: repStart
+    <primitive: 65>
+    | i |
+    i := 0.
+    [i <= (stop - start)] whileTrue: [
+        self at: start + i put: (other at: repStart + i).
+        i := i + 1].
+    ^self
+!
+copyFrom: start to: stop
+    | result |
+    stop < start ifTrue: [^self species new: 0].
+    result := self species new: stop - start + 1.
+    result replaceFrom: 1 to: stop - start + 1 with: self startingAt: start.
+    ^result
+!
+copy
+    ^self copyFrom: 1 to: self size
+!
+, aCollection
+    | result |
+    result := self species new: self size + aCollection size.
+    result replaceFrom: 1 to: self size with: self startingAt: 1.
+    result replaceFrom: self size + 1 to: result size
+           with: aCollection startingAt: 1.
+    ^result
+!
+reversed
+    | result n |
+    n := self size.
+    result := self species new: n.
+    1 to: n do: [:i | result at: n - i + 1 put: (self at: i)].
+    ^result
+!
+
+METHODS ArrayedCollection
+size
+    <primitive: 62>
+    ^0
+!
+add: anObject
+    self error: 'arrayed collections have a fixed size'
+!
+
+CLASSMETHODS ArrayedCollection
+new
+    ^self basicNew: 0
+!
+new: size
+    ^self basicNew: size
+!
+with: a
+    | r |
+    r := self new: 1.
+    r at: 1 put: a.
+    ^r
+!
+with: a with: b
+    | r |
+    r := self new: 2.
+    r at: 1 put: a.
+    r at: 2 put: b.
+    ^r
+!
+with: a with: b with: c
+    | r |
+    r := self new: 3.
+    r at: 1 put: a.
+    r at: 2 put: b.
+    r at: 3 put: c.
+    ^r
+!
+with: a with: b with: c with: d
+    | r |
+    r := self new: 4.
+    r at: 1 put: a.
+    r at: 2 put: b.
+    r at: 3 put: c.
+    r at: 4 put: d.
+    ^r
+!
+with: a with: b with: c with: d with: e
+    | r |
+    r := self new: 5.
+    r at: 1 put: a.
+    r at: 2 put: b.
+    r at: 3 put: c.
+    r at: 4 put: d.
+    r at: 5 put: e.
+    ^r
+!
+
+METHODS String
+isString
+    ^true
+!
+< aString
+    | limit i |
+    limit := self size min: aString size.
+    i := 1.
+    [i <= limit] whileTrue: [
+        (self at: i) ~= (aString at: i)
+            ifTrue: [^(self at: i) < (aString at: i)].
+        i := i + 1].
+    ^self size < aString size
+!
+<= aString
+    ^(aString < self) not
+!
+> aString
+    ^aString < self
+!
+>= aString
+    ^(self < aString) not
+!
+= aString
+    aString isString ifFalse: [^false].
+    self size = aString size ifFalse: [^false].
+    1 to: self size do: [:i |
+        (self at: i) ~= (aString at: i) ifTrue: [^false]].
+    ^true
+!
+hash
+    | h |
+    h := self size.
+    1 to: (self size min: 6) do: [:i | h := h * 31 + (self at: i) asInteger].
+    ^h
+!
+asString
+    ^self
+!
+asSymbol
+    <primitive: 75>
+    self error: 'asSymbol failed'
+!
+asUppercase
+    | r |
+    r := String new: self size.
+    1 to: self size do: [:i | r at: i put: (self at: i) asUppercase].
+    ^r
+!
+asLowercase
+    | r |
+    r := String new: self size.
+    1 to: self size do: [:i | r at: i put: (self at: i) asLowercase].
+    ^r
+!
+startsWith: prefix
+    prefix size > self size ifTrue: [^false].
+    1 to: prefix size do: [:i |
+        (self at: i) ~= (prefix at: i) ifTrue: [^false]].
+    ^true
+!
+indexOfSubCollection: pattern
+    | n m j found |
+    n := self size.
+    m := pattern size.
+    m = 0 ifTrue: [^0].
+    1 to: n - m + 1 do: [:i |
+        found := true.
+        j := 1.
+        [j <= m and: [found]] whileTrue: [
+            (self at: i + j - 1) ~= (pattern at: j) ifTrue: [found := false].
+            j := j + 1].
+        found ifTrue: [^i]].
+    ^0
+!
+includesSubstring: pattern
+    ^(self indexOfSubCollection: pattern) > 0
+!
+printString
+    ^'''' , self , ''''
+!
+displayString
+    ^self
+!
+
+CLASSMETHODS String
+with: aCharacter
+    | s |
+    s := self new: 1.
+    s at: 1 put: aCharacter.
+    ^s
+!
+cr
+    ^self with: Character cr
+!
+
+METHODS Symbol
+isSymbol
+    ^true
+!
+= anObject
+    ^self == anObject
+!
+asSymbol
+    ^self
+!
+asString
+    <primitive: 76>
+    self error: 'asString failed'
+!
+species
+    ^String
+!
+printString
+    ^'#' , self asString
+!
+
+METHODS Interval
+setFrom: a to: b by: c
+    start := a.
+    stop := b.
+    step := c
+!
+size
+    step > 0
+        ifTrue: [stop < start ifTrue: [^0]. ^stop - start // step + 1]
+        ifFalse: [start < stop ifTrue: [^0]. ^start - stop // (0 - step) + 1]
+!
+at: index
+    ^start + (step * (index - 1))
+!
+first
+    ^start
+!
+last
+    ^start + (step * (self size - 1))
+!
+do: aBlock
+    | i |
+    i := start.
+    step > 0
+        ifTrue: [[i <= stop] whileTrue: [aBlock value: i. i := i + step]]
+        ifFalse: [[i >= stop] whileTrue: [aBlock value: i. i := i + step]]
+!
+collect: aBlock
+    | result i |
+    result := Array new: self size.
+    i := 1.
+    self do: [:v | result at: i put: (aBlock value: v). i := i + 1].
+    ^result
+!
+includes: aNumber
+    step > 0
+        ifTrue: [(aNumber < start or: [aNumber > stop]) ifTrue: [^false]]
+        ifFalse: [(aNumber > start or: [aNumber < stop]) ifTrue: [^false]].
+    ^(aNumber - start \\ step) = 0
+!
+species
+    ^Array
+!
+
+CLASSMETHODS Interval
+from: a to: b
+    ^self basicNew setFrom: a to: b by: 1
+!
+from: a to: b by: c
+    ^self basicNew setFrom: a to: b by: c
+!
+
+METHODS OrderedCollection
+initialize: capacity
+    array := Array new: capacity.
+    firstIndex := 1.
+    lastIndex := 0
+!
+size
+    ^lastIndex - firstIndex + 1
+!
+isEmpty
+    ^lastIndex < firstIndex
+!
+at: index
+    (index between: 1 and: self size)
+        ifFalse: [self error: 'index out of bounds'].
+    ^array at: firstIndex + index - 1
+!
+at: index put: anObject
+    (index between: 1 and: self size)
+        ifFalse: [self error: 'index out of bounds'].
+    ^array at: firstIndex + index - 1 put: anObject
+!
+do: aBlock
+    firstIndex to: lastIndex do: [:i | aBlock value: (array at: i)]
+!
+add: anObject
+    ^self addLast: anObject
+!
+addLast: anObject
+    lastIndex = array size ifTrue: [self makeRoom].
+    lastIndex := lastIndex + 1.
+    array at: lastIndex put: anObject.
+    ^anObject
+!
+addFirst: anObject
+    firstIndex = 1 ifTrue: [self makeRoom].
+    firstIndex := firstIndex - 1.
+    array at: firstIndex put: anObject.
+    ^anObject
+!
+addAll: aCollection
+    aCollection do: [:each | self addLast: each].
+    ^aCollection
+!
+removeFirst
+    | v |
+    self isEmpty ifTrue: [self error: 'collection is empty'].
+    v := array at: firstIndex.
+    array at: firstIndex put: nil.
+    firstIndex := firstIndex + 1.
+    ^v
+!
+removeLast
+    | v |
+    self isEmpty ifTrue: [self error: 'collection is empty'].
+    v := array at: lastIndex.
+    array at: lastIndex put: nil.
+    lastIndex := lastIndex - 1.
+    ^v
+!
+remove: anObject ifAbsent: absentBlock
+    | i |
+    i := self indexOf: anObject.
+    i = 0 ifTrue: [^absentBlock value].
+    i to: self size - 1 do: [:j | self at: j put: (self at: j + 1)].
+    self removeLast.
+    ^anObject
+!
+makeRoom
+    | bigger n |
+    n := self size.
+    bigger := Array new: (n * 2 max: 8).
+    1 to: n do: [:i | bigger at: i + 1 put: (self at: i)].
+    array := bigger.
+    firstIndex := 2.
+    lastIndex := n + 1
+!
+species
+    ^Array
+!
+
+CLASSMETHODS OrderedCollection
+new
+    ^self basicNew initialize: 8
+!
+new: capacity
+    ^self basicNew initialize: (capacity max: 1)
+!
+
+METHODS Dictionary
+initDict: capacity
+    keyArray := Array new: capacity.
+    valueArray := Array new: capacity.
+    tally := 0
+!
+size
+    ^tally
+!
+privateIndexOf: aKey
+    1 to: tally do: [:i | (keyArray at: i) = aKey ifTrue: [^i]].
+    ^0
+!
+at: aKey ifAbsent: absentBlock
+    | i |
+    i := self privateIndexOf: aKey.
+    i = 0 ifTrue: [^absentBlock value].
+    ^valueArray at: i
+!
+at: aKey
+    ^self at: aKey ifAbsent: [self error: 'key not found']
+!
+at: aKey put: aValue
+    | i |
+    i := self privateIndexOf: aKey.
+    i > 0 ifTrue: [valueArray at: i put: aValue. ^aValue].
+    tally = keyArray size ifTrue: [self growDict].
+    tally := tally + 1.
+    keyArray at: tally put: aKey.
+    valueArray at: tally put: aValue.
+    ^aValue
+!
+at: aKey ifAbsentPut: aBlock
+    ^self at: aKey ifAbsent: [self at: aKey put: aBlock value]
+!
+includesKey: aKey
+    ^(self privateIndexOf: aKey) > 0
+!
+removeKey: aKey ifAbsent: absentBlock
+    | i v |
+    i := self privateIndexOf: aKey.
+    i = 0 ifTrue: [^absentBlock value].
+    v := valueArray at: i.
+    i to: tally - 1 do: [:j |
+        keyArray at: j put: (keyArray at: j + 1).
+        valueArray at: j put: (valueArray at: j + 1)].
+    keyArray at: tally put: nil.
+    valueArray at: tally put: nil.
+    tally := tally - 1.
+    ^v
+!
+growDict
+    | biggerK biggerV |
+    biggerK := Array new: (tally * 2 max: 8).
+    biggerV := Array new: (tally * 2 max: 8).
+    1 to: tally do: [:i |
+        biggerK at: i put: (keyArray at: i).
+        biggerV at: i put: (valueArray at: i)].
+    keyArray := biggerK.
+    valueArray := biggerV
+!
+do: aBlock
+    1 to: tally do: [:i | aBlock value: (valueArray at: i)]
+!
+keysDo: aBlock
+    1 to: tally do: [:i | aBlock value: (keyArray at: i)]
+!
+keysAndValuesDo: aBlock
+    1 to: tally do: [:i |
+        aBlock value: (keyArray at: i) value: (valueArray at: i)]
+!
+keys
+    | result |
+    result := Array new: tally.
+    1 to: tally do: [:i | result at: i put: (keyArray at: i)].
+    ^result
+!
+printString
+    | ws |
+    ws := WriteStream on: (String new: 16).
+    ws nextPutAll: 'a Dictionary ('.
+    self keysAndValuesDo: [:k :v |
+        ws print: k.
+        ws nextPutAll: '->'.
+        ws print: v.
+        ws space].
+    ws nextPutAll: ')'.
+    ^ws contents
+!
+
+CLASSMETHODS Dictionary
+new
+    ^self basicNew initDict: 8
+!
+new: capacity
+    ^self basicNew initDict: (capacity max: 1)
+!
+
+METHODS Set
+initSet
+    contents := OrderedCollection new
+!
+size
+    ^contents size
+!
+add: anObject
+    (contents includes: anObject) ifFalse: [contents add: anObject].
+    ^anObject
+!
+includes: anObject
+    ^contents includes: anObject
+!
+remove: anObject ifAbsent: aBlock
+    ^contents remove: anObject ifAbsent: aBlock
+!
+do: aBlock
+    contents do: aBlock
+!
+
+CLASSMETHODS Set
+new
+    ^self basicNew initSet
+!
+
+METHODS Stream
+collection
+    ^collection
+!
+position
+    ^position
+!
+
+METHODS ReadStream
+on: aCollection
+    collection := aCollection.
+    position := 0
+!
+atEnd
+    ^position >= collection size
+!
+next
+    self atEnd ifTrue: [^nil].
+    position := position + 1.
+    ^collection at: position
+!
+peek
+    self atEnd ifTrue: [^nil].
+    ^collection at: position + 1
+!
+skip: count
+    position := position + count min: collection size
+!
+upTo: anObject
+    | start |
+    start := position + 1.
+    [self atEnd] whileFalse: [
+        self next = anObject
+            ifTrue: [^collection copyFrom: start to: position - 1]].
+    ^collection copyFrom: start to: position
+!
+upToEnd
+    | start |
+    start := position + 1.
+    position := collection size.
+    ^collection copyFrom: start to: position
+!
+
+CLASSMETHODS ReadStream
+on: aCollection
+    | s |
+    s := self basicNew.
+    s on: aCollection.
+    ^s
+!
+
+METHODS WriteStream
+on: aCollection
+    collection := aCollection.
+    position := 0
+!
+nextPut: anObject
+    position >= collection size ifTrue: [self growStream].
+    position := position + 1.
+    collection at: position put: anObject.
+    ^anObject
+!
+nextPutAll: aCollection
+    aCollection do: [:each | self nextPut: each].
+    ^aCollection
+!
+print: anObject
+    self nextPutAll: anObject printString
+!
+display: anObject
+    self nextPutAll: anObject displayString
+!
+space
+    self nextPut: Character space
+!
+tab
+    self nextPut: Character tab
+!
+cr
+    self nextPut: Character cr
+!
+contents
+    ^collection copyFrom: 1 to: position
+!
+growStream
+    | bigger |
+    bigger := collection species new: (collection size * 2 max: 8).
+    bigger replaceFrom: 1 to: collection size with: collection startingAt: 1.
+    collection := bigger
+!
+
+CLASSMETHODS WriteStream
+on: aCollection
+    | s |
+    s := self basicNew.
+    s on: aCollection.
+    ^s
+!
+|st}

@@ -1,0 +1,652 @@
+(* Kernel classes, part 1: Object, Booleans, Magnitudes, Numbers,
+   Characters, Associations.  Written in the image-definition format and
+   compiled at bootstrap. *)
+
+let source = {st|
+CLASS Object CATEGORY Kernel-Objects
+CLASS UndefinedObject SUPER Object CATEGORY Kernel-Objects
+CLASS Boolean SUPER Object CATEGORY Kernel-Objects
+CLASS True SUPER Boolean CATEGORY Kernel-Objects
+CLASS False SUPER Boolean CATEGORY Kernel-Objects
+CLASS Magnitude SUPER Object CATEGORY Kernel-Magnitudes
+CLASS Character SUPER Magnitude FORMAT words CATEGORY Kernel-Magnitudes
+CLASS Number SUPER Magnitude CATEGORY Kernel-Numbers
+CLASS Integer SUPER Number CATEGORY Kernel-Numbers
+CLASS SmallInteger SUPER Integer CATEGORY Kernel-Numbers
+CLASS Float SUPER Number FORMAT words CATEGORY Kernel-Numbers
+CLASS Link SUPER Object IVARS nextLink CATEGORY Kernel-Processes
+CLASS Association SUPER Object IVARS key value CATEGORY Kernel-Objects
+CLASS Message SUPER Object IVARS selector arguments CATEGORY Kernel-Objects
+
+METHODS Object
+class
+    <primitive: 70>
+    self error: 'class failed'
+!
+== anObject
+    <primitive: 16>
+    self error: 'identity failed'
+!
+= anObject
+    ^self == anObject
+!
+~= anObject
+    ^(self = anObject) not
+!
+~~ anObject
+    ^(self == anObject) not
+!
+hash
+    <primitive: 71>
+    ^0
+!
+identityHash
+    <primitive: 71>
+    ^0
+!
+isNil
+    ^false
+!
+notNil
+    ^true
+!
+ifNil: aBlock
+    ^self
+!
+ifNotNil: aBlock
+    ^aBlock value: self
+!
+isString
+    ^false
+!
+isSymbol
+    ^false
+!
+isNumber
+    ^false
+!
+isClass
+    ^false
+!
+yourself
+    ^self
+!
+-> anObject
+    ^Association key: self value: anObject
+!
+species
+    ^self class
+!
+basicSize
+    <primitive: 62>
+    ^0
+!
+size
+    <primitive: 62>
+    self error: 'not indexable'
+!
+at: index
+    <primitive: 60>
+    self error: 'at: index out of bounds'
+!
+at: index put: anObject
+    <primitive: 61>
+    self error: 'at:put: index out of bounds'
+!
+instVarAt: index
+    <primitive: 73>
+    self error: 'instVarAt: out of bounds'
+!
+instVarAt: index put: anObject
+    <primitive: 74>
+    self error: 'instVarAt:put: out of bounds'
+!
+error: aString
+    <primitive: 120>
+!
+perform: aSelector
+    <primitive: 135>
+    self error: 'perform: failed'
+!
+perform: aSelector with: argument
+    <primitive: 136>
+    self error: 'perform:with: failed'
+!
+perform: aSelector with: first with: second
+    <primitive: 137>
+    self error: 'perform:with:with: failed'
+!
+doesNotUnderstand: aMessage
+    self error: 'doesNotUnderstand: ' , aMessage selector asString
+!
+subclassResponsibility
+    self error: 'subclass responsibility'
+!
+printString
+    ^'a ' , self class name asString
+!
+displayString
+    ^self printString
+!
+isKindOf: aClass
+    | cls |
+    cls := self class.
+    [cls isNil] whileFalse: [
+        cls == aClass ifTrue: [^true].
+        cls := cls superclass].
+    ^false
+!
+isMemberOf: aClass
+    ^self class == aClass
+!
+respondsTo: aSelector
+    | cls |
+    cls := self class.
+    [cls isNil] whileFalse: [
+        (Mirror methodAt: aSelector in: cls classSide: false) notNil
+            ifTrue: [^true].
+        cls := cls superclass].
+    ^false
+!
+copy
+    ^self shallowCopy
+!
+shallowCopy
+    | cls inst indexed new i |
+    cls := self class.
+    inst := cls instSize.
+    indexed := self basicSize.
+    new := indexed = 0
+        ifTrue: [cls basicNew]
+        ifFalse: [cls basicNew: indexed].
+    i := 1.
+    [i <= inst] whileTrue: [
+        new instVarAt: i put: (self instVarAt: i).
+        i := i + 1].
+    i := 1.
+    [i <= indexed] whileTrue: [
+        new at: i put: (self at: i).
+        i := i + 1].
+    ^new
+!
+value
+    ^self
+!
+
+CLASSMETHODS Object
+new
+    ^self basicNew
+!
+new: anInteger
+    ^self basicNew: anInteger
+!
+basicNew
+    <primitive: 68>
+    self error: 'cannot instantiate'
+!
+basicNew: anInteger
+    <primitive: 69>
+    self error: 'cannot instantiate with size'
+!
+
+METHODS UndefinedObject
+isNil
+    ^true
+!
+notNil
+    ^false
+!
+ifNil: aBlock
+    ^aBlock value
+!
+ifNotNil: aBlock
+    ^self
+!
+printString
+    ^'nil'
+!
+
+METHODS Boolean
+xor: aBoolean
+    ^(self == aBoolean) not
+!
+
+METHODS True
+not
+    ^false
+!
+& aBoolean
+    ^aBoolean
+!
+| aBoolean
+    ^true
+!
+and: aBlock
+    ^aBlock value
+!
+or: aBlock
+    ^true
+!
+ifTrue: aBlock
+    ^aBlock value
+!
+ifFalse: aBlock
+    ^nil
+!
+ifTrue: trueBlock ifFalse: falseBlock
+    ^trueBlock value
+!
+ifFalse: falseBlock ifTrue: trueBlock
+    ^trueBlock value
+!
+printString
+    ^'true'
+!
+
+METHODS False
+not
+    ^true
+!
+& aBoolean
+    ^false
+!
+| aBoolean
+    ^aBoolean
+!
+and: aBlock
+    ^false
+!
+or: aBlock
+    ^aBlock value
+!
+ifTrue: aBlock
+    ^nil
+!
+ifFalse: aBlock
+    ^aBlock value
+!
+ifTrue: trueBlock ifFalse: falseBlock
+    ^falseBlock value
+!
+ifFalse: falseBlock ifTrue: trueBlock
+    ^falseBlock value
+!
+printString
+    ^'false'
+!
+
+METHODS Magnitude
+< aMagnitude
+    ^self subclassResponsibility
+!
+> aMagnitude
+    ^aMagnitude < self
+!
+<= aMagnitude
+    ^(aMagnitude < self) not
+!
+>= aMagnitude
+    ^(self < aMagnitude) not
+!
+between: min and: max
+    ^self >= min and: [self <= max]
+!
+min: aMagnitude
+    ^self < aMagnitude ifTrue: [self] ifFalse: [aMagnitude]
+!
+max: aMagnitude
+    ^self > aMagnitude ifTrue: [self] ifFalse: [aMagnitude]
+!
+
+METHODS Number
+isNumber
+    ^true
+!
+abs
+    ^self < 0 ifTrue: [self negated] ifFalse: [self]
+!
+negated
+    ^0 - self
+!
+squared
+    ^self * self
+!
+isZero
+    ^self = 0
+!
+sign
+    self > 0 ifTrue: [^1].
+    self < 0 ifTrue: [^-1].
+    ^0
+!
+to: stop
+    ^Interval from: self to: stop
+!
+to: stop by: step
+    ^Interval from: self to: stop by: step
+!
+to: stop do: aBlock
+    | i |
+    i := self.
+    [i <= stop] whileTrue: [
+        aBlock value: i.
+        i := i + 1].
+    ^self
+!
+to: stop by: step do: aBlock
+    | i |
+    i := self.
+    step > 0
+        ifTrue: [[i <= stop] whileTrue: [aBlock value: i. i := i + step]]
+        ifFalse: [[i >= stop] whileTrue: [aBlock value: i. i := i + step]].
+    ^self
+!
+
+METHODS Integer
+even
+    ^(self \\ 2) = 0
+!
+odd
+    ^(self \\ 2) = 1
+!
+timesRepeat: aBlock
+    | i |
+    i := 1.
+    [i <= self] whileTrue: [
+        aBlock value.
+        i := i + 1].
+    ^self
+!
+factorial
+    self < 2 ifTrue: [^1].
+    ^self * (self - 1) factorial
+!
+gcd: anInteger
+    | a b t |
+    a := self abs.
+    b := anInteger abs.
+    [b = 0] whileFalse: [
+        t := b.
+        b := a \\ b.
+        a := t].
+    ^a
+!
+isPrime
+    | i |
+    self < 2 ifTrue: [^false].
+    self < 4 ifTrue: [^true].
+    self even ifTrue: [^false].
+    i := 3.
+    [i * i <= self] whileTrue: [
+        (self \\ i) = 0 ifTrue: [^false].
+        i := i + 2].
+    ^true
+!
+printString
+    | n count s |
+    self = 0 ifTrue: [^'0'].
+    self < 0 ifTrue: [^'-' , self negated printString].
+    n := self.
+    count := 0.
+    [n > 0] whileTrue: [count := count + 1. n := n // 10].
+    s := String new: count.
+    n := self.
+    [count > 0] whileTrue: [
+        s at: count put: (Character value: 48 + (n \\ 10)).
+        n := n // 10.
+        count := count - 1].
+    ^s
+!
+printStringRadix: base
+    | n count s d |
+    self = 0 ifTrue: [^'0'].
+    self < 0 ifTrue: [^'-' , (self negated printStringRadix: base)].
+    n := self.
+    count := 0.
+    [n > 0] whileTrue: [count := count + 1. n := n // base].
+    s := String new: count.
+    n := self.
+    [count > 0] whileTrue: [
+        d := n \\ base.
+        d < 10
+            ifTrue: [s at: count put: (Character value: 48 + d)]
+            ifFalse: [s at: count put: (Character value: 55 + d)].
+        n := n // base.
+        count := count - 1].
+    ^s
+!
+
+METHODS SmallInteger
++ aNumber
+    <primitive: 1>
+    ^self asFloat + aNumber
+!
+- aNumber
+    <primitive: 2>
+    ^self asFloat - aNumber
+!
+< aNumber
+    <primitive: 3>
+    ^self asFloat < aNumber
+!
+> aNumber
+    <primitive: 4>
+    ^aNumber < self asFloat
+!
+<= aNumber
+    <primitive: 5>
+    ^(aNumber < self asFloat) not
+!
+>= aNumber
+    <primitive: 6>
+    ^(self asFloat < aNumber) not
+!
+= aNumber
+    <primitive: 7>
+    ^false
+!
+~= aNumber
+    <primitive: 8>
+    ^true
+!
+* aNumber
+    <primitive: 9>
+    ^self asFloat * aNumber
+!
+// aNumber
+    <primitive: 10>
+    self error: 'division by zero'
+!
+\\ aNumber
+    <primitive: 11>
+    self error: 'division by zero'
+!
+/ aNumber
+    <primitive: 17>
+    aNumber = 0 ifTrue: [self error: 'division by zero'].
+    ^self asFloat / aNumber
+!
+bitAnd: anInteger
+    <primitive: 12>
+    self error: 'bitAnd: failed'
+!
+bitOr: anInteger
+    <primitive: 13>
+    self error: 'bitOr: failed'
+!
+bitXor: anInteger
+    <primitive: 14>
+    self error: 'bitXor: failed'
+!
+bitShift: anInteger
+    <primitive: 15>
+    self error: 'bitShift: failed'
+!
+asFloat
+    <primitive: 48>
+    self error: 'asFloat failed'
+!
+asInteger
+    ^self
+!
+asCharacter
+    ^Character value: self
+!
+hash
+    ^self
+!
+
+METHODS Float
++ aNumber
+    <primitive: 41>
+    self error: 'float addition failed'
+!
+- aNumber
+    <primitive: 42>
+    self error: 'float subtraction failed'
+!
+< aNumber
+    <primitive: 43>
+    self error: 'float comparison failed'
+!
+* aNumber
+    <primitive: 44>
+    self error: 'float multiplication failed'
+!
+/ aNumber
+    <primitive: 45>
+    self error: 'float division by zero'
+!
+= aNumber
+    <primitive: 46>
+    ^false
+!
+truncated
+    <primitive: 47>
+    self error: 'truncated failed'
+!
+asInteger
+    ^self truncated
+!
+asFloat
+    ^self
+!
+rounded
+    ^(self + 0.5) truncated
+!
+printString
+    <primitive: 49>
+    ^'aFloat'
+!
+
+METHODS Character
+asInteger
+    <primitive: 141>
+    self error: 'asInteger failed'
+!
+value
+    ^self asInteger
+!
+< aCharacter
+    ^self asInteger < aCharacter asInteger
+!
+= aCharacter
+    ^self == aCharacter
+!
+hash
+    ^self asInteger
+!
+isDigit
+    ^self asInteger between: 48 and: 57
+!
+isUppercase
+    ^self asInteger between: 65 and: 90
+!
+isLowercase
+    ^self asInteger between: 97 and: 122
+!
+isLetter
+    ^self isUppercase or: [self isLowercase]
+!
+isVowel
+    ^'aeiouAEIOU' includes: self
+!
+isSeparator
+    | v |
+    v := self asInteger.
+    ^(v = 32) | (v = 9) | (v = 10) | (v = 13)
+!
+asUppercase
+    ^self isLowercase
+        ifTrue: [Character value: self asInteger - 32]
+        ifFalse: [self]
+!
+asLowercase
+    ^self isUppercase
+        ifTrue: [Character value: self asInteger + 32]
+        ifFalse: [self]
+!
+printString
+    ^'$' , (String with: self)
+!
+asString
+    ^String with: self
+!
+
+CLASSMETHODS Character
+value: anInteger
+    <primitive: 140>
+    self error: 'character code out of range'
+!
+cr
+    ^Character value: 10
+!
+tab
+    ^Character value: 9
+!
+space
+    ^Character value: 32
+!
+
+METHODS Association
+key
+    ^key
+!
+value
+    ^value
+!
+key: anObject
+    key := anObject
+!
+value: anObject
+    value := anObject
+!
+printString
+    ^key printString , ' -> ' , value printString
+!
+
+CLASSMETHODS Association
+key: aKey value: aValue
+    | a |
+    a := self new.
+    a key: aKey.
+    a value: aValue.
+    ^a
+!
+
+METHODS Link
+nextLink
+    ^nextLink
+!
+nextLink: aLink
+    nextLink := aLink
+!
+
+METHODS Message
+selector
+    ^selector
+!
+arguments
+    ^arguments
+!
+|st}

@@ -1,0 +1,279 @@
+(* Kernel classes, part 3: Processes, Semaphores, contexts and the
+   ProcessorScheduler — including MS's reorganized protocol (thisProcess
+   and canRun: in place of activeProcess; see paper section 3.3). *)
+
+let source = {st|
+CLASS LinkedList SUPER Object IVARS firstLink lastLink CATEGORY Kernel-Processes
+CLASS Semaphore SUPER LinkedList IVARS excessSignals CATEGORY Kernel-Processes
+CLASS Process SUPER Link IVARS suspendedContext priority myList runningOn name state CATEGORY Kernel-Processes
+CLASS ProcessorScheduler SUPER Object IVARS readyLists activeProcess CATEGORY Kernel-Processes
+CLASS Delay SUPER Object IVARS duration CATEGORY Kernel-Processes
+CLASS SharedQueue SUPER Object IVARS contents accessProtect readSynch CATEGORY Kernel-Processes
+CLASS MethodContext SUPER Object IVARS sender pc stackp method receiver home startpc argstart nargs FORMAT variable CATEGORY Kernel-Methods
+CLASS BlockContext SUPER MethodContext FORMAT variable CATEGORY Kernel-Methods
+
+METHODS LinkedList
+isEmpty
+    ^firstLink isNil
+!
+first
+    ^firstLink
+!
+do: aBlock
+    | link |
+    link := firstLink.
+    [link isNil] whileFalse: [
+        aBlock value: link.
+        link := link nextLink]
+!
+size
+    | n link |
+    n := 0.
+    link := firstLink.
+    [link isNil] whileFalse: [n := n + 1. link := link nextLink].
+    ^n
+!
+
+METHODS Semaphore
+initSemaphore
+    excessSignals := 0
+!
+excessSignals
+    ^excessSignals
+!
+signal
+    <primitive: 85>
+    self error: 'signal failed'
+!
+wait
+    <primitive: 86>
+    self error: 'wait failed'
+!
+critical: aBlock
+    | result |
+    self wait.
+    result := aBlock value.
+    self signal.
+    ^result
+!
+
+CLASSMETHODS Semaphore
+new
+    ^self basicNew initSemaphore
+!
+forMutualExclusion
+    ^self new signal
+!
+
+METHODS Process
+priority
+    ^priority
+!
+priority: anInteger
+    <primitive: 90>
+    self error: 'priority: failed'
+!
+resume
+    <primitive: 87>
+    self error: 'cannot resume a terminated process'
+!
+suspend
+    <primitive: 88>
+    self error: 'suspend failed'
+!
+terminate
+    <primitive: 92>
+    self error: 'terminate failed'
+!
+name
+    ^name
+!
+name: aString
+    name := aString
+!
+isTerminated
+    ^state = 1
+!
+suspendedContext
+    ^suspendedContext
+!
+printString
+    name isNil ifTrue: [^'a Process'].
+    ^'a Process(' , name , ')'
+!
+
+METHODS ProcessorScheduler
+yield
+    <primitive: 91>
+    self error: 'yield failed'
+!
+thisProcess
+    <primitive: 93>
+    self error: 'thisProcess failed'
+!
+canRun: aProcess
+    <primitive: 94>
+    ^false
+!
+activeProcess
+    ^self thisProcess
+!
+readyLists
+    ^readyLists
+!
+highestPriority
+    ^8
+!
+timingPriority
+    ^7
+!
+userInterruptPriority
+    ^6
+!
+userSchedulingPriority
+    ^5
+!
+userBackgroundPriority
+    ^3
+!
+systemBackgroundPriority
+    ^2
+!
+
+METHODS SharedQueue
+initQueue
+    contents := OrderedCollection new.
+    accessProtect := Semaphore forMutualExclusion.
+    readSynch := Semaphore new
+!
+nextPut: anObject
+    accessProtect critical: [contents addLast: anObject].
+    readSynch signal.
+    ^anObject
+!
+next
+    "blocks until an element is available"
+    | v |
+    readSynch wait.
+    accessProtect critical: [v := contents removeFirst].
+    ^v
+!
+peek
+    ^accessProtect critical: [contents isEmpty ifTrue: [nil] ifFalse: [contents first]]
+!
+size
+    ^accessProtect critical: [contents size]
+!
+isEmpty
+    ^self size = 0
+!
+
+CLASSMETHODS SharedQueue
+new
+    ^self basicNew initQueue
+!
+
+METHODS Delay
+setDuration: milliseconds
+    duration := milliseconds
+!
+duration
+    ^duration
+!
+wait
+    "block the active Process until the duration has elapsed (virtual
+     time); the V kernel's timer signals the semaphore"
+    | sem |
+    sem := Semaphore new.
+    Mirror signal: sem atMilliseconds: Mirror millisecondClockValue + duration.
+    sem wait
+!
+
+CLASSMETHODS Delay
+forMilliseconds: milliseconds
+    | d |
+    d := self new.
+    d setDuration: milliseconds.
+    ^d
+!
+forSeconds: seconds
+    ^self forMilliseconds: seconds * 1000
+!
+
+METHODS MethodContext
+sender
+    ^sender
+!
+pc
+    ^pc
+!
+stackp
+    ^stackp
+!
+method
+    ^method
+!
+receiver
+    ^receiver
+!
+home
+    ^home
+!
+
+METHODS BlockContext
+value
+    <primitive: 80>
+    self error: 'block argument count mismatch'
+!
+value: a
+    <primitive: 80>
+    self error: 'block argument count mismatch'
+!
+value: a value: b
+    <primitive: 80>
+    self error: 'block argument count mismatch'
+!
+value: a value: b value: c
+    <primitive: 80>
+    self error: 'block argument count mismatch'
+!
+numArgs
+    ^nargs
+!
+newProcess
+    <primitive: 89>
+    self error: 'newProcess failed'
+!
+fork
+    ^self newProcess resume
+!
+forkAt: aPriority
+    | process |
+    process := self newProcess.
+    process priority: aPriority.
+    process resume.
+    ^process
+!
+forkNamed: aString
+    | process |
+    process := self newProcess.
+    process name: aString.
+    process resume.
+    ^process
+!
+whileTrue: aBlock
+    ^[self value] whileTrue: [aBlock value]
+!
+whileFalse: aBlock
+    ^[self value] whileFalse: [aBlock value]
+!
+whileTrue
+    ^[self value] whileTrue
+!
+whileFalse
+    ^[self value] whileFalse
+!
+repeat
+    [true] whileTrue: [self value]
+!
+|st}

@@ -1,0 +1,9 @@
+(* The kernel image, in load order: each part may reference classes
+   defined in earlier parts. *)
+
+let all = [
+  Kernel_core.source;
+  Kernel_collections.source;
+  Kernel_processes.source;
+  Kernel_tools.source;
+]

@@ -1,0 +1,323 @@
+(* Kernel classes, part 4: classes-as-objects, compiled methods, the
+   Mirror (reflection and compiler services), the programming-environment
+   tools the macro benchmarks exercise, and the I/O service objects. *)
+
+let source = {st|
+CLASS Class SUPER Object IVARS name superclass methodDict classMethodDict instSize format ivarNames category CATEGORY Kernel-Classes
+CLASS CompiledMethod SUPER Object IVARS info selector bytecodes source definingClass FORMAT variable CATEGORY Kernel-Methods
+CLASS MethodDictionary SUPER Object IVARS selectorArray methodArray tally CATEGORY Kernel-Methods
+CLASS Mirror SUPER Object CATEGORY Kernel-System
+CLASS TranscriptStream SUPER Object CATEGORY Kernel-IO
+CLASS DisplayScreen SUPER Object CATEGORY Kernel-IO
+CLASS Inspector SUPER Object IVARS subject labels fields CATEGORY Tools
+CLASS Point SUPER Object IVARS x y CATEGORY Kernel-Graphics
+
+METHODS Class
+name
+    ^name
+!
+superclass
+    ^superclass
+!
+instSize
+    ^instSize
+!
+format
+    ^format
+!
+ivarNames
+    ^ivarNames
+!
+category
+    ^category
+!
+isClass
+    ^true
+!
+printString
+    ^name asString
+!
+selectors
+    ^Mirror selectorsOf: self classSide: false
+!
+classSelectors
+    ^Mirror selectorsOf: self classSide: true
+!
+methodAt: aSelector
+    ^Mirror methodAt: aSelector in: self classSide: false
+!
+includesSelector: aSelector
+    ^(self methodAt: aSelector) notNil
+!
+compile: aString
+    ^Mirror compile: aString into: self classSide: false
+!
+compileClassSide: aString
+    ^Mirror compile: aString into: self classSide: true
+!
+inheritsFrom: aClass
+    | cls |
+    cls := superclass.
+    [cls isNil] whileFalse: [
+        cls == aClass ifTrue: [^true].
+        cls := cls superclass].
+    ^false
+!
+subclasses
+    ^Mirror allClasses select: [:each | each superclass == self]
+!
+allSubclasses
+    | result todo cls |
+    result := OrderedCollection new.
+    todo := OrderedCollection new.
+    todo addAll: self subclasses.
+    [todo isEmpty] whileFalse: [
+        cls := todo removeFirst.
+        result add: cls.
+        todo addAll: cls subclasses].
+    ^result
+!
+withAllSubclasses
+    | result |
+    result := OrderedCollection new.
+    result add: self.
+    result addAll: self allSubclasses.
+    ^result
+!
+allSuperclasses
+    | result cls |
+    result := OrderedCollection new.
+    cls := superclass.
+    [cls isNil] whileFalse: [
+        result add: cls.
+        cls := cls superclass].
+    ^result
+!
+definitionString
+    | ws |
+    ws := WriteStream on: (String new: 32).
+    superclass isNil
+        ifTrue: [ws nextPutAll: 'nil']
+        ifFalse: [ws nextPutAll: superclass name asString].
+    ws nextPutAll: ' subclass: #'.
+    ws nextPutAll: name asString.
+    ws nextPutAll: ' instanceVariableNames: '''.
+    ivarNames do: [:each | ws nextPutAll: each asString. ws space].
+    ws nextPutAll: ''' category: '''.
+    ws nextPutAll: category.
+    ws nextPutAll: ''''.
+    ^ws contents
+!
+printHierarchyOn: ws indent: depth
+    1 to: depth do: [:i | ws space. ws space].
+    ws nextPutAll: name asString.
+    ws cr.
+    self subclasses do: [:each | each printHierarchyOn: ws indent: depth + 1]
+!
+hierarchyString
+    | ws |
+    ws := WriteStream on: (String new: 64).
+    self printHierarchyOn: ws indent: 0.
+    ^ws contents
+!
+
+METHODS CompiledMethod
+selector
+    ^selector
+!
+source
+    ^source
+!
+definingClass
+    ^definingClass
+!
+literals
+    ^Mirror literalsOf: self
+!
+decompile
+    ^Mirror decompile: self
+!
+sendsSelector: aSelector
+    ^self literals includes: aSelector
+!
+printString
+    definingClass isNil ifTrue: [^'aCompiledMethod'].
+    ^definingClass printString , '>>' , selector asString
+!
+
+CLASSMETHODS Mirror
+allClasses
+    <primitive: 112>
+    self error: 'allClasses failed'
+!
+selectorsOf: aClass classSide: aBoolean
+    <primitive: 113>
+    self error: 'selectorsOf: failed'
+!
+methodAt: aSelector in: aClass classSide: aBoolean
+    <primitive: 114>
+    self error: 'methodAt: failed'
+!
+literalsOf: aMethod
+    <primitive: 115>
+    self error: 'literalsOf: failed'
+!
+sourceOf: aMethod
+    <primitive: 116>
+    self error: 'sourceOf: failed'
+!
+selectorOfMethod: aMethod
+    <primitive: 117>
+    self error: 'selectorOfMethod: failed'
+!
+compile: aString into: aClass classSide: aBoolean
+    <primitive: 110>
+    self error: 'compilation failed'
+!
+decompile: aMethod
+    <primitive: 111>
+    self error: 'decompilation failed'
+!
+scavenge
+    <primitive: 121>
+    self error: 'scavenge failed'
+!
+setInputSemaphore: aSemaphore
+    <primitive: 104>
+    self error: 'setInputSemaphore: needs a Semaphore'
+!
+millisecondClockValue
+    <primitive: 100>
+    self error: 'millisecondClockValue failed'
+!
+signal: aSemaphore atMilliseconds: msTime
+    <primitive: 105>
+    self error: 'signal:atMilliseconds: failed'
+!
+gcStats
+    <primitive: 122>
+    self error: 'gcStats failed'
+!
+implementorsOf: aSelector
+    | result |
+    result := OrderedCollection new.
+    Mirror allClasses do: [:cls |
+        ((Mirror selectorsOf: cls classSide: false) includes: aSelector)
+            ifTrue: [result add: cls]].
+    ^result
+!
+sendersOf: aSelector
+    | result m |
+    result := OrderedCollection new.
+    Mirror allClasses do: [:cls |
+        (Mirror selectorsOf: cls classSide: false) do: [:sel |
+            m := Mirror methodAt: sel in: cls classSide: false.
+            ((Mirror literalsOf: m) includes: aSelector)
+                ifTrue: [result add: cls -> sel]]].
+    ^result
+!
+
+METHODS TranscriptStream
+show: aString
+    <primitive: 103>
+    self error: 'show: needs a String'
+!
+display: anObject
+    ^self show: anObject displayString
+!
+print: anObject
+    ^self show: anObject printString
+!
+cr
+    ^self show: (String with: Character cr)
+!
+tab
+    ^self show: (String with: Character tab)
+!
+
+METHODS DisplayScreen
+drawCommand: anObject
+    <primitive: 101>
+    self error: 'drawCommand: failed'
+!
+white
+    ^self drawCommand: 0
+!
+black
+    ^self drawCommand: 1
+!
+
+METHODS Inspector
+inspect: anObject
+    | cls |
+    subject := anObject.
+    cls := anObject class.
+    labels := OrderedCollection new.
+    fields := OrderedCollection new.
+    labels add: 'self'.
+    fields add: anObject printString.
+    1 to: cls instSize do: [:i |
+        labels add: (cls ivarNames at: i) asString.
+        fields add: (anObject instVarAt: i) printString].
+    1 to: (anObject basicSize min: 20) do: [:i |
+        labels add: i printString.
+        fields add: (anObject at: i) printString].
+    Display drawCommand: labels size
+!
+subject
+    ^subject
+!
+labels
+    ^labels
+!
+fields
+    ^fields
+!
+fieldCount
+    ^fields size
+!
+
+CLASSMETHODS Inspector
+on: anObject
+    | inspector |
+    inspector := self new.
+    inspector inspect: anObject.
+    ^inspector
+!
+
+METHODS Point
+x
+    ^x
+!
+y
+    ^y
+!
+setX: ax y: ay
+    x := ax.
+    y := ay
+!
++ aPoint
+    ^Point x: x + aPoint x y: y + aPoint y
+!
+- aPoint
+    ^Point x: x - aPoint x y: y - aPoint y
+!
+= aPoint
+    (aPoint isMemberOf: Point) ifFalse: [^false].
+    ^x = aPoint x and: [y = aPoint y]
+!
+hash
+    ^x hash * 31 + y hash
+!
+printString
+    ^x printString , '@' , y printString
+!
+
+CLASSMETHODS Point
+x: ax y: ay
+    | p |
+    p := self new.
+    p setX: ax y: ay.
+    ^p
+!
+|st}

@@ -1,0 +1,78 @@
+(* Reading CompiledMethod heap objects back into compiler-level values:
+   the adapter between the interpreter's decompile/browse primitives and
+   the decompiler. *)
+
+let bytecode_array u meth =
+  let h = Universe.heap u in
+  let bc = Heap.get h meth Layout.Method.bytecodes in
+  Array.init (Heap.slots h (Oop.addr bc)) (fun i ->
+      Opcode.decode (Heap.get h bc i))
+
+let selector_name u meth =
+  let h = Universe.heap u in
+  Universe.symbol_name u (Heap.get h meth Layout.Method.selector)
+
+let literal_count u meth =
+  let h = Universe.heap u in
+  Heap.slots h (Oop.addr meth) - Layout.Method.fixed_slots
+
+let literal_oop u meth n =
+  Heap.get (Universe.heap u) meth (Layout.Method.fixed_slots + n)
+
+(* Render a literal oop as an AST literal (for the decompiler). *)
+let rec literal_ast u (o : Oop.t) =
+  let h = Universe.heap u in
+  let c = u.Universe.classes in
+  if Oop.is_small o then Ast.Lit_int (Oop.small_val o)
+  else if Oop.equal o u.Universe.nil then Ast.Lit_nil
+  else if Oop.equal o u.Universe.true_ then Ast.Lit_true
+  else if Oop.equal o u.Universe.false_ then Ast.Lit_false
+  else begin
+    let cls = Heap.class_at h (Oop.addr o) in
+    if Oop.equal cls c.Universe.symbol then
+      Ast.Lit_symbol (Universe.symbol_name u o)
+    else if Oop.equal cls c.Universe.string then
+      Ast.Lit_string (Heap.string_value h o)
+    else if Oop.equal cls c.Universe.character then
+      Ast.Lit_char (Universe.char_value u o)
+    else if Oop.equal cls c.Universe.float_c then
+      Ast.Lit_float (Universe.float_value u o)
+    else if Oop.equal cls c.Universe.array then
+      Ast.Lit_array
+        (List.init (Heap.slots h (Oop.addr o)) (fun i ->
+             literal_ast u (Heap.get h o i)))
+    else Ast.Lit_symbol "unknownLiteral"
+  end
+
+(* Printable name of a literal used as selector or global binding. *)
+let literal_name u (o : Oop.t) =
+  let h = Universe.heap u in
+  let c = u.Universe.classes in
+  if Oop.is_small o then string_of_int (Oop.small_val o)
+  else begin
+    let cls = Heap.class_at h (Oop.addr o) in
+    if Oop.equal cls c.Universe.symbol then Universe.symbol_name u o
+    else if Oop.equal cls c.Universe.association then
+      Universe.symbol_name u (Heap.get h o Layout.Association.key)
+    else "unknown"
+  end
+
+let decompile u meth =
+  let h = Universe.heap u in
+  let info = Oop.small_val (Heap.get h meth Layout.Method.info) in
+  let decompiled =
+    Decompiler.decompile_parts
+      ~selector:(selector_name u meth)
+      ~nargs:(Layout.Minfo.nargs info)
+      ~ntemps:(Layout.Minfo.ntemps info)
+      ~code:(bytecode_array u meth)
+      ~literal:(fun n -> literal_ast u (literal_oop u meth n))
+      ~selector_of:(fun n -> literal_name u (literal_oop u meth n))
+  in
+  Decompiler.to_source decompiled
+
+let disassemble u meth =
+  let h = Universe.heap u in
+  let bc = Heap.get h meth Layout.Method.bytecodes in
+  let code = Array.init (Heap.slots h (Oop.addr bc)) (fun i -> Heap.get h bc i) in
+  Disasm.to_string ~literal:(fun n -> literal_name u (literal_oop u meth n)) code

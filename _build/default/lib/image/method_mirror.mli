@@ -1,0 +1,24 @@
+(** Reading CompiledMethod heap objects back into compiler-level values:
+    the adapter between the interpreter's decompile/browse primitives and
+    the decompiler. *)
+
+val bytecode_array : Universe.t -> Oop.t -> Opcode.t array
+
+val selector_name : Universe.t -> Oop.t -> string
+
+val literal_count : Universe.t -> Oop.t -> int
+
+val literal_oop : Universe.t -> Oop.t -> int -> Oop.t
+
+(** Render a literal oop as an AST literal. *)
+val literal_ast : Universe.t -> Oop.t -> Ast.literal
+
+(** Printable name of a literal used as a selector or global binding. *)
+val literal_name : Universe.t -> Oop.t -> string
+
+(** Decompile a CompiledMethod back to source text.
+    @raise Decompiler.Unsupported on bytecode the generator never emits. *)
+val decompile : Universe.t -> Oop.t -> string
+
+(** Disassembly listing with resolved literal names. *)
+val disassemble : Universe.t -> Oop.t -> string

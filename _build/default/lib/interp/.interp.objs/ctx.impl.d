@@ -1,0 +1,1 @@
+lib/interp/ctx.ml: Cost_model Free_contexts Heap Layout Oop Spinlock State Universe

@@ -1,0 +1,1 @@
+lib/interp/ctx.mli: Free_contexts Oop State

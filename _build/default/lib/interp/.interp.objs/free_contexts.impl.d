@@ -1,0 +1,1 @@
+lib/interp/free_contexts.ml: Heap Layout Oop Spinlock

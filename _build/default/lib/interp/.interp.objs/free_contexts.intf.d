@@ -1,0 +1,1 @@
+lib/interp/free_contexts.mli: Heap Oop Spinlock

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Cost_model Ctx Devices Heap Layout Machine Method_cache Oop Opcode Primitives Scheduler Spinlock State Universe

@@ -1,0 +1,1 @@
+lib/interp/method_cache.ml: Array Oop Spinlock

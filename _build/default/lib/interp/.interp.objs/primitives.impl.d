@@ -1,0 +1,1 @@
+lib/interp/primitives.ml: Buffer Char Cost_model Ctx Devices Heap Layout List Oop Printf Scheduler Spinlock State String Universe

@@ -1,0 +1,1 @@
+lib/interp/primitives.mli: Buffer Oop State

@@ -1,0 +1,1 @@
+lib/interp/scheduler.ml: Array Heap Layout Oop Spinlock Universe

@@ -1,0 +1,1 @@
+lib/interp/scheduler.mli: Oop Spinlock Universe

@@ -1,0 +1,1 @@
+lib/interp/state.ml: Cost_model Devices Free_contexts Heap Layout Machine Method_cache Oop Printf Scheduler Spinlock Universe

@@ -1,0 +1,1 @@
+lib/interp/state.mli: Cost_model Devices Free_contexts Heap Machine Method_cache Oop Scheduler Spinlock Universe

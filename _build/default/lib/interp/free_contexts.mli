@@ -1,0 +1,41 @@
+(** The free-context list.
+
+    BS keeps a list of unused stack frames because reusing one beats
+    allocating and initialising a new one.  Profiling an early MS showed
+    that serializing this list was a bottleneck; replicating it per
+    processor reduced the worst-case overhead from 160 % to 65 % (paper,
+    section 3.2).  Contexts come in two standard sizes and are chained
+    through their sender slots; the lists are flushed at every scavenge. *)
+
+type mode =
+  | Replicated
+  | Shared_locked of Spinlock.t
+  | Disabled  (** no recycling at all (ablation) *)
+
+type lists
+
+type t
+
+type size_class = Small | Large
+
+val empty_lists : unit -> lists
+
+val create_replicated : unit -> t
+
+val create_shared : lock:Spinlock.t -> lists:lists -> t
+
+val create_disabled : unit -> t
+
+val flush : t -> unit
+
+(** [take t heap ~now size] pops a recycled context of [size], charging
+    lock time for the shared variant; returns the completion time and the
+    context ([Oop.sentinel] when the list is empty). *)
+val take : t -> Heap.t -> now:int -> size_class -> int * Oop.t
+
+(** [give t heap ~now size ctx] hands a dead context back for reuse. *)
+val give : t -> Heap.t -> now:int -> size_class -> Oop.t -> int
+
+val reuses : t -> int
+
+val fresh_allocations : t -> int

@@ -1,0 +1,41 @@
+(** The bytecode interpreter: a steppable machine executing exactly one
+    bytecode per {!step}.  The engine drives one interpreter per virtual
+    processor, interleaving them in virtual-time order.
+
+    Each step loads a Process if idle, performs the periodic duties of
+    the original interpreter (polling the shared input queue and checking
+    the scheduler — both lock-guarded, both sources of multiprocessor
+    overhead), checks the eden low-water mark, then fetches, decodes and
+    executes one bytecode, accumulating its cycle cost for the engine. *)
+
+type step_result =
+  | Ran  (** one bytecode executed; [st.cost] holds its cycles *)
+  | Idle  (** no Process to run *)
+  | Need_gc  (** eden low or allocation failed; park and scavenge *)
+
+(** Eden head-room required before any step may run. *)
+val low_water_mark : int
+
+(** A conditional jump consumed a non-Boolean. *)
+exception Must_be_boolean
+
+(** A message had no receiver implementation and no [doesNotUnderstand:]
+    handler (or an internal arity error). *)
+exception Does_not_understand of string
+
+type t
+
+val create : State.t -> t
+
+(** Perform a full message send: special-selector fast path aside, probe
+    the method cache, walk the dictionaries on a miss, run the primitive,
+    fall back to activation, or dispatch [doesNotUnderstand:]. *)
+val full_send : State.t -> sel:Oop.t -> nargs:int -> super:bool -> unit
+
+(** An idle interpreter still watches for input events; the engine calls
+    this between ready-queue polls. *)
+val idle_poll : t -> unit
+
+(** Execute one step.  Resets and accumulates [State.cost]; the engine
+    charges it (bus-adjusted) to the processor's clock. *)
+val step : t -> step_result

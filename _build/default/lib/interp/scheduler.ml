@@ -1,0 +1,239 @@
+(* The VM side of Smalltalk Process scheduling.
+
+   Smalltalk-80 scheduling is "a priority queue which is examined whenever
+   a Semaphore is signalled or a Process manipulation primitive is
+   invoked"; MS serializes it with one lock on the queue.  The MS
+   reorganization is reproduced here: a Process made active is NOT removed
+   from the ready queue — "the ready queue contains all Processes which
+   are ready to run including those running" — and only the interpreter
+   knows (via the [running_on] slot) whether a Process is running.  The
+   [keep_running_in_queue] flag restores the uniprocessor BS behaviour for
+   the reorganization ablation.
+
+   The ready queue itself is the ProcessorScheduler heap object: an Array
+   of LinkedLists, one per priority, with Processes chained through their
+   [next_link] slots — fully visible at the Smalltalk level, exactly the
+   exposure the paper worries about. *)
+
+type t = {
+  u : Universe.t;
+  lock : Spinlock.t;
+  op_cycles : int;              (* cost of one ready-queue operation *)
+  keep_running_in_queue : bool;
+  processors : int;
+  running : Oop.t array;          (* per processor: process or sentinel *)
+  preempt : bool array;           (* per processor: reschedule requested *)
+  mutable wakes : int;
+  mutable picks : int;
+  mutable preemptions : int;
+}
+
+let create ~u ~lock ~op_cycles ~keep_running_in_queue ~processors =
+  { u; lock; op_cycles; keep_running_in_queue; processors;
+    running = Array.make processors Oop.sentinel;
+    preempt = Array.make processors false;
+    wakes = 0; picks = 0; preemptions = 0 }
+
+let heap t = Universe.heap t.u
+let nil t = t.u.Universe.nil
+
+(* --- linked lists of Processes (LinkedList and Semaphore share layout) --- *)
+
+let ll_is_empty t list =
+  Oop.equal (Heap.get (heap t) list Layout.Linked_list.first) (nil t)
+
+let ll_append t list proc =
+  let h = heap t in
+  let n = nil t in
+  let first = Heap.get h list Layout.Linked_list.first in
+  if Oop.equal first n then begin
+    ignore (Heap.store_ptr h list Layout.Linked_list.first proc);
+    ignore (Heap.store_ptr h list Layout.Linked_list.last proc)
+  end
+  else begin
+    let last = Heap.get h list Layout.Linked_list.last in
+    ignore (Heap.store_ptr h last Layout.Process.next_link proc);
+    ignore (Heap.store_ptr h list Layout.Linked_list.last proc)
+  end;
+  ignore (Heap.store_ptr h proc Layout.Process.next_link n);
+  ignore (Heap.store_ptr h proc Layout.Process.my_list list)
+
+let ll_pop_first t list =
+  let h = heap t in
+  let n = nil t in
+  let first = Heap.get h list Layout.Linked_list.first in
+  if Oop.equal first n then None
+  else begin
+    let next = Heap.get h first Layout.Process.next_link in
+    ignore (Heap.store_ptr h list Layout.Linked_list.first next);
+    if Oop.equal next n then
+      ignore (Heap.store_ptr h list Layout.Linked_list.last n);
+    ignore (Heap.store_ptr h first Layout.Process.next_link n);
+    ignore (Heap.store_ptr h first Layout.Process.my_list n);
+    Some first
+  end
+
+let ll_remove t list proc =
+  let h = heap t in
+  let n = nil t in
+  let rec unlink prev cur =
+    if Oop.equal cur n then ()
+    else if Oop.equal cur proc then begin
+      let next = Heap.get h cur Layout.Process.next_link in
+      (if Oop.equal prev n then
+         ignore (Heap.store_ptr h list Layout.Linked_list.first next)
+       else ignore (Heap.store_ptr h prev Layout.Process.next_link next));
+      if Oop.equal next n then
+        ignore
+          (Heap.store_ptr h list Layout.Linked_list.last
+             (if Oop.equal prev n then n else prev));
+      ignore (Heap.store_ptr h proc Layout.Process.next_link n);
+      ignore (Heap.store_ptr h proc Layout.Process.my_list n)
+    end
+    else unlink cur (Heap.get h cur Layout.Process.next_link)
+  in
+  unlink n (Heap.get h list Layout.Linked_list.first)
+
+(* --- the ready queue --- *)
+
+let ready_list t priority =
+  let h = heap t in
+  let lists = Heap.get h t.u.Universe.scheduler Layout.Scheduler.ready_lists in
+  Heap.get h lists (priority - 1)
+
+let priority_of t proc =
+  Oop.small_val (Heap.get (heap t) proc Layout.Process.priority)
+
+let process_state t proc =
+  Oop.small_val (Heap.get (heap t) proc Layout.Process.state)
+
+let set_running_on t proc vp_opt =
+  let v =
+    match vp_opt with
+    | Some vp -> Oop.of_small vp
+    | None -> nil t
+  in
+  ignore (Heap.store_ptr (heap t) proc Layout.Process.running_on v)
+
+let running_on t proc =
+  let v = Heap.get (heap t) proc Layout.Process.running_on in
+  if Oop.is_small v then Some (Oop.small_val v) else None
+
+let is_in_ready_queue t proc =
+  let list = Heap.get (heap t) proc Layout.Process.my_list in
+  not (Oop.equal list (nil t))
+  && Oop.equal list (ready_list t (priority_of t proc))
+
+(* Request a reschedule of the processor running the lowest-priority
+   process below [priority], if any. *)
+let request_preemption t ~priority =
+  let victim = ref (-1) and worst = ref priority in
+  Array.iteri
+    (fun vp proc ->
+      if not (Oop.equal proc Oop.sentinel) then begin
+        let p = priority_of t proc in
+        if p < !worst then begin
+          worst := p;
+          victim := vp
+        end
+      end)
+    t.running;
+  if !victim >= 0 then begin
+    t.preempt.(!victim) <- true;
+    t.preemptions <- t.preemptions + 1
+  end
+
+(* Make [proc] ready.  Idempotent when it is already in the ready queue. *)
+let wake t ~now proc =
+  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
+  t.wakes <- t.wakes + 1;
+  if not (is_in_ready_queue t proc) then
+    ll_append t (ready_list t (priority_of t proc)) proc;
+  request_preemption t ~priority:(priority_of t proc);
+  now
+
+(* Choose the next Process for processor [vp]: the highest-priority ready
+   Process that no processor is currently executing. *)
+let pick t ~now ~vp =
+  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
+  t.picks <- t.picks + 1;
+  let h = heap t in
+  let n = nil t in
+  let found = ref Oop.sentinel in
+  let priority = ref Layout.Scheduler.priorities in
+  while Oop.equal !found Oop.sentinel && !priority >= 1 do
+    let list = ready_list t !priority in
+    let rec scan cur =
+      if Oop.equal cur n then ()
+      else if
+        running_on t cur = None
+        && process_state t cur = Layout.Process_state.runnable
+      then found := cur
+      else scan (Heap.get h cur Layout.Process.next_link)
+    in
+    scan (Heap.get h list Layout.Linked_list.first);
+    decr priority
+  done;
+  if Oop.equal !found Oop.sentinel then (now, None)
+  else begin
+    let proc = !found in
+    if not t.keep_running_in_queue then
+      ll_remove t (ready_list t (priority_of t proc)) proc;
+    set_running_on t proc (Some vp);
+    t.running.(vp) <- proc;
+    (now, Some proc)
+  end
+
+(* The current Process of [vp] stops running.  [requeue] keeps it ready
+   (yield/preemption); otherwise it leaves the ready queue (wait, suspend,
+   terminate). *)
+let relinquish t ~now ~vp ~requeue proc =
+  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
+  set_running_on t proc None;
+  t.running.(vp) <- Oop.sentinel;
+  if requeue then begin
+    if not (is_in_ready_queue t proc) then
+      ll_append t (ready_list t (priority_of t proc)) proc
+  end
+  else if is_in_ready_queue t proc then
+    ll_remove t (ready_list t (priority_of t proc)) proc;
+  now
+
+(* Move the current Process to the back of its priority list. *)
+let yield t ~now ~vp proc =
+  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
+  let list = ready_list t (priority_of t proc) in
+  if is_in_ready_queue t proc then ll_remove t list proc;
+  ll_append t list proc;
+  set_running_on t proc None;
+  t.running.(vp) <- Oop.sentinel;
+  now
+
+let take_preempt_flag t vp =
+  if t.preempt.(vp) then begin
+    t.preempt.(vp) <- false;
+    true
+  end
+  else false
+
+(* Is there a ready, not-running Process with priority above [p]? *)
+let better_ready t ~than:p =
+  let h = heap t in
+  let n = nil t in
+  let rec check priority =
+    if priority <= p then false
+    else begin
+      let list = ready_list t priority in
+      let rec scan cur =
+        if Oop.equal cur n then false
+        else if
+          running_on t cur = None
+          && process_state t cur = Layout.Process_state.runnable
+        then true
+        else scan (Heap.get h cur Layout.Process.next_link)
+      in
+      if scan (Heap.get h list Layout.Linked_list.first) then true
+      else check (priority - 1)
+    end
+  in
+  check Layout.Scheduler.priorities

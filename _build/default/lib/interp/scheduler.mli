@@ -1,0 +1,86 @@
+(** The VM side of Smalltalk Process scheduling.
+
+    Smalltalk-80 scheduling is a priority queue examined whenever a
+    Semaphore is signalled or a Process primitive runs; MS serializes it
+    with one lock.  The MS reorganization is reproduced: a Process made
+    active is {e not} removed from the ready queue — "the ready queue
+    contains all Processes which are ready to run including those
+    running" — and only the interpreter knows (via the [running_on] slot)
+    whether a Process is running.  [keep_running_in_queue = false]
+    restores the uniprocessor BS behaviour for the ablation.
+
+    The ready queue itself is the ProcessorScheduler heap object: an
+    Array of LinkedLists with Processes chained through their [next_link]
+    slots, fully visible at the Smalltalk level — exactly the exposure the
+    paper worries about. *)
+
+type t = {
+  u : Universe.t;
+  lock : Spinlock.t;
+  op_cycles : int;  (** cost of one ready-queue operation *)
+  keep_running_in_queue : bool;
+  processors : int;
+  running : Oop.t array;  (** per processor: process or sentinel *)
+  preempt : bool array;  (** per processor: reschedule requested *)
+  mutable wakes : int;
+  mutable picks : int;
+  mutable preemptions : int;
+}
+
+val create :
+  u:Universe.t ->
+  lock:Spinlock.t ->
+  op_cycles:int ->
+  keep_running_in_queue:bool ->
+  processors:int ->
+  t
+
+(** {2 Linked lists of Processes (LinkedList and Semaphore share layout)} *)
+
+val ll_is_empty : t -> Oop.t -> bool
+
+val ll_append : t -> Oop.t -> Oop.t -> unit
+
+val ll_pop_first : t -> Oop.t -> Oop.t option
+
+val ll_remove : t -> Oop.t -> Oop.t -> unit
+
+(** {2 The ready queue} *)
+
+val ready_list : t -> int -> Oop.t
+
+val priority_of : t -> Oop.t -> int
+
+val process_state : t -> Oop.t -> int
+
+val set_running_on : t -> Oop.t -> int option -> unit
+
+val running_on : t -> Oop.t -> int option
+
+val is_in_ready_queue : t -> Oop.t -> bool
+
+(** Flag the processor running the lowest-priority Process below the given
+    priority for rescheduling. *)
+val request_preemption : t -> priority:int -> unit
+
+(** Make a Process ready (idempotent); may request preemption.  Returns
+    the completion time of the locked operation. *)
+val wake : t -> now:int -> Oop.t -> int
+
+(** Choose the next Process for a processor: the highest-priority ready
+    Process no processor is currently executing. *)
+val pick : t -> now:int -> vp:int -> int * Oop.t option
+
+(** The processor's current Process stops running; [requeue] keeps it
+    ready (yield, preemption) rather than removing it (wait, suspend,
+    terminate). *)
+val relinquish : t -> now:int -> vp:int -> requeue:bool -> Oop.t -> int
+
+(** Move the current Process to the back of its priority list. *)
+val yield : t -> now:int -> vp:int -> Oop.t -> int
+
+(** Read and clear the processor's preemption flag. *)
+val take_preempt_flag : t -> int -> bool
+
+(** Is a ready, not-running Process of higher priority available? *)
+val better_ready : t -> than:int -> bool

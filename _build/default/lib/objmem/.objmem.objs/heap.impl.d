@@ -1,0 +1,1 @@
+lib/objmem/heap.ml: Array Char Layout List Oop String

@@ -1,0 +1,1 @@
+lib/objmem/heap.mli: Oop

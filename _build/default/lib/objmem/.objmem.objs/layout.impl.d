@@ -1,0 +1,1 @@
+lib/objmem/layout.ml:

@@ -1,0 +1,1 @@
+lib/objmem/oop.mli: Format

@@ -1,0 +1,1 @@
+lib/objmem/scavenger.ml: Array Cost_model Heap Layout List Oop

@@ -1,0 +1,1 @@
+lib/objmem/scavenger.mli: Cost_model Heap

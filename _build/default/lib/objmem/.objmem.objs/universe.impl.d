@@ -1,0 +1,1 @@
+lib/objmem/universe.ml: Array Char Hashtbl Heap Int64 Layout List Oop String

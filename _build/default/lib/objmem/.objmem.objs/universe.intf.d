@@ -1,0 +1,1 @@
+lib/objmem/universe.mli: Hashtbl Heap Oop

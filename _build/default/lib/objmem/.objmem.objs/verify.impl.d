@@ -1,0 +1,1 @@
+lib/objmem/verify.ml: Array Format Hashtbl Heap Layout List Oop Printf Scavenger

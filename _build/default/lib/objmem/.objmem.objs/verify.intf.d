@@ -1,0 +1,1 @@
+lib/objmem/verify.mli: Format Heap

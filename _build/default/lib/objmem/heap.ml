@@ -1,0 +1,259 @@
+(* The object memory: a flat word array divided into an old space and a new
+   space (eden plus two survivor semispaces), managed by Generation
+   Scavenging exactly as in Berkeley Smalltalk (Ungar '84): allocation is a
+   pointer bump in eden; survivors ping-pong between the two survivor
+   spaces and are tenured into old space after [tenure_age] scavenges; old
+   objects that may refer to new objects are recorded in the entry table
+   (remembered set), marked by a per-object header flag.
+
+   Multiprocessor strategies from the paper appear here as allocation
+   policies: [Unlocked] is single-threaded baseline BS; [Shared_locked] is
+   MS's serialized allocation (the lock itself lives at the VM layer, which
+   charges its cycles); [Replicated_eden] is the paper's proposed
+   "replication of the new-object space", giving each processor a private
+   eden region. *)
+
+exception Scavenge_needed
+exception Image_full of string
+
+type alloc_policy = Unlocked | Shared_locked | Replicated_eden
+
+type region = {
+  mutable ptr : int;
+  base : int;
+  limit : int;
+}
+
+type scavenge_stats = {
+  mutable survivor_objects : int;
+  mutable survivor_words : int;
+  mutable tenured_objects : int;
+  mutable tenured_words : int;
+  mutable remembered_scanned : int;
+  mutable roots_scanned : int;
+}
+
+let empty_stats () = {
+  survivor_objects = 0; survivor_words = 0;
+  tenured_objects = 0; tenured_words = 0;
+  remembered_scanned = 0; roots_scanned = 0;
+}
+
+type t = {
+  mem : int array;
+  old : region;
+  eden : region;                  (* whole eden; also used when shared *)
+  eden_regions : region array;    (* per-processor slices when replicated *)
+  policy : alloc_policy;
+  new_base : int;                 (* everything at/above this is new space *)
+  surv_a : region;
+  surv_b : region;
+  mutable past_is_a : bool;
+  tenure_age : int;
+  mutable nil : Oop.t;            (* fill value for pointer objects *)
+  (* the entry table *)
+  mutable rset : int array;       (* word addresses of remembered objects *)
+  mutable rset_len : int;
+  (* scavenge roots and hooks *)
+  mutable roots : Oop.t ref list;
+  mutable array_roots : Oop.t array list;
+  mutable on_scavenge : (unit -> unit) list;
+  mutable method_ctx_class : Oop.t;
+  mutable block_ctx_class : Oop.t;
+  (* statistics *)
+  mutable allocations : int;
+  mutable words_allocated : int;
+  mutable scavenge_count : int;
+  mutable words_copied_total : int;
+  mutable tenured_words_total : int;
+  mutable last_scavenge : scavenge_stats;
+}
+
+let region base words = { ptr = base; base; limit = base + words }
+let region_used r = r.ptr - r.base
+let region_avail r = r.limit - r.ptr
+
+let create ?(policy = Unlocked) ?(processors = 1) ?(tenure_age = 4)
+    ~old_words ~eden_words ~survivor_words () =
+  if processors < 1 then invalid_arg "Heap.create: processors";
+  let reserved = 2 in
+  let old_base = reserved in
+  let eden_base = old_base + old_words in
+  let surv_a_base = eden_base + eden_words in
+  let surv_b_base = surv_a_base + survivor_words in
+  let total = surv_b_base + survivor_words in
+  let eden = region eden_base eden_words in
+  let eden_regions =
+    match policy with
+    | Replicated_eden ->
+        let slice = eden_words / processors in
+        Array.init processors (fun i -> region (eden_base + (i * slice)) slice)
+    | Unlocked | Shared_locked -> [| eden |]
+  in
+  { mem = Array.make total 0;
+    old = region old_base old_words;
+    eden;
+    eden_regions;
+    policy;
+    new_base = eden_base;
+    surv_a = region surv_a_base survivor_words;
+    surv_b = region surv_b_base survivor_words;
+    past_is_a = true;
+    tenure_age;
+    nil = Oop.sentinel;
+    rset = Array.make 1024 0;
+    rset_len = 0;
+    roots = [];
+    array_roots = [];
+    on_scavenge = [];
+    method_ctx_class = Oop.sentinel;
+    block_ctx_class = Oop.sentinel;
+    allocations = 0;
+    words_allocated = 0;
+    scavenge_count = 0;
+    words_copied_total = 0;
+    tenured_words_total = 0;
+    last_scavenge = empty_stats () }
+
+let set_nil h nil = h.nil <- nil
+let add_root h cell = h.roots <- cell :: h.roots
+let remove_root h cell =
+  h.roots <- List.filter (fun c -> not (c == cell)) h.roots
+let add_array_root h arr = h.array_roots <- arr :: h.array_roots
+let on_scavenge h hook = h.on_scavenge <- hook :: h.on_scavenge
+
+let is_new h (o : Oop.t) = Oop.is_ptr o && Oop.addr o >= h.new_base
+let is_old h (o : Oop.t) =
+  Oop.is_ptr o && Oop.addr o >= 2 && Oop.addr o < h.new_base
+
+(* --- header access --- *)
+
+let hdr0 h a = h.mem.(a)
+let size_words h a = h.mem.(a) asr Layout.size_shift
+let slots h a = size_words h a - Layout.header_words
+let class_at h a = h.mem.(a + 1)
+let set_class h a cls = h.mem.(a + 1) <- cls
+let age h a = (h.mem.(a) lsr Layout.age_shift) land Layout.age_mask
+let is_raw h a = h.mem.(a) land Layout.flag_raw <> 0
+let is_bytes h a = h.mem.(a) land Layout.flag_bytes <> 0
+let is_remembered h a = h.mem.(a) land Layout.flag_remembered <> 0
+
+let class_of h (o : Oop.t) ~small_int_class =
+  if Oop.is_small o then small_int_class else class_at h (Oop.addr o)
+
+(* --- field access --- *)
+
+let get h (o : Oop.t) i = h.mem.(Oop.addr o + Layout.header_words + i)
+
+(* Raw store, for non-pointer values and for new-space receivers. *)
+let set_raw h (o : Oop.t) i v =
+  h.mem.(Oop.addr o + Layout.header_words + i) <- v
+
+(* --- the entry table --- *)
+
+let remember h a =
+  if h.rset_len = Array.length h.rset then begin
+    let bigger = Array.make (2 * Array.length h.rset) 0 in
+    Array.blit h.rset 0 bigger 0 h.rset_len;
+    h.rset <- bigger
+  end;
+  h.rset.(h.rset_len) <- a;
+  h.rset_len <- h.rset_len + 1;
+  h.mem.(a) <- h.mem.(a) lor Layout.flag_remembered
+
+let remembered_count h = h.rset_len
+
+(* Pointer store with the generation-scavenging store check.  Returns true
+   when the store inserted the receiver into the entry table, so the caller
+   can charge the entry-table lock. *)
+let store_ptr h (o : Oop.t) i (v : Oop.t) =
+  let a = Oop.addr o in
+  h.mem.(a + Layout.header_words + i) <- v;
+  if a < h.new_base && a >= 2 && is_new h v && not (is_remembered h a) then begin
+    remember h a;
+    true
+  end else false
+
+(* --- allocation --- *)
+
+let eden_region h vp =
+  match h.policy with
+  | Replicated_eden -> h.eden_regions.(vp)
+  | Unlocked | Shared_locked -> h.eden
+
+let eden_avail h ~vp = region_avail (eden_region h vp)
+let eden_used h =
+  match h.policy with
+  | Replicated_eden ->
+      Array.fold_left (fun n r -> n + region_used r) 0 h.eden_regions
+  | Unlocked | Shared_locked -> region_used h.eden
+
+let write_header h a ~total ~flags ~age ~cls =
+  h.mem.(a) <-
+    (total lsl Layout.size_shift) lor (age lsl Layout.age_shift) lor flags;
+  h.mem.(a + 1) <- cls
+
+let fill h a ~from ~until v =
+  for i = from to until - 1 do h.mem.(a + i) <- v done
+
+let flags_of_format ~raw ~bytes =
+  (if raw then Layout.flag_raw else 0) lor (if bytes then Layout.flag_bytes else 0)
+
+(* Allocate in new space on processor [vp].  Raises [Scavenge_needed] when
+   eden cannot satisfy the request; the engine runs a scavenge rendezvous
+   and retries.  The interpreter checks a low-water mark before each step,
+   so this exception only fires for unusually large requests. *)
+let alloc_new h ~vp ~slots ~raw ?(bytes = false) ~cls () =
+  let total = slots + Layout.header_words in
+  let r = eden_region h vp in
+  if region_avail r < total then raise Scavenge_needed;
+  let a = r.ptr in
+  r.ptr <- r.ptr + total;
+  write_header h a ~total ~flags:(flags_of_format ~raw ~bytes) ~age:0 ~cls;
+  fill h a ~from:Layout.header_words ~until:total (if raw then 0 else h.nil);
+  h.allocations <- h.allocations + 1;
+  h.words_allocated <- h.words_allocated + total;
+  Oop.of_addr a
+
+(* Allocate directly in old space: permanent image objects (classes,
+   methods, literals) and objects too large for eden. *)
+let alloc_old h ~slots ~raw ?(bytes = false) ~cls () =
+  let total = slots + Layout.header_words in
+  if region_avail h.old < total then
+    raise (Image_full "old space exhausted");
+  let a = h.old.ptr in
+  h.old.ptr <- h.old.ptr + total;
+  write_header h a ~total ~flags:(flags_of_format ~raw ~bytes) ~age:0 ~cls;
+  fill h a ~from:Layout.header_words ~until:total (if raw then 0 else h.nil);
+  h.allocations <- h.allocations + 1;
+  h.words_allocated <- h.words_allocated + total;
+  Oop.of_addr a
+
+(* --- strings and symbols (raw byte objects, one character per word) --- *)
+
+let alloc_string_old h ~cls s =
+  let n = String.length s in
+  let o = alloc_old h ~slots:n ~raw:true ~bytes:true ~cls () in
+  String.iteri (fun i c -> set_raw h o i (Char.code c)) s;
+  o
+
+let alloc_string_new h ~vp ~cls s =
+  let n = String.length s in
+  let o = alloc_new h ~vp ~slots:n ~raw:true ~bytes:true ~cls () in
+  String.iteri (fun i c -> set_raw h o i (Char.code c)) s;
+  o
+
+let string_value h (o : Oop.t) =
+  let n = slots h (Oop.addr o) in
+  String.init n (fun i -> Char.chr (get h o i land 0xff))
+
+(* --- statistics --- *)
+
+let old_used h = region_used h.old
+let survivor_used h = region_used (if h.past_is_a then h.surv_a else h.surv_b)
+let scavenge_count h = h.scavenge_count
+let allocations h = h.allocations
+let words_allocated h = h.words_allocated
+let words_copied_total h = h.words_copied_total
+let tenured_words_total h = h.tenured_words_total
+let last_scavenge h = h.last_scavenge

@@ -1,0 +1,178 @@
+(** The object memory: a flat word array divided into an old space and a
+    new space (eden plus two survivor semispaces), managed by Generation
+    Scavenging exactly as in Berkeley Smalltalk: allocation is a pointer
+    bump in eden; survivors ping-pong between the survivor spaces and are
+    tenured after [tenure_age] scavenges; old objects that may refer to
+    new objects are recorded in the entry table, marked by a header flag.
+
+    The record is transparent: the scavenger, the verifier and the
+    interpreter's fast paths read it directly. *)
+
+(** Raised by {!alloc_new} when eden cannot satisfy a request; the engine
+    runs a scavenge rendezvous and retries. *)
+exception Scavenge_needed
+
+(** Old space (the image) is full: a fatal condition, as in BS. *)
+exception Image_full of string
+
+(** The paper's strategies for the new-object space: [Unlocked] is
+    single-threaded baseline BS; [Shared_locked] is MS's serialized
+    allocation (the lock lives at the VM layer); [Replicated_eden] is the
+    per-processor allocation areas the paper proposes. *)
+type alloc_policy = Unlocked | Shared_locked | Replicated_eden
+
+type region = {
+  mutable ptr : int;  (** next free word *)
+  base : int;
+  limit : int;
+}
+
+type scavenge_stats = {
+  mutable survivor_objects : int;
+  mutable survivor_words : int;
+  mutable tenured_objects : int;
+  mutable tenured_words : int;
+  mutable remembered_scanned : int;
+  mutable roots_scanned : int;
+}
+
+val empty_stats : unit -> scavenge_stats
+
+type t = {
+  mem : int array;  (** the whole object memory, addressed by word *)
+  old : region;
+  eden : region;
+  eden_regions : region array;  (** per-processor slices when replicated *)
+  policy : alloc_policy;
+  new_base : int;  (** everything at/above this address is new space *)
+  surv_a : region;
+  surv_b : region;
+  mutable past_is_a : bool;
+  tenure_age : int;
+  mutable nil : Oop.t;  (** fill value for fresh pointer objects *)
+  mutable rset : int array;  (** the entry table: remembered addresses *)
+  mutable rset_len : int;
+  mutable roots : Oop.t ref list;
+  mutable array_roots : Oop.t array list;
+  mutable on_scavenge : (unit -> unit) list;
+  mutable method_ctx_class : Oop.t;  (** so the scavenger can bound frames *)
+  mutable block_ctx_class : Oop.t;
+  mutable allocations : int;
+  mutable words_allocated : int;
+  mutable scavenge_count : int;
+  mutable words_copied_total : int;
+  mutable tenured_words_total : int;
+  mutable last_scavenge : scavenge_stats;
+}
+
+val region_used : region -> int
+
+val region_avail : region -> int
+
+val create :
+  ?policy:alloc_policy ->
+  ?processors:int ->
+  ?tenure_age:int ->
+  old_words:int ->
+  eden_words:int ->
+  survivor_words:int ->
+  unit ->
+  t
+
+val set_nil : t -> Oop.t -> unit
+
+(** Register a cell the scavenger must treat (and update) as a root. *)
+val add_root : t -> Oop.t ref -> unit
+
+val remove_root : t -> Oop.t ref -> unit
+
+val add_array_root : t -> Oop.t array -> unit
+
+(** Register a hook run at the start of every scavenge (cache flushes). *)
+val on_scavenge : t -> (unit -> unit) -> unit
+
+val is_new : t -> Oop.t -> bool
+
+val is_old : t -> Oop.t -> bool
+
+(** {2 Headers} *)
+
+val hdr0 : t -> int -> int
+
+val size_words : t -> int -> int
+
+(** Field count, excluding the two header words. *)
+val slots : t -> int -> int
+
+val class_at : t -> int -> Oop.t
+
+val set_class : t -> int -> Oop.t -> unit
+
+val age : t -> int -> int
+
+val is_raw : t -> int -> bool
+
+val is_bytes : t -> int -> bool
+
+val is_remembered : t -> int -> bool
+
+val class_of : t -> Oop.t -> small_int_class:Oop.t -> Oop.t
+
+(** {2 Fields} *)
+
+val get : t -> Oop.t -> int -> Oop.t
+
+(** Raw store: non-pointer values, or new-space receivers. *)
+val set_raw : t -> Oop.t -> int -> int -> unit
+
+(** Pointer store with the generation-scavenging store check; true when
+    the receiver was just inserted into the entry table (the caller
+    charges the entry-table lock). *)
+val store_ptr : t -> Oop.t -> int -> Oop.t -> bool
+
+(** Insert an address into the entry table and set its flag. *)
+val remember : t -> int -> unit
+
+val remembered_count : t -> int
+
+(** {2 Allocation} *)
+
+val eden_region : t -> int -> region
+
+val eden_avail : t -> vp:int -> int
+
+val eden_used : t -> int
+
+(** Allocate in new space on processor [vp]; pointer objects are filled
+    with nil, raw ones with zero.
+    @raise Scavenge_needed when the region is full. *)
+val alloc_new :
+  t -> vp:int -> slots:int -> raw:bool -> ?bytes:bool -> cls:Oop.t -> unit -> Oop.t
+
+(** Allocate a permanent object directly in old space.
+    @raise Image_full when old space is exhausted. *)
+val alloc_old : t -> slots:int -> raw:bool -> ?bytes:bool -> cls:Oop.t -> unit -> Oop.t
+
+val alloc_string_old : t -> cls:Oop.t -> string -> Oop.t
+
+val alloc_string_new : t -> vp:int -> cls:Oop.t -> string -> Oop.t
+
+val string_value : t -> Oop.t -> string
+
+(** {2 Statistics} *)
+
+val old_used : t -> int
+
+val survivor_used : t -> int
+
+val scavenge_count : t -> int
+
+val allocations : t -> int
+
+val words_allocated : t -> int
+
+val words_copied_total : t -> int
+
+val tenured_words_total : t -> int
+
+val last_scavenge : t -> scavenge_stats

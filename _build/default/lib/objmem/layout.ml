@@ -1,0 +1,144 @@
+(* Field layouts of the VM-level objects that both the object memory and the
+   interpreter must agree on.
+
+   The scavenger needs the context layout because a context's frame beyond
+   its stack pointer holds stale data that must not be scanned; the
+   interpreter and scheduler need the rest. *)
+
+(* Object header: two words.
+   hdr0 = size lsl 8  lor  age lsl 4  lor  flags
+   hdr1 = class oop (or forwarding oop during a scavenge, with hdr0 = -1)
+   size counts words including the header. *)
+let header_words = 2
+let flag_remembered = 0b0001
+let flag_raw = 0b0010        (* contents are not oops; scavenger skips them *)
+let flag_bytes = 0b0100      (* raw contents are characters *)
+let age_shift = 4
+let age_mask = 0b1111
+let size_shift = 8
+let forwarded_marker = -1
+
+(* MethodContext / BlockContext: fixed slots, then the frame (temporaries
+   followed by the evaluation stack).  [stackp] counts live frame slots
+   (temporaries plus stack depth), so the scavenger scans exactly
+   [fixed_slots + stackp] fields.  Block temporaries live in the home
+   context, Smalltalk-80 style; a block's frame is only its stack. *)
+module Ctx = struct
+  let sender = 0        (* context oop, or nil at the bottom *)
+  let pc = 1            (* smallint: next bytecode index *)
+  let stackp = 2        (* smallint: live frame slots *)
+  let meth = 3          (* CompiledMethod oop *)
+  let receiver = 4
+  let home = 5          (* nil for method contexts; home ctx for blocks *)
+  let startpc = 6       (* smallint; block body entry, 0 for methods *)
+  let argstart = 7      (* smallint; first home temp slot for block args *)
+  let nargs = 8         (* smallint; block parameter count *)
+  let fixed_slots = 9
+
+  (* Contexts come in two standard sizes, like Smalltalk-80's small and
+     large contexts, so the free lists can recycle them by size class. *)
+  let small_frame = 24
+  let large_frame = 96
+end
+
+(* CompiledMethod: info word, then pointers.  The bytecodes are a separate
+   raw object so the method itself stays a uniformly scannable object. *)
+module Method = struct
+  let info = 0          (* smallint, packed: see Minfo below *)
+  let selector = 1      (* Symbol *)
+  let bytecodes = 2     (* raw words object *)
+  let source = 3        (* String, or nil *)
+  let defining_class = 4 (* for super sends *)
+  let fixed_slots = 5   (* literals follow *)
+end
+
+(* Packing of the method info word. *)
+module Minfo = struct
+  let make ~nargs ~ntemps ~maxstack ~prim ~has_blocks =
+    nargs lor (ntemps lsl 5) lor (maxstack lsl 13) lor (prim lsl 21)
+    lor (if has_blocks then 1 lsl 31 else 0)
+  let nargs i = i land 0x1f
+  let ntemps i = (i lsr 5) land 0xff
+  let maxstack i = (i lsr 13) land 0xff
+  let prim i = (i lsr 21) land 0x3ff
+  let has_blocks i = (i lsr 31) land 1 = 1
+  (* set by the class builder when installing on the class side; super
+     sends need it to pick the dictionary chain *)
+  let class_side i = (i lsr 32) land 1 = 1
+  let set_class_side i = i lor (1 lsl 32)
+end
+
+(* Class objects. *)
+module Class = struct
+  let name = 0            (* Symbol *)
+  let superclass = 1      (* Class or nil *)
+  let method_dict = 2     (* MethodDictionary *)
+  let class_method_dict = 3
+  let inst_size = 4       (* smallint: named instance variables *)
+  let format = 5          (* smallint: 0 pointers, 1 raw words, 2 raw bytes *)
+  let ivar_names = 6      (* Array of Symbols (all, incl. inherited) *)
+  let category = 7        (* String *)
+  let fixed_slots = 8
+end
+
+(* Instance format stored in a class: whether instances have indexable
+   slots beyond the named instance variables, and of what kind. *)
+module Class_format = struct
+  let pointers = 0        (* named ivars only *)
+  let variable = 1        (* indexable pointer slots (Array) *)
+  let raw_words = 2       (* indexable machine words *)
+  let raw_bytes = 3       (* indexable bytes/characters (String, Symbol) *)
+end
+
+(* MethodDictionary: two parallel arrays, scanned linearly on cache misses. *)
+module Mdict = struct
+  let selectors = 0       (* Array of Symbols *)
+  let methods = 1         (* Array of CompiledMethods *)
+  let size = 2            (* smallint: used entries *)
+  let fixed_slots = 3
+end
+
+(* Link / Process (Process embeds its link, as in Smalltalk-80). *)
+module Process = struct
+  let next_link = 0
+  let suspended_context = 1
+  let priority = 2        (* smallint 1..8 *)
+  let my_list = 3         (* the LinkedList or Semaphore it waits on, or nil *)
+  let running_on = 4      (* smallint processor id, or nil — MS only *)
+  let name = 5            (* String or nil *)
+  let state = 6           (* smallint: see Process_state *)
+  let fixed_slots = 7
+end
+
+module Process_state = struct
+  let runnable = 0
+  let terminated = 1
+  let suspend_requested = 2  (* asked to suspend while running elsewhere *)
+end
+
+module Linked_list = struct
+  let first = 0
+  let last = 1
+  let fixed_slots = 2
+end
+
+(* Semaphore = LinkedList of waiting Processes + excess signals. *)
+module Semaphore = struct
+  let first = 0
+  let last = 1
+  let excess_signals = 2  (* smallint *)
+  let fixed_slots = 3
+end
+
+module Scheduler = struct
+  let ready_lists = 0     (* Array of LinkedList, one per priority *)
+  let active_process = 1  (* the slot MS's reorganization ignores *)
+  let fixed_slots = 2
+  let priorities = 8
+end
+
+module Association = struct
+  let key = 0             (* Symbol *)
+  let value = 1
+  let fixed_slots = 2
+end

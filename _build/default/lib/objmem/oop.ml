@@ -1,0 +1,34 @@
+(* Object pointers (oops).
+
+   Berkeley Smalltalk eliminated the object table, so an oop is a direct
+   reference.  We use the classic tagged representation:
+
+   - bit 0 set: a SmallInteger, value in the remaining bits;
+   - bit 0 clear: a pointer, whose word address is [oop asr 1].
+
+   Word address 0 is reserved and never holds an object, so the oop [0] can
+   serve as an OCaml-side sentinel (it is not Smalltalk's [nil], which is an
+   ordinary heap object). *)
+
+type t = int
+
+let sentinel : t = 0
+
+let of_small v = (v lsl 1) lor 1
+let is_small (o : t) = o land 1 = 1
+let small_val (o : t) = o asr 1
+
+let of_addr a = a lsl 1
+let is_ptr (o : t) = o land 1 = 0
+let addr (o : t) = o asr 1
+
+(* Range of SmallInteger: 62 bits on a 64-bit host; overflow checks in the
+   arithmetic primitives use these bounds. *)
+let max_small = max_int asr 1
+let min_small = min_int asr 1
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt (o : t) =
+  if is_small o then Format.fprintf fmt "i%d" (small_val o)
+  else Format.fprintf fmt "@@%d" (addr o)

@@ -1,0 +1,193 @@
+(* Generation Scavenging (Ungar '84), as used by Berkeley Smalltalk: a
+   stop-and-copy collection of new space only.  Live new objects are copied
+   from eden and the past survivor space into the future survivor space
+   (Cheney's algorithm); objects that have survived [tenure_age] scavenges,
+   or that overflow the survivor space, are promoted into old space.  Old
+   space is never collected; the entry table (remembered set) supplies the
+   old-to-new roots.
+
+   Because contexts keep their evaluation stack inside the object, only the
+   live portion — [stackp] frame slots — is scanned; the slots above the
+   stack pointer hold stale oops from popped values.
+
+   The caller (the engine) is responsible for the multiprocessor rendezvous:
+   every interpreter must be parked before [scavenge] runs, and the
+   [on_scavenge] hooks flush the method caches and free-context lists whose
+   entries would otherwise dangle across the copy. *)
+
+open Heap
+
+let is_context h cls =
+  Oop.equal cls h.method_ctx_class || Oop.equal cls h.block_ctx_class
+
+(* Number of fields of the object at [a] the scavenger must scan. *)
+let scan_limit h a =
+  if is_raw h a then 0
+  else begin
+    let n = slots h a in
+    if is_context h (class_at h a) then begin
+      let sp = h.mem.(a + Layout.header_words + Layout.Ctx.stackp) in
+      let live = Layout.Ctx.fixed_slots + (if Oop.is_small sp then Oop.small_val sp else 0) in
+      min n live
+    end else n
+  end
+
+type space_choice = To_space | Promoted
+
+(* Copy the object at [from_addr]; returns its new oop. *)
+let copy_object h stats to_region from_addr =
+  let total = size_words h from_addr in
+  let next_age = min (age h from_addr + 1) Layout.age_mask in
+  let choice =
+    if next_age >= h.tenure_age || region_avail to_region < total
+    then Promoted else To_space
+  in
+  let dest =
+    match choice with
+    | To_space ->
+        let a = to_region.ptr in
+        to_region.ptr <- to_region.ptr + total;
+        stats.survivor_objects <- stats.survivor_objects + 1;
+        stats.survivor_words <- stats.survivor_words + total;
+        a
+    | Promoted ->
+        if region_avail h.old < total then
+          raise (Image_full "old space exhausted during scavenge");
+        let a = h.old.ptr in
+        h.old.ptr <- h.old.ptr + total;
+        stats.tenured_objects <- stats.tenured_objects + 1;
+        stats.tenured_words <- stats.tenured_words + total;
+        a
+  in
+  Array.blit h.mem from_addr h.mem dest total;
+  (* refresh age; clear the remembered flag on the copy (re-established by
+     the post-scan check for promoted objects) *)
+  let flags =
+    h.mem.(dest) land (Layout.flag_raw lor Layout.flag_bytes)
+  in
+  h.mem.(dest) <-
+    (total lsl Layout.size_shift) lor (next_age lsl Layout.age_shift) lor flags;
+  (* install forwarding *)
+  let new_oop = Oop.of_addr dest in
+  h.mem.(from_addr) <- Layout.forwarded_marker;
+  h.mem.(from_addr + 1) <- new_oop;
+  new_oop
+
+(* Only objects in from-space — eden and the past survivor space — are
+   copied; pointers into the future survivor space (already copied this
+   scavenge) or old space pass through unchanged. *)
+let forward h stats ~in_from to_region (o : Oop.t) =
+  if not (Oop.is_ptr o) then o
+  else begin
+    let a = Oop.addr o in
+    if not (in_from a) then o
+    else if h.mem.(a) = Layout.forwarded_marker then h.mem.(a + 1)
+    else copy_object h stats to_region a
+  end
+
+(* Update every scannable field of the object at [a]; returns true if any
+   field still refers to new space after forwarding. *)
+let update_fields h stats ~in_from to_region a =
+  let limit = scan_limit h a in
+  let base = a + Layout.header_words in
+  let has_new = ref false in
+  for i = 0 to limit - 1 do
+    let v = h.mem.(base + i) in
+    if is_new h v then begin
+      let v' = forward h stats ~in_from to_region v in
+      h.mem.(base + i) <- v';
+      if is_new h v' then has_new := true
+    end
+  done;
+  !has_new
+
+let scavenge h =
+  List.iter (fun hook -> hook ()) h.on_scavenge;
+  let stats = empty_stats () in
+  let to_region = if h.past_is_a then h.surv_b else h.surv_a in
+  let past = if h.past_is_a then h.surv_a else h.surv_b in
+  let in_from a =
+    (a >= h.eden.base && a < h.eden.limit)
+    || (a >= past.base && a < past.limit)
+  in
+  to_region.ptr <- to_region.base;
+  let promote_start = h.old.ptr in
+  (* 1. roots *)
+  List.iter
+    (fun cell ->
+      stats.roots_scanned <- stats.roots_scanned + 1;
+      cell := forward h stats ~in_from to_region !cell)
+    h.roots;
+  List.iter
+    (fun arr ->
+      for i = 0 to Array.length arr - 1 do
+        stats.roots_scanned <- stats.roots_scanned + 1;
+        arr.(i) <- forward h stats ~in_from to_region arr.(i)
+      done)
+    h.array_roots;
+  (* 2. the entry table: update old objects' fields, keeping only entries
+     that still refer to new space.  [remember] may reallocate the array,
+     so iterate over a snapshot. *)
+  let old_rset = h.rset in
+  let old_rset_len = h.rset_len in
+  h.rset_len <- 0;
+  for i = 0 to old_rset_len - 1 do
+    let a = old_rset.(i) in
+    stats.remembered_scanned <- stats.remembered_scanned + 1;
+    (* clear the flag; [remember] below re-sets it if needed *)
+    h.mem.(a) <- h.mem.(a) land lnot Layout.flag_remembered;
+    if update_fields h stats ~in_from to_region a then remember h a
+  done;
+  (* 3. Cheney scan of the two gray regions: fresh survivors and objects
+     promoted during this scavenge *)
+  let to_scan = ref to_region.base in
+  let old_scan = ref promote_start in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    while !to_scan < to_region.ptr do
+      progress := true;
+      let a = !to_scan in
+      ignore (update_fields h stats ~in_from to_region a);
+      to_scan := a + size_words h a
+    done;
+    while !old_scan < h.old.ptr do
+      progress := true;
+      let a = !old_scan in
+      if update_fields h stats ~in_from to_region a then remember h a;
+      old_scan := a + size_words h a
+    done
+  done;
+  (* 4. flip *)
+  h.past_is_a <- not h.past_is_a;
+  h.eden.ptr <- h.eden.base;
+  Array.iter (fun r -> r.ptr <- r.base) h.eden_regions;
+  h.scavenge_count <- h.scavenge_count + 1;
+  h.words_copied_total <- h.words_copied_total + stats.survivor_words;
+  h.tenured_words_total <- h.tenured_words_total + stats.tenured_words;
+  h.last_scavenge <- stats;
+  stats
+
+(* Cycle cost of a scavenge under the cost model; charged to every parked
+   processor by the engine (the collection is stop-the-world). *)
+let cost (cm : Cost_model.t) (stats : scavenge_stats) =
+  cm.scavenge_base
+  + (cm.scavenge_per_word * (stats.survivor_words + stats.tenured_words))
+  + (cm.scavenge_per_remembered * stats.remembered_scanned)
+
+(* Applying multiple processors to the scavenging operation (the paper's
+   section 3.1 suggestion).  The copying work divides across [workers];
+   root and entry-table scanning stays serial, and each extra worker adds
+   a coordination cost (work distribution and termination detection). *)
+let cost_parallel (cm : Cost_model.t) (stats : scavenge_stats) ~workers =
+  if workers <= 1 then cost cm stats
+  else begin
+    let copy_work =
+      cm.scavenge_per_word * (stats.survivor_words + stats.tenured_words)
+    in
+    let serial =
+      cm.scavenge_base
+      + (cm.scavenge_per_remembered * stats.remembered_scanned)
+    in
+    serial + (copy_work / workers) + (workers * 400)
+  end

@@ -1,0 +1,30 @@
+(** Generation Scavenging (Ungar '84), as used by Berkeley Smalltalk.
+
+    A stop-and-copy collection of new space only: live new objects are
+    copied from eden and the past survivor space into the future survivor
+    space (Cheney's algorithm); objects that have survived [tenure_age]
+    scavenges, or that overflow the survivor space, are promoted into old
+    space.  Old space is never collected; the entry table supplies the
+    old-to-new roots.  Context frames are scanned only up to their stack
+    pointers.
+
+    The caller is responsible for the multiprocessor rendezvous: every
+    interpreter must be parked before [scavenge] runs, and the
+    [on_scavenge] hooks flush the method caches and free-context lists. *)
+
+(** Fields of the object at the given address that must be scanned
+    (0 for raw objects; bounded by the stack pointer for contexts). *)
+val scan_limit : Heap.t -> int -> int
+
+(** Run one scavenge; returns its statistics.
+    @raise Heap.Image_full when promotion exhausts old space. *)
+val scavenge : Heap.t -> Heap.scavenge_stats
+
+(** Cycle cost of a scavenge under the cost model; the engine charges it
+    to every parked processor (the collection is stop-the-world). *)
+val cost : Cost_model.t -> Heap.scavenge_stats -> int
+
+(** The paper's section-3.1 suggestion: the copying work divides across
+    [workers]; root and entry-table scanning stays serial, and each extra
+    worker adds a coordination cost. *)
+val cost_parallel : Cost_model.t -> Heap.scavenge_stats -> workers:int -> int

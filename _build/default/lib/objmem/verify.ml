@@ -1,0 +1,73 @@
+(* Heap consistency checking, used by the test suite and the property
+   tests.  Walks every allocated object and checks structural invariants:
+
+   - headers decode to plausible sizes that tile each space exactly;
+   - every scanned pointer field refers to a valid object header (or is a
+     SmallInteger);
+   - no live object is marked forwarded outside a scavenge;
+   - every old-space object with a new-space reference in a scanned field
+     carries the remembered flag (the store-check invariant);
+   - every remembered flag corresponds to an entry-table entry. *)
+
+open Heap
+
+type problem = { addr : int; what : string }
+
+let pp_problem fmt p = Format.fprintf fmt "@@%d: %s" p.addr p.what
+
+let object_starts h =
+  let starts = Hashtbl.create 4096 in
+  let walk_region r =
+    let a = ref r.base in
+    while !a < r.ptr do
+      Hashtbl.replace starts !a ();
+      let sz = size_words h !a in
+      if sz < Layout.header_words then (* corrupt; stop this region *)
+        a := r.ptr
+      else a := !a + sz
+    done
+  in
+  walk_region h.old;
+  (match h.policy with
+   | Replicated_eden -> Array.iter walk_region h.eden_regions
+   | Unlocked | Shared_locked -> walk_region h.eden);
+  walk_region (if h.past_is_a then h.surv_a else h.surv_b);
+  starts
+
+let check h =
+  let problems = ref [] in
+  let report addr what = problems := { addr; what } :: !problems in
+  let starts = object_starts h in
+  let in_rset = Hashtbl.create 256 in
+  for i = 0 to h.rset_len - 1 do
+    Hashtbl.replace in_rset h.rset.(i) ()
+  done;
+  let valid_ptr o =
+    Oop.is_small o || Oop.equal o Oop.sentinel
+    || Hashtbl.mem starts (Oop.addr o)
+  in
+  let check_object a =
+    if h.mem.(a) = Layout.forwarded_marker then
+      report a "forwarded object outside a scavenge"
+    else begin
+      let sz = size_words h a in
+      if sz < Layout.header_words then report a "implausible size";
+      let cls = class_at h a in
+      if not (valid_ptr cls) || Oop.is_small cls then
+        report a "class slot is not a valid object";
+      let limit = Scavenger.scan_limit h a in
+      let has_new = ref false in
+      for i = 0 to limit - 1 do
+        let v = h.mem.(a + Layout.header_words + i) in
+        if not (valid_ptr v) then
+          report a (Printf.sprintf "field %d is a dangling pointer" i);
+        if is_new h v then has_new := true
+      done;
+      if !has_new && a < h.new_base && a >= 2 && not (is_remembered h a) then
+        report a "old object with new references is not remembered";
+      if is_remembered h a && not (Hashtbl.mem in_rset a) then
+        report a "remembered flag set but object absent from entry table"
+    end
+  in
+  Hashtbl.iter (fun a () -> check_object a) starts;
+  List.rev !problems

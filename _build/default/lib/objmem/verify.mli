@@ -1,0 +1,15 @@
+(** Heap consistency checking for the test suite and the property tests.
+
+    Walks every allocated object and checks structural invariants:
+    headers tile each space exactly; every scanned pointer field refers to
+    a valid object (or is a SmallInteger); no live object is marked
+    forwarded outside a scavenge; the store-check invariant (every old
+    object with a new-space reference in a scanned field is remembered);
+    and every remembered flag has an entry-table entry. *)
+
+type problem = { addr : int; what : string }
+
+val pp_problem : Format.formatter -> problem -> unit
+
+(** The empty list means the heap is consistent. *)
+val check : Heap.t -> problem list

@@ -1,0 +1,1 @@
+lib/vkernel/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/vkernel/devices.ml: Cost_model List Spinlock

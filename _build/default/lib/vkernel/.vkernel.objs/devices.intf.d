@@ -1,0 +1,1 @@
+lib/vkernel/devices.mli: Cost_model Spinlock

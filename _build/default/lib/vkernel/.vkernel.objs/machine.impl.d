@@ -1,0 +1,1 @@
+lib/vkernel/machine.ml: Array Cost_model

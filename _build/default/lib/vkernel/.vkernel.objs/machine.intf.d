@@ -1,0 +1,1 @@
+lib/vkernel/machine.mli: Cost_model

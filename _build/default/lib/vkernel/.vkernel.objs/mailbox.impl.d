@@ -1,0 +1,1 @@
+lib/vkernel/mailbox.ml: Queue

@@ -1,0 +1,1 @@
+lib/vkernel/mailbox.mli:

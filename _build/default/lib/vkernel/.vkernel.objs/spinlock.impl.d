@@ -1,0 +1,1 @@
+lib/vkernel/spinlock.ml: Cost_model Machine

@@ -1,0 +1,1 @@
+lib/vkernel/spinlock.mli: Cost_model Machine

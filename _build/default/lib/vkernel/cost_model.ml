@@ -1,0 +1,136 @@
+(* Cycle-cost model for the simulated Firefly.
+
+   All costs are expressed in microVAX instructions, which we equate with
+   cycles of a 1-MIPS processor: simulated seconds = cycles / [cycles_per_second].
+   The [firefly] preset is calibrated so that the macro benchmarks of
+   Pallas & Ungar (PLDI '88) land in the same range as the paper's Table 2. *)
+
+type t = {
+  (* interpreter *)
+  dispatch : int;           (* fetch/decode of one bytecode *)
+  push : int;               (* push/store/pop data movement *)
+  jump : int;               (* taken or untaken branch *)
+  send_base : int;          (* argument shuffling + activation bookkeeping *)
+  cache_hit : int;          (* method cache probe that hits *)
+  cache_probe : int;        (* each dictionary probe during lookup on a miss *)
+  replicated_cache_penalty : int; (* extra indirection for per-processor caches *)
+  ctx_fresh : int;          (* allocating a context from the heap *)
+  ctx_recycled : int;       (* reusing a context from the free list *)
+  ctx_init_per_word : int;  (* clearing/initialising one context word *)
+  return_cost : int;        (* method/block return *)
+  prim_arith : int;         (* SmallInteger arithmetic primitive *)
+  prim_at : int;            (* at:/at:put:/size primitives *)
+  prim_misc : int;          (* other cheap primitives *)
+  prim_compile_per_char : int;  (* compiler primitive, per source character *)
+  (* storage *)
+  alloc_base : int;         (* bump-pointer allocation *)
+  alloc_per_word : int;     (* zeroing one allocated word *)
+  store_check : int;        (* old->new store check (entry table test) *)
+  remember_insert : int;    (* adding an object to the entry table *)
+  scavenge_base : int;      (* fixed cost of one scavenge *)
+  scavenge_per_word : int;  (* copying one surviving word *)
+  scavenge_per_remembered : int; (* scanning one entry-table object *)
+  (* synchronization (the V kernel's spin-locks) *)
+  lock_acquire : int;       (* uncontended interlocked test-and-set + release *)
+  delay_quantum : int;      (* kernel Delay timeout used when a spin fails *)
+  sched_op : int;           (* ready-queue surgery under the scheduler lock *)
+  (* periodic interpreter duties *)
+  event_poll_interval : int;  (* bytecodes between input-queue polls *)
+  event_poll_cost : int;      (* cost of one poll (excluding its lock) *)
+  sched_check_interval : int; (* bytecodes between ready-queue checks *)
+  sched_check_cost : int;
+  (* devices *)
+  display_cmd : int;        (* display controller service time per command *)
+  display_capacity : int;   (* output-queue capacity *)
+  (* shared memory bus *)
+  bus_beta : float;         (* per-extra-active-processor slowdown on memory ops *)
+  (* the multiprocessor interpreter executes extra synchronization
+     instructions on its common paths even when uncontended; this is the
+     static cost of the architectural changes *)
+  ms_static_penalty : int;
+  cycles_per_second : int;  (* clock rate: converts cycles to simulated seconds *)
+}
+
+(* Calibrated for a ~1-MIPS microVAX running an interpreter: a typical
+   bytecode costs a few tens of instructions, so the system executes roughly
+   30-100 K bytecodes per simulated second, matching the era's Smalltalk
+   benchmark times (seconds for tens of thousands of high-level operations). *)
+let firefly = {
+  dispatch = 8;
+  push = 10;
+  jump = 6;
+  send_base = 30;
+  cache_hit = 15;
+  cache_probe = 40;
+  replicated_cache_penalty = 4;
+  ctx_fresh = 60;
+  ctx_recycled = 20;
+  ctx_init_per_word = 2;
+  return_cost = 20;
+  prim_arith = 15;
+  prim_at = 20;
+  prim_misc = 25;
+  prim_compile_per_char = 400;
+  alloc_base = 25;
+  alloc_per_word = 2;
+  store_check = 6;
+  remember_insert = 20;
+  scavenge_base = 12000;
+  scavenge_per_word = 15;
+  scavenge_per_remembered = 25;
+  lock_acquire = 12;
+  delay_quantum = 150;
+  sched_op = 25;
+  event_poll_interval = 200;
+  event_poll_cost = 30;
+  sched_check_interval = 1000;
+  sched_check_cost = 40;
+  display_cmd = 1000;
+  display_capacity = 8;
+  bus_beta = 0.025;
+  ms_static_penalty = 1;
+  cycles_per_second = 1_000_000;
+}
+
+(* A fast, feature-neutral model for unit tests: every cost 1, no periodic
+   duties firing mid-test, no bus effects.  Virtual time then counts
+   abstract steps, which keeps test expectations simple. *)
+let uniform = {
+  dispatch = 1;
+  push = 1;
+  jump = 1;
+  send_base = 1;
+  cache_hit = 1;
+  cache_probe = 1;
+  replicated_cache_penalty = 0;
+  ctx_fresh = 1;
+  ctx_recycled = 1;
+  ctx_init_per_word = 0;
+  return_cost = 1;
+  prim_arith = 1;
+  prim_at = 1;
+  prim_misc = 1;
+  prim_compile_per_char = 0;
+  alloc_base = 1;
+  alloc_per_word = 0;
+  store_check = 0;
+  remember_insert = 1;
+  scavenge_base = 1;
+  scavenge_per_word = 1;
+  scavenge_per_remembered = 1;
+  lock_acquire = 1;
+  delay_quantum = 4;
+  sched_op = 2;
+  event_poll_interval = 500;
+  event_poll_cost = 0;
+  sched_check_interval = 500;
+  sched_check_cost = 0;
+  display_cmd = 1;
+  display_capacity = 16;
+  bus_beta = 0.0;
+  ms_static_penalty = 0;
+  cycles_per_second = 1_000_000;
+}
+
+let seconds model cycles =
+  float_of_int cycles /. float_of_int model.cycles_per_second

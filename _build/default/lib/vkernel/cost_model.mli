@@ -1,0 +1,59 @@
+(** Cycle-cost model for the simulated Firefly.
+
+    All costs are expressed in microVAX instructions, equated with cycles
+    of a 1-MIPS processor, so simulated seconds are
+    [cycles / cycles_per_second].  The {!firefly} preset is calibrated so
+    the macro benchmarks land in the range of the paper's Table 2; the
+    {!uniform} preset makes every cost 1 for unit tests. *)
+
+type t = {
+  dispatch : int;  (** fetch/decode of one bytecode *)
+  push : int;  (** push/store/pop data movement *)
+  jump : int;  (** taken or untaken branch *)
+  send_base : int;  (** argument shuffling and activation bookkeeping *)
+  cache_hit : int;  (** method-cache probe that hits *)
+  cache_probe : int;  (** dictionary probing on a cache miss *)
+  replicated_cache_penalty : int;
+      (** extra indirection of per-processor caches (paper section 3.2) *)
+  ctx_fresh : int;  (** allocating a context from the heap *)
+  ctx_recycled : int;  (** reusing a context from the free list *)
+  ctx_init_per_word : int;
+  return_cost : int;
+  prim_arith : int;
+  prim_at : int;
+  prim_misc : int;
+  prim_compile_per_char : int;  (** compiler primitive, per source character *)
+  alloc_base : int;  (** bump-pointer allocation *)
+  alloc_per_word : int;
+  store_check : int;  (** old->new store check *)
+  remember_insert : int;  (** entry-table insertion *)
+  scavenge_base : int;  (** fixed cost of a scavenge (incl. rendezvous) *)
+  scavenge_per_word : int;
+  scavenge_per_remembered : int;
+  lock_acquire : int;  (** uncontended interlocked test-and-set *)
+  delay_quantum : int;  (** the kernel Delay timeout used when a spin fails *)
+  sched_op : int;  (** one ready-queue operation under the scheduler lock *)
+  event_poll_interval : int;  (** bytecodes between input-queue polls *)
+  event_poll_cost : int;
+  sched_check_interval : int;  (** bytecodes between scheduler checks *)
+  sched_check_cost : int;
+  display_cmd : int;  (** display-controller service time per command *)
+  display_capacity : int;  (** output-queue capacity *)
+  bus_beta : float;
+      (** per-extra-running-processor slowdown on memory operations *)
+  ms_static_penalty : int;
+      (** extra instructions on the multiprocessor interpreter's common
+          paths, even uncontended: the static cost of the architectural
+          changes *)
+  cycles_per_second : int;  (** clock rate; converts cycles to seconds *)
+}
+
+(** The calibrated ~1-MIPS microVAX model. *)
+val firefly : t
+
+(** Every cost 1 (or 0), no bus effects: unit-test determinism without
+    calibration noise. *)
+val uniform : t
+
+(** [seconds model cycles] converts a cycle count to simulated seconds. *)
+val seconds : t -> int -> float

@@ -1,0 +1,101 @@
+(* Simulated I/O devices.
+
+   The paper serializes two I/O structures: the input event queue shared by
+   the interpreters, and the output queue of the display controller.  Both
+   are guarded by spin-locks; access is "for very brief intervals", but with
+   several busy Processes the display becomes a point of contention.
+
+   The display controller drains its queue at a fixed service rate.  When
+   the queue is full, an enqueueing interpreter must wait for space — this
+   is how the paper's "busy" Processes, which contend for the display,
+   interfere with the benchmark Process. *)
+
+type display = {
+  lock : Spinlock.t;
+  service_cycles : int;       (* time to paint one command *)
+  capacity : int;
+  mutable free_at : int;      (* when the controller finishes its backlog *)
+  mutable commands : int;     (* total commands ever enqueued *)
+  mutable producer_wait : int;(* cycles producers spent waiting for space *)
+}
+
+let make_display ~enabled_locks ~cost =
+  { lock = Spinlock.make ~enabled:enabled_locks ~cost "display output queue";
+    service_cycles = cost.Cost_model.display_cmd;
+    capacity = cost.Cost_model.display_capacity;
+    free_at = 0;
+    commands = 0;
+    producer_wait = 0 }
+
+(* Enqueue one draw command at [now]; returns the completion time for the
+   enqueueing processor (it does not wait for the paint, only for queue
+   space and the queue lock). *)
+let display_enqueue d ~now =
+  (* Backlog length at [now], inferred from when the controller will drain. *)
+  let backlog =
+    if d.free_at <= now then 0
+    else (d.free_at - now + d.service_cycles - 1) / d.service_cycles
+  in
+  let start =
+    if backlog < d.capacity then now
+    else begin
+      (* wait until the controller has drained down to capacity - 1 *)
+      let t = d.free_at - ((d.capacity - 1) * d.service_cycles) in
+      d.producer_wait <- d.producer_wait + (t - now);
+      t
+    end
+  in
+  let after_lock = Spinlock.locked_op d.lock ~now:start ~op_cycles:10 in
+  d.commands <- d.commands + 1;
+  d.free_at <- max d.free_at after_lock + d.service_cycles;
+  after_lock
+
+let display_commands d = d.commands
+let display_producer_wait d = d.producer_wait
+let display_lock d = d.lock
+
+(* The shared input event queue.  Events are injected by a script (tests,
+   or the interactive examples) and become visible at their stamped time.
+   Every interpreter polls it periodically, under the queue's lock — one of
+   the sources of static multiprocessor overhead. *)
+
+type event = { time : int; payload : int }
+
+type input_queue = {
+  ilock : Spinlock.t;
+  mutable pending : event list;   (* sorted by time *)
+  mutable polls : int;
+  mutable delivered : int;
+}
+
+let make_input_queue ~enabled_locks ~cost =
+  { ilock = Spinlock.make ~enabled:enabled_locks ~cost "input event queue";
+    pending = [];
+    polls = 0;
+    delivered = 0 }
+
+let inject q ~time ~payload =
+  let rec insert = function
+    | [] -> [ { time; payload } ]
+    | e :: rest when e.time <= time -> e :: insert rest
+    | rest -> { time; payload } :: rest
+  in
+  q.pending <- insert q.pending
+
+(* Poll at [now] under the lock: returns (completion_time, event payload if
+   one was ready). *)
+let poll q ~now ~op_cycles =
+  q.polls <- q.polls + 1;
+  let finish = Spinlock.locked_op q.ilock ~now ~op_cycles in
+  match q.pending with
+  | e :: rest when e.time <= now ->
+      q.pending <- rest;
+      q.delivered <- q.delivered + 1;
+      (finish, Some e.payload)
+  | _ -> (finish, None)
+
+let input_pending q = List.length q.pending
+
+let input_polls q = q.polls
+let input_delivered q = q.delivered
+let input_lock q = q.ilock

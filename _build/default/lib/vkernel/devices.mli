@@ -1,0 +1,46 @@
+(** Simulated I/O devices.
+
+    The paper serializes two I/O structures: the input event queue shared
+    by the interpreters and the display controller's output queue, both
+    behind spin-locks.  The display controller drains its bounded queue at
+    a fixed service rate; producers wait when it is full — how the "busy"
+    Processes contend for the display. *)
+
+(** {2 The display controller} *)
+
+type display
+
+val make_display : enabled_locks:bool -> cost:Cost_model.t -> display
+
+(** Enqueue one draw command at [now]; returns the producer's completion
+    time (it waits for queue space and the lock, not the paint). *)
+val display_enqueue : display -> now:int -> int
+
+val display_commands : display -> int
+
+(** Total cycles producers spent waiting for queue space. *)
+val display_producer_wait : display -> int
+
+val display_lock : display -> Spinlock.t
+
+(** {2 The input event queue} *)
+
+type input_queue
+
+val make_input_queue : enabled_locks:bool -> cost:Cost_model.t -> input_queue
+
+(** Schedule an event to become visible at [time]. *)
+val inject : input_queue -> time:int -> payload:int -> unit
+
+(** Poll under the queue's lock at [now]: completion time and the event,
+    if one is visible. *)
+val poll : input_queue -> now:int -> op_cycles:int -> int * int option
+
+(** Events injected but not yet delivered. *)
+val input_pending : input_queue -> int
+
+val input_polls : input_queue -> int
+
+val input_delivered : input_queue -> int
+
+val input_lock : input_queue -> Spinlock.t

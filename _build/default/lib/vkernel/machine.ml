@@ -1,0 +1,110 @@
+(* The simulated Firefly: an array of virtual processors, each with its own
+   cycle clock.  The engine always steps the runnable processor with the
+   smallest clock, which guarantees that operations on shared resources are
+   processed in nondecreasing virtual-time order — the property the
+   contention models in {!Spinlock} and {!Devices} rely on.
+
+   The shared memory bus is modelled as a multiplicative slowdown on
+   memory-heavy operations: with [n] processors actively executing, a memory
+   operation costs [cost * (1 + beta * (n - 1))].  The Firefly's 16 KB
+   private caches mean most traffic stays off the bus, hence the small
+   default beta. *)
+
+type vp_state =
+  | Running          (* executing an interpreter *)
+  | Idle             (* no Smalltalk Process to run; polling the ready queue *)
+  | Parked_for_gc    (* reached the scavenge rendezvous *)
+  | Halted           (* shut down *)
+
+type vp = {
+  id : int;
+  mutable clock : int;
+  mutable state : vp_state;
+  mutable steps : int;            (* bytecodes executed, for reports *)
+  mutable spin_cycles : int;      (* cycles lost waiting for locks *)
+  mutable gc_wait_cycles : int;   (* cycles lost parked for scavenges *)
+}
+
+type t = {
+  vps : vp array;
+  cost : Cost_model.t;
+  mutable bus_factor_num : int;   (* fixed-point bus multiplier, /1024 *)
+}
+
+let active_count m =
+  Array.fold_left
+    (fun n vp -> match vp.state with Running | Idle -> n + 1 | Parked_for_gc | Halted -> n)
+    0 m.vps
+
+(* Processors actually executing bytecodes; idle ones stay off the bus. *)
+let running_count m =
+  Array.fold_left
+    (fun n vp -> match vp.state with Running -> n + 1 | Idle | Parked_for_gc | Halted -> n)
+    0 m.vps
+
+(* Recompute the bus multiplier; called when a processor changes state. *)
+let refresh_bus m =
+  let extra = max 0 (running_count m - 1) in
+  let beta = m.cost.Cost_model.bus_beta in
+  m.bus_factor_num <- 1024 + int_of_float (beta *. float_of_int extra *. 1024.)
+
+let make ~processors cost =
+  if processors < 1 then invalid_arg "Machine.make: need at least 1 processor";
+  let vps =
+    Array.init processors (fun id ->
+        { id; clock = 0; state = Running; steps = 0;
+          spin_cycles = 0; gc_wait_cycles = 0 })
+  in
+  let m = { vps; cost; bus_factor_num = 1024 } in
+  refresh_bus m;
+  m
+
+let processors m = Array.length m.vps
+let vp m i = m.vps.(i)
+
+let set_state m vp state =
+  vp.state <- state;
+  refresh_bus m
+
+(* Charge [cycles] of CPU-local work to [vp]. *)
+let charge _m vp cycles = vp.clock <- vp.clock + cycles
+
+(* Charge [cycles] of memory-heavy work, inflated by bus contention. *)
+let charge_mem m vp cycles =
+  vp.clock <- vp.clock + (cycles * m.bus_factor_num) asr 10
+
+(* The runnable processor with the smallest clock, if any. *)
+let min_runnable m =
+  let best = ref None in
+  Array.iter
+    (fun vp ->
+      match vp.state with
+      | Running | Idle ->
+          (match !best with
+           | Some b when b.clock <= vp.clock -> ()
+           | _ -> best := Some vp)
+      | Parked_for_gc | Halted -> ())
+    m.vps;
+  !best
+
+let max_clock m =
+  Array.fold_left (fun t vp -> max t vp.clock) 0 m.vps
+
+let all_parked_or_halted m =
+  Array.for_all
+    (fun vp -> match vp.state with Parked_for_gc | Halted -> true | Running | Idle -> false)
+    m.vps
+
+(* Advance every live processor's clock to at least [t]; used after a
+   stop-the-world pause so nobody resumes in the past. *)
+let synchronize_clocks m t =
+  Array.iter
+    (fun vp ->
+      match vp.state with
+      | Halted -> ()
+      | Running | Idle | Parked_for_gc ->
+          if vp.clock < t then begin
+            vp.gc_wait_cycles <- vp.gc_wait_cycles + (t - vp.clock);
+            vp.clock <- t
+          end)
+    m.vps

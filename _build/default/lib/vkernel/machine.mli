@@ -1,0 +1,57 @@
+(** The simulated Firefly: virtual processors with cycle clocks.
+
+    The engine always steps the runnable processor with the smallest
+    clock, which guarantees that operations on shared resources are
+    processed in nondecreasing virtual-time order — the property the
+    contention models in {!Spinlock} and {!Devices} rely on.  The shared
+    memory bus is a multiplicative slowdown on memory-heavy operations,
+    growing with the number of processors actively executing. *)
+
+type vp_state =
+  | Running  (** executing an interpreter *)
+  | Idle  (** no Smalltalk Process; polling the ready queue *)
+  | Parked_for_gc
+  | Halted
+
+type vp = {
+  id : int;
+  mutable clock : int;  (** this processor's virtual time, in cycles *)
+  mutable state : vp_state;
+  mutable steps : int;  (** bytecodes executed *)
+  mutable spin_cycles : int;  (** cycles lost waiting for locks *)
+  mutable gc_wait_cycles : int;  (** cycles lost to scavenge pauses *)
+}
+
+type t
+
+val make : processors:int -> Cost_model.t -> t
+
+val processors : t -> int
+
+val vp : t -> int -> vp
+
+(** Live processors (running or idle). *)
+val active_count : t -> int
+
+(** Processors actually executing bytecodes; idle ones stay off the bus. *)
+val running_count : t -> int
+
+(** Change a processor's state, refreshing the bus multiplier. *)
+val set_state : t -> vp -> vp_state -> unit
+
+(** Charge CPU-local cycles. *)
+val charge : t -> vp -> int -> unit
+
+(** Charge memory-heavy cycles, inflated by bus contention. *)
+val charge_mem : t -> vp -> int -> unit
+
+(** The runnable processor with the smallest clock, if any. *)
+val min_runnable : t -> vp option
+
+val max_clock : t -> int
+
+val all_parked_or_halted : t -> bool
+
+(** Advance every live clock to at least the given time (end of a
+    stop-the-world pause); the advance is recorded as GC wait. *)
+val synchronize_clocks : t -> int -> unit

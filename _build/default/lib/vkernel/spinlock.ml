@@ -1,0 +1,83 @@
+(* The V System spin-lock, as a deterministic contention model.
+
+   The real lock is an interlocked test-and-set; when the test fails the
+   locking code invokes the kernel's [Delay] operation with a minimal
+   timeout and retries (paper, section 3.1).  Because the engine steps
+   processors in nondecreasing virtual-time order, and because every
+   critical section in MS is short enough to complete within one
+   interpreter step, a lock reduces to a timeline: [free_at] is the moment
+   the current holder releases.  An acquire at time [now]:
+
+   - succeeds immediately if [now >= free_at], costing one test-and-set;
+   - otherwise retries every [delay_quantum] cycles until the lock is free,
+     so the operation starts at the first retry instant at or after
+     [free_at].
+
+   A disabled lock (baseline Berkeley Smalltalk, which is single-threaded)
+   charges nothing: the code path simply has no synchronization. *)
+
+type t = {
+  name : string;
+  enabled : bool;
+  delay_quantum : int;
+  acquire_cost : int;
+  mutable free_at : int;
+  (* statistics *)
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable spin_cycles : int;
+}
+
+let make ~enabled ~cost name =
+  { name;
+    enabled;
+    delay_quantum = cost.Cost_model.delay_quantum;
+    acquire_cost = cost.Cost_model.lock_acquire;
+    free_at = 0;
+    acquisitions = 0;
+    contended = 0;
+    spin_cycles = 0 }
+
+let name t = t.name
+let enabled t = t.enabled
+let acquisitions t = t.acquisitions
+let contended t = t.contended
+let spin_cycles t = t.spin_cycles
+
+let reset_stats t =
+  t.acquisitions <- 0;
+  t.contended <- 0;
+  t.spin_cycles <- 0;
+  t.free_at <- 0
+
+(* Perform a critical section of [op_cycles] starting no earlier than [now].
+   Returns the completion time. *)
+let locked_op t ~now ~op_cycles =
+  if not t.enabled then now + op_cycles
+  else begin
+    t.acquisitions <- t.acquisitions + 1;
+    let start =
+      if now >= t.free_at then now
+      else begin
+        t.contended <- t.contended + 1;
+        let wait = t.free_at - now in
+        let q = t.delay_quantum in
+        let retries = (wait + q - 1) / q in
+        let start = now + (retries * q) in
+        t.spin_cycles <- t.spin_cycles + (start - now);
+        start
+      end
+    in
+    let finish = start + t.acquire_cost + op_cycles in
+    t.free_at <- finish;
+    finish
+  end
+
+(* Convenience: run the critical section on a processor, updating its clock
+   and spin statistics. *)
+let locked_op_on t (vp : Machine.vp) ~op_cycles =
+  let now = vp.Machine.clock in
+  let finish = locked_op t ~now ~op_cycles in
+  let spin = finish - now - op_cycles - (if t.enabled then t.acquire_cost else 0) in
+  if spin > 0 then vp.Machine.spin_cycles <- vp.Machine.spin_cycles + spin;
+  vp.Machine.clock <- finish

@@ -1,0 +1,43 @@
+(** The V System spin-lock, as a deterministic contention model.
+
+    The real lock is an interlocked test-and-set; on failure the locking
+    code invokes the kernel's [Delay] with a minimal timeout and retries
+    (paper, section 3.1).  Because the engine steps virtual processors in
+    nondecreasing virtual-time order and every critical section in MS
+    completes within one interpreter step, a lock reduces to a timeline:
+    an acquire at time [now] either succeeds immediately or retries every
+    delay quantum until the holder's release time.
+
+    A disabled lock (baseline Berkeley Smalltalk is single-threaded)
+    charges nothing. *)
+
+type t
+
+(** [make ~enabled ~cost name] creates a lock.  [cost] supplies the
+    test-and-set cost and the Delay retry quantum. *)
+val make : enabled:bool -> cost:Cost_model.t -> string -> t
+
+val name : t -> string
+
+val enabled : t -> bool
+
+(** [locked_op t ~now ~op_cycles] performs a critical section of
+    [op_cycles] starting no earlier than [now] and returns its completion
+    time.  Calls must be made in nondecreasing [now] order. *)
+val locked_op : t -> now:int -> op_cycles:int -> int
+
+(** [locked_op_on t vp ~op_cycles] is [locked_op] against a virtual
+    processor's clock, updating the clock and its spin statistics. *)
+val locked_op_on : t -> Machine.vp -> op_cycles:int -> unit
+
+(** {2 Statistics} *)
+
+val acquisitions : t -> int
+
+(** Number of acquisitions that found the lock held. *)
+val contended : t -> int
+
+(** Total cycles spent spinning (in Delay-quantum steps). *)
+val spin_cycles : t -> int
+
+val reset_stats : t -> unit

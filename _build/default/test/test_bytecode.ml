@@ -1,0 +1,154 @@
+(* Tests for the bytecode set, assembler and disassembler. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample_ops = [
+  Opcode.Push_receiver;
+  Opcode.Push_temp 3;
+  Opcode.Push_ivar 12;
+  Opcode.Push_literal 7;
+  Opcode.Push_nil;
+  Opcode.Push_true;
+  Opcode.Push_false;
+  Opcode.Push_smallint 1234;
+  Opcode.Push_smallint (-1234);
+  Opcode.Push_global 2;
+  Opcode.Push_block { nargs = 2; arg_start = 5; body_len = 9 };
+  Opcode.Store_temp 4;
+  Opcode.Store_ivar 1;
+  Opcode.Store_global 0;
+  Opcode.Pop;
+  Opcode.Dup;
+  Opcode.Send { selector = 11; nargs = 3 };
+  Opcode.Super_send { selector = 0; nargs = 0 };
+  Opcode.Jump 17;
+  Opcode.Jump (-17);
+  Opcode.Jump_if_true 4;
+  Opcode.Jump_if_false (-4);
+  Opcode.Return_top;
+  Opcode.Return_receiver;
+  Opcode.Block_return;
+]
+
+let test_roundtrip () =
+  List.iter
+    (fun op ->
+      let decoded = Opcode.decode (Opcode.encode op) in
+      check_bool (Format.asprintf "%a round-trips" Opcode.pp op) true
+        (decoded = op))
+    sample_ops
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"random operands round-trip" ~count:500
+    QCheck.(triple (int_range 0 24) (int_range 0 1000) (int_range 0 30))
+    (fun (kind, a, b) ->
+      let op =
+        match kind mod 8 with
+        | 0 -> Opcode.Push_temp a
+        | 1 -> Opcode.Push_smallint (a - 500)
+        | 2 -> Opcode.Send { selector = a; nargs = b }
+        | 3 -> Opcode.Jump (a - 500)
+        | 4 -> Opcode.Jump_if_false (a - 500)
+        | 5 -> Opcode.Push_block { nargs = b; arg_start = a mod 90; body_len = a }
+        | 6 -> Opcode.Store_ivar a
+        | _ -> Opcode.Push_literal a
+      in
+      Opcode.decode (Opcode.encode op) = op)
+
+let test_stack_effect () =
+  check "push is +1" 1 (Opcode.stack_effect Opcode.Push_nil);
+  check "pop is -1" (-1) (Opcode.stack_effect Opcode.Pop);
+  check "send pops args" (-2)
+    (Opcode.stack_effect (Opcode.Send { selector = 0; nargs = 2 }));
+  check "store leaves the value" 0 (Opcode.stack_effect (Opcode.Store_temp 0));
+  check "conditional jump pops" (-1)
+    (Opcode.stack_effect (Opcode.Jump_if_true 0))
+
+let test_assembler_forward () =
+  let asm = Assembler.create () in
+  let l = Assembler.new_label asm in
+  Assembler.emit asm Opcode.Push_true;
+  Assembler.emit_jump asm `If_false l;
+  Assembler.emit asm (Opcode.Push_smallint 1);
+  Assembler.emit_jump asm `Jump l;
+  Assembler.emit asm (Opcode.Push_smallint 2);
+  Assembler.place_label asm l;
+  Assembler.emit asm Opcode.Return_top;
+  let code = Assembler.finish asm in
+  (match Opcode.decode code.(1) with
+   | Opcode.Jump_if_false off -> check "forward target" 5 (1 + 1 + off)
+   | _ -> Alcotest.fail "expected Jump_if_false");
+  (match Opcode.decode code.(3) with
+   | Opcode.Jump off -> check "second jump same label" 5 (3 + 1 + off)
+   | _ -> Alcotest.fail "expected Jump")
+
+let test_assembler_backward () =
+  let asm = Assembler.create () in
+  let top = Assembler.new_label asm in
+  Assembler.place_label asm top;
+  Assembler.emit asm Opcode.Push_true;
+  Assembler.emit_jump asm `Jump top;
+  let code = Assembler.finish asm in
+  (match Opcode.decode code.(1) with
+   | Opcode.Jump off -> check "backward offset" 0 (1 + 1 + off)
+   | _ -> Alcotest.fail "expected Jump")
+
+let test_assembler_block () =
+  let asm = Assembler.create () in
+  let endl = Assembler.new_label asm in
+  Assembler.emit_jump asm (`Block (2, 4)) endl;
+  Assembler.emit asm Opcode.Push_nil;
+  Assembler.emit asm Opcode.Block_return;
+  Assembler.place_label asm endl;
+  let code = Assembler.finish asm in
+  (match Opcode.decode code.(0) with
+   | Opcode.Push_block { nargs; arg_start; body_len } ->
+       check "nargs" 2 nargs;
+       check "arg_start" 4 arg_start;
+       check "body length" 2 body_len
+   | _ -> Alcotest.fail "expected Push_block")
+
+let test_assembler_unplaced () =
+  let asm = Assembler.create () in
+  let l = Assembler.new_label asm in
+  Assembler.emit_jump asm `Jump l;
+  Alcotest.check_raises "unplaced label is refused"
+    (Invalid_argument "Assembler.finish: unplaced label")
+    (fun () -> ignore (Assembler.finish asm))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then false
+    else if String.sub s i m = sub then true
+    else go (i + 1)
+  in
+  go 0
+
+let test_disasm_plain () =
+  let code =
+    Array.map Opcode.encode
+      [| Opcode.Push_smallint 5;
+         Opcode.Send { selector = 0; nargs = 1 };
+         Opcode.Jump 1;
+         Opcode.Push_nil;
+         Opcode.Return_top |]
+  in
+  let text = Disasm.to_string ~literal:(fun _ -> "factorial") code in
+  check_bool "selector rendered" true (contains text "factorial");
+  check_bool "jump target rendered" true (contains text "jump -> 4")
+
+let () =
+  Alcotest.run "bytecode"
+    [ ("opcode",
+       [ Alcotest.test_case "round trip" `Quick test_roundtrip;
+         Alcotest.test_case "stack effect" `Quick test_stack_effect;
+         QCheck_alcotest.to_alcotest roundtrip_prop ]);
+      ("assembler",
+       [ Alcotest.test_case "forward labels" `Quick test_assembler_forward;
+         Alcotest.test_case "backward labels" `Quick test_assembler_backward;
+         Alcotest.test_case "block emission" `Quick test_assembler_block;
+         Alcotest.test_case "unplaced label" `Quick test_assembler_unplaced ]);
+      ("disasm",
+       [ Alcotest.test_case "listing" `Quick test_disasm_plain ]) ]

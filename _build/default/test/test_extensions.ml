@@ -1,0 +1,244 @@
+(* Tests for the extended protocol: perform:, doesNotUnderstand:
+   overriding (message-forwarding proxies), Delay timers, and sorting. *)
+
+let vm = lazy (Vm.create (Config.testing ()))
+let ev src = Vm.eval_to_string (Lazy.force vm) src
+let check_eval name expected src = Alcotest.(check string) name expected (ev src)
+let check_bool = Alcotest.(check bool)
+
+let test_perform () =
+  check_eval "perform:" "24" "4 perform: #factorial";
+  check_eval "perform:with:" "7" "3 perform: #+ with: 4";
+  check_eval "perform:with:with:" "'bcd'"
+    "'abcde' perform: #copyFrom:to: with: 2 with: 4";
+  check_eval "perform: dispatches virtually" "'#sym'"
+    "#sym perform: #printString";
+  check_bool "perform: with a non-symbol raises" true
+    (try ignore (ev "3 perform: 4"); false
+     with Interp.Does_not_understand _ -> true)
+
+let test_dnu_default () =
+  check_bool "default doesNotUnderstand: reports an error" true
+    (try ignore (ev "3 zork"); false
+     with State.Vm_error msg ->
+       Alcotest.(check bool) "mentions the selector" true
+         (let rec find i =
+            i + 4 <= String.length msg
+            && (String.sub msg i 4 = "zork" || find (i + 1))
+          in
+          find 0);
+       true)
+
+let test_dnu_override () =
+  let vm' = Lazy.force vm in
+  Vm.load_classes vm'
+    {st|
+CLASS LoggingProxy SUPER Object IVARS log target
+METHODS LoggingProxy
+setTarget: anObject
+    target := anObject.
+    log := OrderedCollection new
+!
+log
+    ^log
+!
+doesNotUnderstand: aMessage
+    "record and forward: the classic Smalltalk proxy"
+    log add: aMessage selector.
+    aMessage arguments size = 0
+        ifTrue: [^target perform: aMessage selector].
+    aMessage arguments size = 1
+        ifTrue: [^target perform: aMessage selector
+                         with: (aMessage arguments at: 1)].
+    ^target perform: aMessage selector
+            with: (aMessage arguments at: 1)
+            with: (aMessage arguments at: 2)
+!
+|st};
+  check_eval "proxy forwards unary" "24"
+    "| p | p := LoggingProxy new. p setTarget: 4. p factorial";
+  check_eval "proxy forwards binary" "9"
+    "| p | p := LoggingProxy new. p setTarget: 4. p + 5";
+  check_eval "proxy records the traffic" "2"
+    "| p | p := LoggingProxy new. p setTarget: 4. p factorial. p even. p log size";
+  check_eval "message selector is a Symbol" "true"
+    "| p | p := LoggingProxy new. p setTarget: 4. p squared. (p log at: 1) == #squared"
+
+let test_delay () =
+  check_eval "delay elapses virtual time" "true"
+    {st|
+| before after |
+before := Mirror millisecondClockValue.
+(Delay forMilliseconds: 120) wait.
+after := Mirror millisecondClockValue.
+after - before >= 120
+|st};
+  check_eval "delays wake in order" "'ab'"
+    {st|
+| log sem kit |
+log := WriteStream on: (String new: 4).
+sem := Semaphore new.
+[ (Delay forMilliseconds: 200) wait. log nextPutAll: 'b'. sem signal ] fork.
+[ (Delay forMilliseconds: 50) wait. log nextPutAll: 'a'. sem signal ] fork.
+sem wait. sem wait.
+log contents
+|st}
+
+let test_delay_multiprocessor () =
+  let vm = Vm.create (Config.testing ~processors:3 ()) in
+  Alcotest.(check string) "delays work across processors" "3"
+    (Vm.eval_to_string vm
+       {st|
+| sem count holder |
+sem := Semaphore new.
+holder := Array with: 0.
+1 to: 3 do: [:k |
+    [ (Delay forMilliseconds: k * 30) wait.
+      holder at: 1 put: (holder at: 1) + 1.
+      sem signal ] fork].
+1 to: 3 do: [:k | sem wait].
+count := holder at: 1.
+count
+|st})
+
+let test_sorting () =
+  check_eval "sort integers" "'Array (1 2 5 9 )'"
+    "#(5 2 9 1) asSortedArray printString";
+  check_eval "sort with a custom block" "'Array (9 5 2 1 )'"
+    "(#(5 2 9 1) asSortedArray: [:a :b | a > b]) printString";
+  check_eval "sort strings" "'Array ('ant' 'bee' 'cat' )'"
+    "#('cat' 'ant' 'bee') asSortedArray printString";
+  check_eval "sort is stable for equal keys" "4"
+    "(#(3 1 3 1) asSortedArray: [:a :b | a < b]) size";
+  check_eval "empty sort" "0" "(Array new: 0) asSortedArray size";
+  check_eval "sorted OrderedCollection" "'Array (1 2 3 )'"
+    "| c | c := OrderedCollection new. c add: 3; add: 1; add: 2. c asSortedArray printString"
+
+let test_aggregates () =
+  check_eval "max" "9" "#(5 2 9 1) max";
+  check_eval "min" "1" "#(5 2 9 1) min";
+  check_eval "sum" "17" "#(5 2 9 1) sum"
+
+let test_message_class () =
+  check_eval "message arguments preserved" "'(7)'"
+    {st|
+Mirror compile: 'doesNotUnderstand: m
+    ^''('' , (m arguments at: 1) printString , '')''
+' into: EchoArgs classSide: false.
+EchoArgs new someUnknown: 7
+|st}
+
+
+
+(* --- property: random integer expressions agree with a reference model --- *)
+
+(* Random arithmetic/comparison ASTs are printed as Smalltalk source with
+   full parenthesisation, evaluated on the VM, and compared against an
+   OCaml evaluation of the same tree.  This exercises the lexer, parser,
+   code generator, the special-selector fast path and the primitive
+   fallbacks together. *)
+
+type iexpr =
+  | Const of int
+  | Bin of string * iexpr * iexpr
+  | Una of string * iexpr
+
+let rec gen_iexpr rng depth =
+  if depth = 0 || Random.State.int rng 4 = 0 then
+    Const (Random.State.int rng 2001 - 1000)
+  else
+    match Random.State.int rng 8 with
+    | 0 -> Bin ("+", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 1 -> Bin ("-", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 2 -> Bin ("*", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 3 -> Bin ("//", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 4 -> Bin ("\\\\", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 5 -> Bin ("max:", gen_iexpr rng (depth - 1), gen_iexpr rng (depth - 1))
+    | 6 -> Una ("abs", gen_iexpr rng (depth - 1))
+    | _ -> Una ("negated", gen_iexpr rng (depth - 1))
+
+let rec st_source = function
+  | Const n -> string_of_int n
+  | Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (st_source a)
+        (if op = "\\\\" then "\\\\" else op)
+        (st_source b)
+  | Una (op, a) -> Printf.sprintf "(%s %s)" (st_source a) op
+
+let floor_div a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let floor_mod a b =
+  let r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then r + b else r
+
+exception Division_by_zero_model
+
+let rec model = function
+  | Const n -> n
+  | Bin (op, a, b) ->
+      let x = model a and y = model b in
+      (match op with
+       | "+" -> x + y
+       | "-" -> x - y
+       | "*" -> x * y
+       | "//" -> if y = 0 then raise Division_by_zero_model else floor_div x y
+       | "max:" -> max x y
+       | _ -> if y = 0 then raise Division_by_zero_model else floor_mod x y)
+  | Una (op, a) ->
+      let x = model a in
+      (match op with "abs" -> abs x | _ -> -x)
+
+let arithmetic_agreement_prop =
+  QCheck.Test.make ~name:"random integer expressions match the OCaml model"
+    ~count:120
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 5))
+    (fun (seed, depth) ->
+      let rng = Random.State.make [| seed |] in
+      let e = gen_iexpr rng depth in
+      match model e with
+      | expected ->
+          Vm.eval_to_string (Lazy.force vm) (st_source e)
+          = string_of_int expected
+      | exception Division_by_zero_model ->
+          (try
+             ignore (Vm.eval_to_string (Lazy.force vm) (st_source e));
+             false
+           with State.Vm_error _ -> true))
+
+let bitops_agreement_prop =
+  QCheck.Test.make ~name:"bit operations match the OCaml model" ~count:120
+    QCheck.(triple (int_range (-100000) 100000) (int_range (-100000) 100000)
+              (int_range 0 3))
+    (fun (a, b, k) ->
+      let src, expected =
+        match k with
+        | 0 -> (Printf.sprintf "(%d) bitAnd: (%d)" a b, a land b)
+        | 1 -> (Printf.sprintf "(%d) bitOr: (%d)" a b, a lor b)
+        | 2 -> (Printf.sprintf "(%d) bitXor: (%d)" a b, a lxor b)
+        | _ ->
+            let sh = abs b mod 20 in
+            (Printf.sprintf "(%d) bitShift: %d" a sh, a lsl sh)
+      in
+      Vm.eval_to_string (Lazy.force vm) src = string_of_int expected)
+
+let () =
+  (* the Message test needs its class defined first *)
+  Vm.load_classes (Lazy.force vm) "CLASS EchoArgs SUPER Object\n";
+  Alcotest.run "extensions"
+    [ ("perform",
+       [ Alcotest.test_case "perform variants" `Quick test_perform ]);
+      ("doesNotUnderstand",
+       [ Alcotest.test_case "default" `Quick test_dnu_default;
+         Alcotest.test_case "proxy override" `Quick test_dnu_override;
+         Alcotest.test_case "message object" `Quick test_message_class ]);
+      ("delay",
+       [ Alcotest.test_case "virtual time" `Quick test_delay;
+         Alcotest.test_case "multiprocessor" `Quick test_delay_multiprocessor ]);
+      ("sorting",
+       [ Alcotest.test_case "sorts" `Quick test_sorting;
+         Alcotest.test_case "aggregates" `Quick test_aggregates ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest arithmetic_agreement_prop;
+         QCheck_alcotest.to_alcotest bitops_agreement_prop ]) ]

@@ -1,0 +1,140 @@
+(* Broad protocol coverage for the kernel image: one small assertion per
+   behaviour, grouped by class family.  These complement the semantic
+   tests in test_interp.ml by sweeping the long tail of the protocol. *)
+
+let vm = lazy (Vm.create (Config.testing ()))
+let ev src = Vm.eval_to_string (Lazy.force vm) src
+let check name expected src = Alcotest.(check string) name expected (ev src)
+
+let test_object_protocol () =
+  check "yourself" "3" "3 yourself";
+  check "->" "7" "(#k -> 7) value";
+  check "association key" "#k" "(#k -> 7) key";
+  check "species default" "Point" "(Point x: 1 y: 2) species";
+  check "isNumber" "true" "3 isNumber";
+  check "isNumber string" "false" "'x' isNumber";
+  check "isSymbol" "true" "#x isSymbol";
+  check "isString on symbol" "true" "#x isString";
+  check "isClass" "true" "Object isClass";
+  check "ifNotNil:" "4" "3 ifNotNil: [:v | v + 1]";
+  check "xor" "true" "true xor: false";
+  check "boolean and op" "false" "true & false";
+  check "boolean or op" "true" "false | true"
+
+let test_number_protocol () =
+  check "between" "true" "5 between: 1 and: 9";
+  check "not between" "false" "15 between: 1 and: 9";
+  check "sign positive" "1" "9 sign";
+  check "sign negative" "-1" "-9 sign";
+  check "sign zero" "0" "0 sign";
+  check "squared" "49" "7 squared";
+  check "isZero" "true" "0 isZero";
+  check "quo rounds toward zero" "-1" "-5 / 3";
+  check "floor div rounds down" "-2" "-5 // 3";
+  check "min:" "2" "7 min: 2";
+  check "asCharacter" "$A" "65 asCharacter";
+  check "float mixed compare" "true" "3 < 3.5";
+  check "float printString" "'2.5'" "2.5 printString";
+  check "float negative" "-3" "(0 - 3.5) truncated";
+  check "interval asArray" "3" "(2 to: 6 by: 2) asArray size";
+  check "interval last" "6" "(2 to: 6 by: 2) last";
+  check "interval backwards empty" "0" "(5 to: 1) size"
+
+let test_character_protocol () =
+  check "char comparison" "true" "$a < $b";
+  check "char isLetter" "true" "$q isLetter";
+  check "char isLetter digit" "false" "$7 isLetter";
+  check "char isDigit" "true" "$7 isDigit";
+  check "char isSeparator" "true" "(Character value: 9) isSeparator";
+  check "char asString" "'z'" "$z asString";
+  check "char printString" "'$z'" "$z printString"
+
+let test_string_protocol () =
+  check "asLowercase" "'abc'" "'ABC' asLowercase";
+  check "occurrencesOf" "2" "'banana' occurrencesOf: $n";
+  check "indexOf" "3" "'banana' indexOf: $n";
+  check "string le" "true" "'abc' <= 'abc'";
+  check "empty compare" "true" "'' < 'a'";
+  check "copy independence" "'xbc'"
+    "| a b | a := 'abc'. b := a copy. b at: 1 put: $x. b";
+  check "copy leaves original" "'abc'"
+    "| a b | a := 'abc'. b := a copy. b at: 1 put: $x. a";
+  check "symbol species copy is a String" "String" "#hello copy class";
+  check "displayString has no quotes" "'x'" "'x' displayString"
+
+let test_collection_protocol () =
+  check "detect" "4" "#(1 3 4) detect: [:x | x even]";
+  check "detect ifNone" "-1" "#(1 3 5) detect: [:x | x even] ifNone: [-1]";
+  check "anySatisfy" "true" "#(1 2 3) anySatisfy: [:x | x > 2]";
+  check "allSatisfy" "false" "#(1 2 3) allSatisfy: [:x | x > 2]";
+  check "count:" "2" "#(1 2 3 4) count: [:x | x > 2]";
+  check "reverseDo order" "'321'"
+    "| ws | ws := WriteStream on: (String new: 3). #(1 2 3) reverseDo: [:e | ws print: e]. ws contents";
+  check "with:do:" "14" "| s | s := 0. #(1 2 3) with: #(1 2 3) do: [:a :b | s := s + (a * b)]. s";
+  check "doWithIndex" "14"
+    "| s | s := 0. #(4 5) doWithIndex: [:e :i | s := s + (e * i)]. s";
+  check "collection displayString" "true"
+    "#(1 2) printString startsWith: 'Array'";
+  check "ordered collection first/last" "4"
+    "| c | c := OrderedCollection new. c add: 1; add: 4. c last";
+  check "set remove" "0"
+    "| s | s := Set new. s add: 1. s remove: 1 ifAbsent: [nil]. s size";
+  check "dictionary at:ifAbsentPut:" "2"
+    "| d | d := Dictionary new. d at: 1 ifAbsentPut: [2]. d at: 1 ifAbsentPut: [9]. d at: 1";
+  check "keysDo" "3"
+    "| d n | d := Dictionary new. d at: 1 put: 0. d at: 2 put: 0. d at: 3 put: 0. n := 0. d keysDo: [:k | n := n + 1]. n"
+
+let test_stream_protocol () =
+  check "upToEnd" "'cde'"
+    "| rs | rs := ReadStream on: 'abcde'. rs next. rs next. rs upToEnd";
+  check "peek does not advance" "$a"
+    "| rs | rs := ReadStream on: 'abc'. rs peek. rs peek. rs next";
+  check "atEnd" "true" "| rs | rs := ReadStream on: ''. rs atEnd";
+  check "next at end is nil" "nil" "| rs | rs := ReadStream on: ''. rs next";
+  check "skip:" "$c" "| rs | rs := ReadStream on: 'abc'. rs skip: 2. rs next";
+  check "write stream cr/tab" "4"
+    "| ws | ws := WriteStream on: (String new: 2). ws nextPutAll: 'ab'; cr; tab. ws contents size";
+  check "display:" "'3'"
+    "| ws | ws := WriteStream on: (String new: 2). ws display: 3. ws contents"
+
+let test_shared_queue () =
+  check "fifo order" "'abc'"
+    {st|
+| q ws |
+q := SharedQueue new.
+q nextPut: $a; nextPut: $b; nextPut: $c.
+ws := WriteStream on: (String new: 3).
+3 timesRepeat: [ws nextPut: q next].
+ws contents
+|st};
+  check "size under protection" "2"
+    "| q | q := SharedQueue new. q nextPut: 1; nextPut: 2. q size";
+  check "peek" "7" "| q | q := SharedQueue new. q nextPut: 7. q peek";
+  check "peek on empty" "nil" "SharedQueue new peek";
+  check "blocking handoff between processes" "41"
+    {st|
+| q |
+q := SharedQueue new.
+[ (Delay forMilliseconds: 30) wait. q nextPut: 41 ] fork.
+q next
+|st}
+
+let test_class_protocol () =
+  check "allSuperclasses" "true"
+    "(SmallInteger allSuperclasses includes: Object)";
+  check "category" "'Kernel-Numbers'" "SmallInteger category";
+  check "class printString" "'Symbol'" "Symbol printString";
+  check "format of bytes class" "3" "String format";
+  check "format of variable class" "1" "Array format";
+  check "format of fixed class" "0" "Point format"
+
+let () =
+  Alcotest.run "kernel_protocol"
+    [ ("object", [ Alcotest.test_case "object" `Quick test_object_protocol ]);
+      ("numbers", [ Alcotest.test_case "numbers" `Quick test_number_protocol ]);
+      ("characters", [ Alcotest.test_case "characters" `Quick test_character_protocol ]);
+      ("strings", [ Alcotest.test_case "strings" `Quick test_string_protocol ]);
+      ("collections", [ Alcotest.test_case "collections" `Quick test_collection_protocol ]);
+      ("streams", [ Alcotest.test_case "streams" `Quick test_stream_protocol ]);
+      ("shared_queue", [ Alcotest.test_case "shared queue" `Quick test_shared_queue ]);
+      ("classes", [ Alcotest.test_case "classes" `Quick test_class_protocol ]) ]

@@ -1,0 +1,305 @@
+(* Tests for Smalltalk Process scheduling on the simulated multiprocessor:
+   fork/join, priorities and preemption, semaphores, yield, suspend/resume,
+   terminate, and MS's reorganized protocol (thisProcess / canRun: / the
+   running-Processes-stay-in-queue rule). *)
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let make ?(processors = 5) () = Vm.create (Config.testing ~processors ())
+
+(* Worker isolation pattern: forked blocks must come from distinct method
+   activations so their home frames are not shared. *)
+let worker_kit = {st|
+CLASS WorkerKit SUPER Object
+METHODS WorkerKit
+spawn: k into: results done: sem
+    [ | s |
+      s := 0.
+      1 to: k * 100 do: [:i | s := s + i].
+      results at: k put: s.
+      sem signal ] fork
+!
+spawnAt: priority mark: results slot: k done: sem
+    [ results at: k put: Processor thisProcess priority.
+      sem signal ] forkAt: priority
+!
+|st}
+
+let test_fork_join () =
+  let vm = make () in
+  Vm.load_classes vm worker_kit;
+  check_str "four workers all complete" "4"
+    (Vm.eval_to_string vm
+       {st|
+| results sem kit count |
+results := Array new: 4.
+sem := Semaphore new.
+kit := WorkerKit new.
+1 to: 4 do: [:k | kit spawn: k into: results done: sem].
+1 to: 4 do: [:k | sem wait].
+count := 0.
+results do: [:r | r notNil ifTrue: [count := count + 1]].
+count
+|st});
+  check_str "worker results are correct" "true"
+    (Vm.eval_to_string vm
+       {st|
+| results sem kit ok |
+results := Array new: 4.
+sem := Semaphore new.
+kit := WorkerKit new.
+1 to: 4 do: [:k | kit spawn: k into: results done: sem].
+1 to: 4 do: [:k | sem wait].
+ok := true.
+1 to: 4 do: [:k |
+    (results at: k) = (k * 100 * (k * 100 + 1) // 2) ifFalse: [ok := false]].
+ok
+|st})
+
+let test_semaphore_excess () =
+  let vm = make ~processors:1 () in
+  check_str "signals accumulate" "9"
+    (Vm.eval_to_string vm
+       "| s | s := Semaphore new. s signal; signal; signal. s wait. s wait. s wait. 9");
+  check_str "excessSignals visible" "2"
+    (Vm.eval_to_string vm
+       "| s | s := Semaphore new. s signal; signal. s excessSignals")
+
+let test_mutual_exclusion () =
+  let vm = make () in
+  Vm.load_classes vm
+    {st|
+CLASS CriticalKit SUPER Object
+METHODS CriticalKit
+bump: holder guard: mutex done: sem
+    [ 1 to: 50 do: [:i |
+          mutex critical: [holder at: 1 put: (holder at: 1) + 1]].
+      sem signal ] fork
+!
+|st};
+  check_str "critical section protects the counter" "200"
+    (Vm.eval_to_string vm
+       {st|
+| holder mutex sem kit |
+holder := Array with: 0.
+mutex := Semaphore forMutualExclusion.
+sem := Semaphore new.
+kit := CriticalKit new.
+1 to: 4 do: [:k | kit bump: holder guard: mutex done: sem].
+1 to: 4 do: [:k | sem wait].
+holder at: 1
+|st})
+
+let test_priorities () =
+  let vm = make ~processors:1 () in
+  Vm.load_classes vm worker_kit;
+  (* on one processor, a higher-priority Process runs to completion before
+     a lower-priority one gets a turn *)
+  check_str "priority order on a uniprocessor" "'HL'"
+    (Vm.eval_to_string vm
+       {st|
+| log sem |
+log := WriteStream on: (String new: 4).
+sem := Semaphore new.
+[ log nextPutAll: 'L'. sem signal ] forkAt: 2.
+[ log nextPutAll: 'H'. sem signal ] forkAt: 6.
+sem wait. sem wait.
+log contents
+|st})
+
+let test_preemption () =
+  let vm = make ~processors:1 () in
+  (* a long-running low-priority Process is preempted when a higher one
+     becomes ready via the input-event machinery... simplified: resume of a
+     high-priority process happens from the running low-priority one *)
+  check_str "higher priority preempts at the scheduling check" "'hi'"
+    (Vm.eval_to_string vm
+       {st|
+| flag proc |
+flag := Array with: 'no'.
+proc := [ flag at: 1 put: 'hi' ] newProcess.
+proc priority: 7.
+proc resume.
+"spin long enough to pass a scheduling check; the priority-7 process
+ must preempt this priority-5 doIt"
+1 to: 30000 do: [:i | i].
+flag at: 1
+|st})
+
+let test_yield () =
+  let vm = make ~processors:1 () in
+  check_str "yield lets an equal-priority process in" "'ab'"
+    (Vm.eval_to_string vm
+       {st|
+| log sem |
+log := WriteStream on: (String new: 4).
+sem := Semaphore new.
+[ log nextPutAll: 'a'. sem signal ] forkAt: 5.
+Processor yield.
+log nextPutAll: 'b'.
+sem wait.
+log contents
+|st})
+
+let test_suspend_resume () =
+  let vm = make ~processors:1 () in
+  check_str "suspended process does not run until resumed" "'ok'"
+    (Vm.eval_to_string vm
+       {st|
+| flag proc |
+flag := Array with: 'ok'.
+proc := [ flag at: 1 put: 'ran' ] newProcess.
+proc priority: 6.
+"not resumed: must not run"
+1 to: 20000 do: [:i | i].
+flag at: 1
+|st});
+  check_str "resume runs it" "'ran'"
+    (Vm.eval_to_string vm
+       {st|
+| flag proc |
+flag := Array with: 'no'.
+proc := [ flag at: 1 put: 'ran' ] newProcess.
+proc priority: 6.
+proc resume.
+1 to: 20000 do: [:i | i].
+flag at: 1
+|st})
+
+let test_terminate () =
+  let vm = make ~processors:2 () in
+  check_str "terminating a spinning process on another processor" "true"
+    (Vm.eval_to_string vm
+       {st|
+| proc |
+proc := [[true] whileTrue] newProcess.
+proc resume.
+1 to: 5000 do: [:i | i].
+proc terminate.
+1 to: 30000 do: [:i | i].
+proc isTerminated
+|st});
+  check_str "isTerminated after completion" "true"
+    (Vm.eval_to_string vm
+       {st|
+| proc |
+proc := [ 1 ] newProcess.
+proc resume.
+1 to: 30000 do: [:i | i].
+proc isTerminated
+|st})
+
+(* --- the reorganization (paper section 3.3) --- *)
+
+let test_this_process () =
+  let vm = make () in
+  check_str "thisProcess answers a Process" "true"
+    (Vm.eval_to_string vm "Processor thisProcess class == Process");
+  check_str "activeProcess is reorganized onto thisProcess" "true"
+    (Vm.eval_to_string vm "Processor activeProcess == Processor thisProcess")
+
+let test_can_run () =
+  let vm = make () in
+  check_str "the running process canRun" "true"
+    (Vm.eval_to_string vm "Processor canRun: Processor thisProcess");
+  check_str "a fresh suspended process cannot run" "false"
+    (Vm.eval_to_string vm "Processor canRun: [1] newProcess");
+  check_str "a resumed process can run" "true"
+    (Vm.eval_to_string vm
+       "| p | p := [1 to: 100000 do: [:i | i]] newProcess. p resume. Processor canRun: p")
+
+let test_running_stays_in_queue () =
+  (* MS semantics: the running Process remains in its ready list *)
+  let vm = make () in
+  check_str "running process visible in the ready list (MS)" "true"
+    (Vm.eval_to_string vm
+       {st|
+| me list found |
+me := Processor thisProcess.
+list := Processor readyLists at: me priority.
+found := false.
+list do: [:p | p == me ifTrue: [found := true]].
+found
+|st});
+  (* BS semantics: removed while running *)
+  let bs = Vm.create (Config.testing ~processors:1 ()) in
+  check_str "running process absent from the ready list (BS)" "false"
+    (Vm.eval_to_string bs
+       {st|
+| me list found |
+me := Processor thisProcess.
+list := Processor readyLists at: me priority.
+found := false.
+list do: [:p | p == me ifTrue: [found := true]].
+found
+|st})
+
+let test_scheduler_visible () =
+  let vm = make () in
+  check_str "ready lists are ordinary objects" "8"
+    (Vm.eval_to_string vm "Processor readyLists size");
+  check_str "ready lists are LinkedLists" "true"
+    (Vm.eval_to_string vm "(Processor readyLists at: 1) class == LinkedList")
+
+let test_input_events_signal_semaphore () =
+  let vm = make ~processors:1 () in
+  (* install an input semaphore, inject an event, check that the waiting
+     process is woken by the interpreter's periodic poll *)
+  Devices.inject vm.Vm.shared.State.input ~time:0 ~payload:42;
+  check_str "event wakes the waiter" "'woken'"
+    (Vm.eval_to_string vm
+       {st|
+| sem |
+sem := Semaphore new.
+Mirror setInputSemaphore: sem.
+sem wait.
+'woken'
+|st})
+
+let test_deadlock_detection () =
+  let vm = make ~processors:2 () in
+  let proc = Vm.spawn vm "| s | s := Semaphore new. s wait. 1" in
+  (match Vm.run ~watch:proc vm with
+   | Vm.Deadlock -> ()
+   | Vm.Finished _ -> Alcotest.fail "expected a deadlock"
+   | Vm.Cycle_limit -> Alcotest.fail "expected deadlock, hit cycle limit")
+
+let test_processes_spread_over_processors () =
+  let vm = make ~processors:4 () in
+  Vm.load_classes vm worker_kit;
+  ignore
+    (Vm.eval vm
+       {st|
+| results sem kit |
+results := Array new: 3.
+sem := Semaphore new.
+kit := WorkerKit new.
+1 to: 3 do: [:k | kit spawn: k into: results done: sem].
+1 to: 3 do: [:k | sem wait].
+0
+|st});
+  let active = Array.fold_left (fun n st -> if st.State.steps > 0 then n + 1 else n) 0 vm.Vm.states in
+  check_bool "more than one processor executed bytecodes" true (active > 1)
+
+let () =
+  Alcotest.run "scheduling"
+    [ ("processes",
+       [ Alcotest.test_case "fork/join" `Quick test_fork_join;
+         Alcotest.test_case "priorities" `Quick test_priorities;
+         Alcotest.test_case "preemption" `Quick test_preemption;
+         Alcotest.test_case "yield" `Quick test_yield;
+         Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+         Alcotest.test_case "terminate" `Quick test_terminate;
+         Alcotest.test_case "spread over processors" `Quick
+           test_processes_spread_over_processors ]);
+      ("semaphores",
+       [ Alcotest.test_case "excess signals" `Quick test_semaphore_excess;
+         Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;
+         Alcotest.test_case "input events" `Quick test_input_events_signal_semaphore;
+         Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection ]);
+      ("reorganization",
+       [ Alcotest.test_case "thisProcess" `Quick test_this_process;
+         Alcotest.test_case "canRun:" `Quick test_can_run;
+         Alcotest.test_case "ready queue semantics" `Quick test_running_stays_in_queue;
+         Alcotest.test_case "scheduler visibility" `Quick test_scheduler_visible ]) ]

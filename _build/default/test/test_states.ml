@@ -1,0 +1,123 @@
+(* Tests for the four system states of the evaluation and the ablations:
+   the *shape* of the paper's results must hold — baseline is fastest, MS
+   adds a modest static overhead, idle competition adds more, busy
+   competition the most; the replication strategies beat the serialized
+   alternatives under load. *)
+
+let check_bool = Alcotest.(check bool)
+
+(* a reduced benchmark set so the suite stays fast *)
+let quick_benchmarks =
+  List.filter_map
+    (fun (b : Macro.benchmark) ->
+      match b.Macro.key with
+      | "definition" -> Some { b with Macro.reps = 12 }
+      | "inspector" -> Some { b with Macro.reps = 20 }
+      | "compile" -> Some { b with Macro.reps = 25 }
+      | _ -> None)
+    Macro.benchmarks
+
+let results =
+  lazy (Macro.run_table2 ~benchmarks:quick_benchmarks ())
+
+let test_states_ordering () =
+  let results = Lazy.force results in
+  let seconds state key =
+    let cells = List.assoc state results in
+    let cell =
+      snd (List.find (fun (b, _) -> b.Macro.key = key) cells)
+    in
+    cell.Macro.seconds
+  in
+  List.iter
+    (fun (b : Macro.benchmark) ->
+      let base = seconds Macro.Baseline b.Macro.key in
+      let ms = seconds Macro.Ms_uni b.Macro.key in
+      let idle = seconds Macro.Ms_idle b.Macro.key in
+      let busy = seconds Macro.Ms_busy b.Macro.key in
+      check_bool (b.Macro.key ^ ": baseline is fastest") true (base <= ms);
+      check_bool (b.Macro.key ^ ": idle competition costs more than MS alone")
+        true (ms < idle *. 1.03);
+      check_bool (b.Macro.key ^ ": busy competition costs the most") true
+        (idle < busy))
+    quick_benchmarks
+
+let test_static_overhead_modest () =
+  let s = Report.summarize (Lazy.force results) in
+  check_bool "static overhead positive" true (s.Report.static_mean > 0.0);
+  check_bool "static overhead below 25%" true (s.Report.static_worst < 0.25);
+  check_bool "busy overhead larger than idle" true
+    (s.Report.busy_mean > s.Report.idle_mean)
+
+let test_normalization () =
+  let norm = Report.normalized (Lazy.force results) in
+  let baseline = List.assoc Macro.Baseline norm in
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check (float 1e-9)) "baseline normalizes to 1" 1.0 r)
+    baseline
+
+(* --- ablations (direction checks; magnitudes in the bench harness) --- *)
+
+let busy_seconds ~config_tweak bench reps =
+  let b =
+    { (List.find (fun b -> b.Macro.key = bench) Macro.benchmarks) with
+      Macro.reps = reps }
+  in
+  let vm = Macro.prepare_vm ~config_tweak Macro.Ms_busy in
+  (Macro.run_on vm b).Macro.seconds
+
+let test_ablation_free_contexts () =
+  (* serialized free-context list vs replicated, under busy competition *)
+  let replicated =
+    busy_seconds "definition" 10
+      ~config_tweak:(fun c -> { c with Config.free_contexts = Config.Ctx_replicated })
+  in
+  let serialized =
+    busy_seconds "definition" 10
+      ~config_tweak:(fun c -> { c with Config.free_contexts = Config.Ctx_shared_locked })
+  in
+  check_bool "replicating the free-context list helps under load" true
+    (replicated < serialized)
+
+let test_ablation_method_cache () =
+  let replicated =
+    busy_seconds "definition" 10
+      ~config_tweak:(fun c -> { c with Config.method_cache = Config.Cache_replicated })
+  in
+  let shared =
+    busy_seconds "definition" 10
+      ~config_tweak:(fun c -> { c with Config.method_cache = Config.Cache_shared_locked })
+  in
+  check_bool "replicating the method cache helps under load" true
+    (replicated < shared)
+
+let test_ablation_replicated_eden () =
+  (* the paper's proposed improvement: per-processor allocation areas of
+     size s each (k*s total) *)
+  match Ablations.replicated_eden ~reps:4 () with
+  | [ first; second ] ->
+      check_bool "replicating the new-object space helps under load" true
+        (second.Ablations.seconds_b < first.Ablations.seconds_a)
+  | _ -> Alcotest.fail "expected two comparison rows"
+
+let test_deterministic () =
+  (* the whole simulation is reproducible bit for bit *)
+  let run () =
+    let vm = Macro.prepare_vm Macro.Ms_busy in
+    let b = { (List.hd Macro.benchmarks) with Macro.reps = 3 } in
+    (Macro.run_on vm b).Macro.cycles
+  in
+  Alcotest.(check int) "identical cycle counts on identical runs" (run ()) (run ())
+
+let () =
+  Alcotest.run "states"
+    [ ("table2",
+       [ Alcotest.test_case "ordering" `Slow test_states_ordering;
+         Alcotest.test_case "static overhead" `Slow test_static_overhead_modest;
+         Alcotest.test_case "normalization" `Slow test_normalization ]);
+      ("ablations",
+       [ Alcotest.test_case "free contexts" `Slow test_ablation_free_contexts;
+         Alcotest.test_case "method cache" `Slow test_ablation_method_cache;
+         Alcotest.test_case "replicated eden" `Slow test_ablation_replicated_eden;
+         Alcotest.test_case "determinism" `Quick test_deterministic ]) ]

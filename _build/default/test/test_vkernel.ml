@@ -1,0 +1,182 @@
+(* Tests for the simulated Firefly substrate: cost model, spin-lock
+   contention timelines, mailboxes, devices, virtual processors. *)
+
+let cm = Cost_model.firefly
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- cost model --- *)
+
+let test_seconds () =
+  Alcotest.(check (float 1e-9)) "1e6 cycles is one second" 1.0
+    (Cost_model.seconds cm 1_000_000);
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Cost_model.seconds cm 0)
+
+(* --- spin locks --- *)
+
+let test_lock_uncontended () =
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  let fin = Spinlock.locked_op l ~now:100 ~op_cycles:50 in
+  check "completes after acquire + op" (100 + cm.Cost_model.lock_acquire + 50) fin;
+  check "one acquisition" 1 (Spinlock.acquisitions l);
+  check "no contention" 0 (Spinlock.contended l)
+
+let test_lock_contended () =
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  let fin1 = Spinlock.locked_op l ~now:0 ~op_cycles:50 in
+  (* second op arrives while the first holds the lock *)
+  let fin2 = Spinlock.locked_op l ~now:10 ~op_cycles:50 in
+  check_bool "second completes after first" true (fin2 > fin1);
+  check "contention recorded" 1 (Spinlock.contended l);
+  (* the retry happens on Delay-quantum boundaries *)
+  let spin = Spinlock.spin_cycles l in
+  check_bool "spin time is a positive multiple of the quantum" true
+    (spin > 0 && spin mod cm.Cost_model.delay_quantum = 0)
+
+let test_lock_sequential_no_contention () =
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  let fin1 = Spinlock.locked_op l ~now:0 ~op_cycles:10 in
+  let _fin2 = Spinlock.locked_op l ~now:(fin1 + 1) ~op_cycles:10 in
+  check "no contention when spaced out" 0 (Spinlock.contended l)
+
+let test_lock_disabled () =
+  let l = Spinlock.make ~enabled:false ~cost:cm "t" in
+  let fin = Spinlock.locked_op l ~now:100 ~op_cycles:50 in
+  check "disabled lock costs only the operation" 150 fin;
+  let fin2 = Spinlock.locked_op l ~now:100 ~op_cycles:50 in
+  check "no serialization when disabled" 150 fin2;
+  check "no acquisitions recorded" 0 (Spinlock.acquisitions l)
+
+let test_lock_reset () =
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  ignore (Spinlock.locked_op l ~now:0 ~op_cycles:10);
+  Spinlock.reset_stats l;
+  check "stats cleared" 0 (Spinlock.acquisitions l)
+
+(* --- mailboxes --- *)
+
+let test_mailbox () =
+  let mb = Mailbox.make "gc" in
+  (match Mailbox.receive mb ~now:0 with
+   | Mailbox.Empty -> ()
+   | _ -> Alcotest.fail "expected empty");
+  Mailbox.send mb ~now:50 "park";
+  (match Mailbox.receive mb ~now:10 with
+   | Mailbox.Arrives_at t -> check "future message" 50 t
+   | _ -> Alcotest.fail "expected future arrival");
+  (match Mailbox.receive mb ~now:60 with
+   | Mailbox.Message m -> Alcotest.(check string) "payload" "park" m
+   | _ -> Alcotest.fail "expected delivery");
+  check "fifo drained" 0 (Mailbox.length mb)
+
+let test_mailbox_fifo_order () =
+  let mb = Mailbox.make "q" in
+  Mailbox.send mb ~now:0 1;
+  Mailbox.send mb ~now:0 2;
+  (match Mailbox.receive mb ~now:0 with
+   | Mailbox.Message v -> check "first in, first out" 1 v
+   | _ -> Alcotest.fail "expected message")
+
+(* --- display controller --- *)
+
+let test_display_drains () =
+  let d = Devices.make_display ~enabled_locks:true ~cost:cm in
+  let t1 = Devices.display_enqueue d ~now:0 in
+  check_bool "enqueue is quick when the queue is empty" true
+    (t1 < cm.Cost_model.display_cmd);
+  check "one command" 1 (Devices.display_commands d)
+
+let test_display_backpressure () =
+  let d = Devices.make_display ~enabled_locks:true ~cost:cm in
+  (* flood the queue from a single producer at time 0 *)
+  let t = ref 0 in
+  for _ = 1 to cm.Cost_model.display_capacity + 8 do
+    t := Devices.display_enqueue d ~now:!t
+  done;
+  check_bool "producer eventually waits for queue space" true
+    (Devices.display_producer_wait d > 0)
+
+(* --- input queue --- *)
+
+let test_input_queue () =
+  let q = Devices.make_input_queue ~enabled_locks:true ~cost:cm in
+  Devices.inject q ~time:100 ~payload:7;
+  let _, ev = Devices.poll q ~now:50 ~op_cycles:5 in
+  check_bool "event not visible before its time" true (ev = None);
+  let _, ev = Devices.poll q ~now:150 ~op_cycles:5 in
+  (match ev with
+   | Some p -> check "payload" 7 p
+   | None -> Alcotest.fail "expected the event");
+  check "polls counted" 2 (Devices.input_polls q);
+  check "deliveries counted" 1 (Devices.input_delivered q)
+
+let test_input_order () =
+  let q = Devices.make_input_queue ~enabled_locks:false ~cost:cm in
+  Devices.inject q ~time:20 ~payload:2;
+  Devices.inject q ~time:10 ~payload:1;
+  let _, ev1 = Devices.poll q ~now:100 ~op_cycles:1 in
+  let _, ev2 = Devices.poll q ~now:100 ~op_cycles:1 in
+  Alcotest.(check (option int)) "earlier event first" (Some 1) ev1;
+  Alcotest.(check (option int)) "later event second" (Some 2) ev2
+
+(* --- machine --- *)
+
+let test_machine_min_runnable () =
+  let m = Machine.make ~processors:3 cm in
+  (Machine.vp m 0).Machine.clock <- 30;
+  (Machine.vp m 1).Machine.clock <- 10;
+  (Machine.vp m 2).Machine.clock <- 20;
+  (match Machine.min_runnable m with
+   | Some vp -> check "smallest clock wins" 1 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp");
+  Machine.set_state m (Machine.vp m 1) Machine.Halted;
+  (match Machine.min_runnable m with
+   | Some vp -> check "halted vp skipped" 2 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp")
+
+let test_machine_bus_factor () =
+  let m = Machine.make ~processors:5 cm in
+  let vp = Machine.vp m 0 in
+  Machine.charge_mem m vp 1000;
+  let five_way = vp.Machine.clock in
+  (* park everyone else: memory ops get cheaper *)
+  for i = 1 to 4 do
+    Machine.set_state m (Machine.vp m i) Machine.Parked_for_gc
+  done;
+  vp.Machine.clock <- 0;
+  Machine.charge_mem m vp 1000;
+  check_bool "bus contention inflates memory costs" true
+    (five_way > vp.Machine.clock);
+  check "solo cost is the raw cost" 1000 vp.Machine.clock
+
+let test_machine_synchronize () =
+  let m = Machine.make ~processors:2 cm in
+  (Machine.vp m 0).Machine.clock <- 100;
+  (Machine.vp m 1).Machine.clock <- 300;
+  Machine.synchronize_clocks m 500;
+  check "laggard advanced" 500 (Machine.vp m 0).Machine.clock;
+  check "gc wait recorded" 400 (Machine.vp m 0).Machine.gc_wait_cycles;
+  check "other advanced too" 500 (Machine.vp m 1).Machine.clock
+
+let () =
+  Alcotest.run "vkernel"
+    [ ("cost_model", [ Alcotest.test_case "seconds" `Quick test_seconds ]);
+      ("spinlock",
+       [ Alcotest.test_case "uncontended" `Quick test_lock_uncontended;
+         Alcotest.test_case "contended" `Quick test_lock_contended;
+         Alcotest.test_case "sequential" `Quick test_lock_sequential_no_contention;
+         Alcotest.test_case "disabled" `Quick test_lock_disabled;
+         Alcotest.test_case "reset" `Quick test_lock_reset ]);
+      ("mailbox",
+       [ Alcotest.test_case "timing" `Quick test_mailbox;
+         Alcotest.test_case "fifo" `Quick test_mailbox_fifo_order ]);
+      ("devices",
+       [ Alcotest.test_case "display drains" `Quick test_display_drains;
+         Alcotest.test_case "display backpressure" `Quick test_display_backpressure;
+         Alcotest.test_case "input queue" `Quick test_input_queue;
+         Alcotest.test_case "input order" `Quick test_input_order ]);
+      ("machine",
+       [ Alcotest.test_case "min runnable" `Quick test_machine_min_runnable;
+         Alcotest.test_case "bus factor" `Quick test_machine_bus_factor;
+         Alcotest.test_case "synchronize" `Quick test_machine_synchronize ]) ]
