@@ -1,0 +1,26 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build
+	dune runtest
+
+# The full reproduction harness (slow); `make bench-quick` for a pass
+# with reduced repetitions.
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+clean:
+	dune clean

@@ -16,6 +16,13 @@ let fmt = Format.std_formatter
 let section title =
   Format.fprintf fmt "@.=== %s ===@.@." title
 
+(* --sanitize=off|report|strict and --trace-dump=N apply to the sections
+   that build full VMs (table2/figure2 and instrumentation) *)
+let sanitize_mode = ref Sanitizer.Off
+let trace_dump = ref 0
+
+let tweak c = { c with Config.sanitize = !sanitize_mode }
+
 (* --- E1/E2/E5: static content --- *)
 
 let run_figure1 () =
@@ -48,11 +55,21 @@ let run_table2 ~quick () =
       "(quick mode: repetitions reduced 6x; absolute seconds scale down \
        accordingly)@.@.";
   let t0 = Unix.gettimeofday () in
-  let results = Macro.run_table2 ~benchmarks () in
+  let results = Macro.run_table2 ~config_tweak:tweak ~benchmarks () in
   Report.print_table2 fmt results;
   Format.fprintf fmt "@.";
   Report.print_figure2 fmt results;
   Report.print_summary fmt results;
+  (match !sanitize_mode with
+   | Sanitizer.Off -> ()
+   | Sanitizer.Report ->
+       Format.fprintf fmt
+         "@.(sanitizer in report mode; see the instrumentation section for \
+          accumulated violations)@."
+   | Sanitizer.Strict ->
+       Format.fprintf fmt
+         "@.(sanitizer strict: all four system states completed with zero \
+          serialization violations)@.");
   Format.fprintf fmt "@.(real time for this section: %.1f s)@."
     (Unix.gettimeofday () -. t0)
 
@@ -108,14 +125,16 @@ let run_parallel_scavenge ~quick () =
 let run_instrumentation ~quick () =
   section
     "Instrumentation (paper section 6): resource contention under MS + 4 busy";
-  let vm = Macro.prepare_vm Macro.Ms_busy in
+  let vm = Macro.prepare_vm ~config_tweak:tweak Macro.Ms_busy in
   let b =
     { (List.find (fun (b : Macro.benchmark) -> b.Macro.key = "organization")
          Macro.benchmarks)
       with Macro.reps = (if quick then 4 else 12) }
   in
   ignore (Macro.run_on vm b);
-  Instrumentation.print fmt (Instrumentation.gather vm)
+  Instrumentation.print fmt (Instrumentation.gather vm);
+  if !trace_dump > 0 then
+    Trace.dump fmt (Sanitizer.trace (Vm.sanitizer vm)) ~n:!trace_dump
 
 (* --- E12: micro benchmarks --- *)
 
@@ -214,7 +233,29 @@ let all_sections ~quick =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  List.iter
+    (fun a ->
+      match String.index_opt a '=' with
+      | Some i when String.sub a 0 i = "--sanitize" ->
+          let v = String.sub a (i + 1) (String.length a - i - 1) in
+          sanitize_mode :=
+            (match v with
+             | "off" -> Sanitizer.Off
+             | "report" -> Sanitizer.Report
+             | "strict" -> Sanitizer.Strict
+             | _ ->
+                 Format.fprintf fmt
+                   "unknown sanitize mode %s (off, report or strict)@." v;
+                 exit 2)
+      | Some i when String.sub a 0 i = "--trace-dump" ->
+          trace_dump :=
+            int_of_string (String.sub a (i + 1) (String.length a - i - 1))
+      | _ -> ())
+    args;
+  let wanted =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--"))
+      args
+  in
   let sections = all_sections ~quick in
   Format.fprintf fmt
     "Multiprocessor Smalltalk (Pallas & Ungar, PLDI 1988) - reproduction harness@.";

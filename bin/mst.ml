@@ -18,11 +18,27 @@ let state =
   let doc = "Background competition: none, idle or busy (four Processes)." in
   Arg.(value & opt string "none" & info [ "state" ] ~doc)
 
-let make_vm processors state =
+let sanitize =
+  let doc =
+    "Serialization sanitizer: $(b,off), $(b,report) (accumulate violations \
+     into the report) or $(b,strict) (fail on the first violation)."
+  in
+  let modes =
+    [ ("off", Sanitizer.Off); ("report", Sanitizer.Report);
+      ("strict", Sanitizer.Strict) ]
+  in
+  Arg.(value & opt (enum modes) Sanitizer.Off & info [ "sanitize" ] ~doc)
+
+let trace_dump =
+  let doc = "After the run, print the last $(docv) sanitizer trace events." in
+  Arg.(value & opt int 0 & info [ "trace-dump" ] ~docv:"N" ~doc)
+
+let make_vm ?(sanitize = Sanitizer.Off) processors state =
   let config =
     if processors <= 1 && state = "none" then Config.baseline_bs ()
     else Config.ms ~processors:(max processors 1) ()
   in
+  let config = { config with Config.sanitize } in
   let vm = Vm.create config in
   (match state with
    | "idle" -> ignore (Workloads.spawn_idle vm 4)
@@ -34,29 +50,36 @@ let report_time vm =
   Printf.printf "(simulated: %.3f s, scavenges: %d)\n" (Vm.seconds vm)
     (Heap.scavenge_count vm.Vm.heap)
 
+let report_sanitizer vm ~trace_dump =
+  let san = Vm.sanitizer vm in
+  if Sanitizer.active san then Sanitizer.print_report san;
+  if trace_dump > 0 then
+    Trace.dump Format.std_formatter (Sanitizer.trace san) ~n:trace_dump
+
 (* --- eval --- *)
 
 let eval_cmd =
   let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
-  let run processors state expr =
-    let vm = make_vm processors state in
+  let run processors state sanitize trace_dump expr =
+    let vm = make_vm ~sanitize processors state in
     (try print_endline (Vm.eval_to_string vm expr) with
      | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
      | Interp.Does_not_understand msg ->
          Printf.eprintf "doesNotUnderstand: %s\n" msg);
     let tr = Vm.transcript vm in
     if tr <> "" then Printf.printf "--- transcript ---\n%s\n" tr;
-    report_time vm
+    report_time vm;
+    report_sanitizer vm ~trace_dump
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Smalltalk expression")
-    Term.(const run $ processors $ state $ expr)
+    Term.(const run $ processors $ state $ sanitize $ trace_dump $ expr)
 
 (* --- run --- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run processors state file =
-    let vm = make_vm processors state in
+  let run processors state sanitize trace_dump file =
+    let vm = make_vm ~sanitize processors state in
     let source = In_channel.with_open_text file In_channel.input_all in
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
@@ -65,12 +88,13 @@ let run_cmd =
      | None -> print_endline "(no Main class; classes loaded)");
     let tr = Vm.transcript vm in
     if tr <> "" then print_string tr;
-    report_time vm
+    report_time vm;
+    report_sanitizer vm ~trace_dump
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Load a class file (image-definition format) and run Main new main")
-    Term.(const run $ processors $ state $ file)
+    Term.(const run $ processors $ state $ sanitize $ trace_dump $ file)
 
 (* --- disasm / decompile / browse --- *)
 

@@ -35,6 +35,10 @@ type t = {
      processors (1 = the published MS) *)
   scavenge_workers : int;
   cost : Cost_model.t;
+  (* serialization checking: Off for production runs; Report accumulates
+     violations into the instrumentation report; Strict raises *)
+  sanitize : Sanitizer.mode;
+  trace_capacity : int;          (* event-trace ring size *)
 }
 
 (* 80 KB eden as in the paper (section 3.1), expressed in 8-byte words. *)
@@ -53,6 +57,8 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   tenure_age = 4;
   scavenge_workers = 1;
   cost;
+  sanitize = Sanitizer.Off;
+  trace_capacity = 4096;
 }
 
 (* Multiprocessor Smalltalk as published: serialization for allocation,
@@ -71,6 +77,8 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   tenure_age = 4;
   scavenge_workers = 1;
   cost;
+  sanitize = Sanitizer.Off;
+  trace_capacity = 4096;
 }
 
 (* A fast uniform-cost configuration for unit tests. *)

@@ -39,6 +39,11 @@ type t = {
       (** processors applied to the scavenge (1 = published MS; more is
           the paper's section-3.1 suggestion) *)
   cost : Cost_model.t;
+  sanitize : Sanitizer.mode;
+      (** serialization checking: [Off] for production runs, [Report]
+          accumulates into the instrumentation report, [Strict] raises on
+          the first violation *)
+  trace_capacity : int;  (** event-trace ring size *)
 }
 
 val default_eden_words : int

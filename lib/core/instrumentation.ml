@@ -41,6 +41,9 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  sanitizer_mode : Sanitizer.mode;
+  violation_count : int;
+  violations : string list;
 }
 
 let lock_row l = {
@@ -53,13 +56,10 @@ let lock_row l = {
 
 let gather (vm : Vm.t) =
   let sh = vm.Vm.shared in
-  let locks =
-    [ lock_row sh.State.alloc_lock;
-      lock_row sh.State.entry_lock;
-      lock_row sh.State.sched.Scheduler.lock;
-      lock_row (Devices.display_lock sh.State.display);
-      lock_row (Devices.input_lock sh.State.input) ]
-  in
+  (* every kernel lock the VM assembled, in assembly order — including the
+     shared method-cache and free-context locks the old hardcoded list
+     missed *)
+  let locks = List.map lock_row vm.Vm.locks in
   let interps =
     Array.to_list
       (Array.mapi
@@ -86,7 +86,10 @@ let gather (vm : Vm.t) =
     display_commands = Devices.display_commands sh.State.display;
     display_wait = Devices.display_producer_wait sh.State.display;
     input_polls = Devices.input_polls sh.State.input;
-    total_cycles = Vm.cycles vm }
+    total_cycles = Vm.cycles vm;
+    sanitizer_mode = Sanitizer.mode sh.State.sanitizer;
+    violation_count = Sanitizer.violation_count sh.State.sanitizer;
+    violations = Sanitizer.violations sh.State.sanitizer }
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 
@@ -126,4 +129,15 @@ let print fmt r =
   Format.fprintf fmt "Devices:@.";
   Format.fprintf fmt
     "  display: %d commands, %d cycles of producer wait; input: %d polls@."
-    r.display_commands r.display_wait r.input_polls
+    r.display_commands r.display_wait r.input_polls;
+  match r.sanitizer_mode with
+  | Sanitizer.Off -> ()
+  | Sanitizer.Report | Sanitizer.Strict ->
+      Format.fprintf fmt "Sanitizer:@.";
+      if r.violation_count = 0 then
+        Format.fprintf fmt "  no serialization violations@."
+      else begin
+        Format.fprintf fmt "  %d serialization violation(s):@."
+          r.violation_count;
+        List.iter (fun m -> Format.fprintf fmt "    %s@." m) r.violations
+      end

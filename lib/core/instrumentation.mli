@@ -40,6 +40,9 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  sanitizer_mode : Sanitizer.mode;
+  violation_count : int;
+  violations : string list;  (** accumulated messages, oldest first *)
 }
 
 val gather : Vm.t -> report

@@ -16,10 +16,13 @@ type t = {
   shared : State.shared;
   states : State.t array;
   interps : Interp.t array;
+  locks : Spinlock.t list;
   mutable gc_requested : bool;
   mutable scavenge_pauses : int;
   mutable scavenge_cycles : int;
 }
+
+let sanitizer vm = vm.shared.State.sanitizer
 
 exception Stuck of string
 
@@ -61,8 +64,14 @@ let create (config : Config.t) =
   let display = Devices.make_display ~enabled_locks:locks ~cost:cm in
   let input = Devices.make_input_queue ~enabled_locks:locks ~cost:cm in
   let sched =
-    Scheduler.create ~u ~lock:sched_lock ~op_cycles:cm.Cost_model.sched_op
+    Scheduler.create ~u ~lock:sched_lock ~entry_lock
+      ~op_cycles:cm.Cost_model.sched_op
+      ~remember_cost:cm.Cost_model.remember_insert
       ~keep_running_in_queue:config.Config.keep_running_in_queue ~processors
+  in
+  let san =
+    Sanitizer.create ~trace_capacity:config.Config.trace_capacity
+      config.Config.sanitize
   in
   (* transcript capture is per-VM in spirit; reset the (module-level)
      buffer so successive VMs in one process don't interleave *)
@@ -87,28 +96,54 @@ let create (config : Config.t) =
       Some (fun ~cls ~class_side source ->
           Class_builder.add_method u ~cls ~class_side source);
     decompile_hook = Some (fun ~meth -> Method_mirror.decompile u meth);
+    sanitizer = san;
   } in
   (* method caches *)
   let shared_cache_table = Method_cache.make_table () in
   let shared_cache_lock = Spinlock.make ~enabled:locks ~cost:cm "method cache" in
-  let make_cache _i =
+  let make_cache i =
     match config.Config.method_cache with
-    | Config.Cache_replicated -> Method_cache.create_replicated ()
+    | Config.Cache_replicated ->
+        Method_cache.create_replicated ~owner:i ~sanitizer:san ()
     | Config.Cache_shared_locked ->
-        Method_cache.create_shared ~lock:shared_cache_lock
-          ~table:shared_cache_table
+        Method_cache.create_shared ~sanitizer:san ~lock:shared_cache_lock
+          ~table:shared_cache_table ()
   in
   (* free-context lists *)
   let shared_ctx_lists = Free_contexts.empty_lists () in
   let shared_ctx_lock = Spinlock.make ~enabled:locks ~cost:cm "free contexts" in
-  let make_free_ctxs _i =
+  let remember_cost = cm.Cost_model.remember_insert in
+  let make_free_ctxs i =
     match config.Config.free_contexts with
-    | Config.Ctx_replicated -> Free_contexts.create_replicated ()
+    | Config.Ctx_replicated ->
+        Free_contexts.create_replicated ~owner:i ~entry_lock ~remember_cost
+          ~sanitizer:san ()
     | Config.Ctx_shared_locked ->
-        Free_contexts.create_shared ~lock:shared_ctx_lock
-          ~lists:shared_ctx_lists
+        Free_contexts.create_shared ~entry_lock ~remember_cost ~sanitizer:san
+          ~lock:shared_ctx_lock ~lists:shared_ctx_lists ()
     | Config.Ctx_disabled -> Free_contexts.create_disabled ()
   in
+  (* sanitizer wiring: every lock reports its timeline; guarded resources
+     are bound to their designated locks only when that lock is real, so
+     the BS (locks-disabled) configurations are never flagged *)
+  let all_locks =
+    [ alloc_lock; entry_lock; sched_lock; Devices.display_lock display;
+      Devices.input_lock input; shared_cache_lock; shared_ctx_lock ]
+  in
+  List.iter (fun l -> Spinlock.attach l san) all_locks;
+  Heap.set_sanitizer heap san;
+  Scheduler.set_sanitizer sched san;
+  let guard resource lock =
+    if Spinlock.enabled lock then
+      Sanitizer.register_guard san ~resource ~lock:(Spinlock.name lock)
+  in
+  guard "entry table" entry_lock;
+  guard "allocation" alloc_lock;
+  guard "ready queue" sched_lock;
+  guard "display output queue" (Devices.display_lock display);
+  guard "input event queue" (Devices.input_lock input);
+  if config.Config.free_contexts = Config.Ctx_shared_locked then
+    guard "free context list" shared_ctx_lock;
   let states =
     Array.init processors (fun id ->
         State.make ~id ~sh:shared ~mcache:(make_cache id)
@@ -129,7 +164,7 @@ let create (config : Config.t) =
   (* installing or replacing a method invalidates cached lookups *)
   shared.State.on_method_install <-
     (fun () -> Array.iter (fun st -> Method_cache.flush st.State.mcache) states);
-  { config; machine; heap; u; shared; states; interps;
+  { config; machine; heap; u; shared; states; interps; locks = all_locks;
     gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0 }
 
 (* --- spawning Smalltalk Processes from OCaml --- *)
@@ -206,6 +241,13 @@ let do_scavenge vm =
      safepoint; in the simulation every runnable processor is at a step
      boundary, so that instant is the maximum clock *)
   let t0 = Machine.max_clock m in
+  (* the stop-the-world scavenger mutates everything without locks by
+     design; the sanitizer must not flag it *)
+  let san = vm.shared.State.sanitizer in
+  let was_armed = Sanitizer.armed san in
+  Sanitizer.set_armed san false;
+  Fun.protect ~finally:(fun () -> Sanitizer.set_armed san was_armed)
+  @@ fun () ->
   let stats = Scavenger.scavenge vm.heap in
   let workers =
     min vm.config.Config.scavenge_workers vm.config.Config.processors
@@ -235,7 +277,8 @@ let fire_due_timers vm =
         let sem = !cell in
         Heap.remove_root vm.heap cell;
         let sched = vm.shared.State.sched in
-        (match Scheduler.ll_pop_first sched sem with
+        let _, popped = Scheduler.ll_pop_first sched ~now:t sem in
+        (match popped with
          | Some waiter -> ignore (Scheduler.wake sched ~now:t waiter)
          | None ->
              let excess =
@@ -281,8 +324,13 @@ let run ?(max_cycles = 100_000_000_000) ?watch vm =
           finished := true
       | Some _ | None -> ());
   let outcome = ref None in
+  (* the sanitizer only checks steady-state execution: bootstrap, spawn
+     and class loading mutate shared structures single-threaded *)
+  let san = vm.shared.State.sanitizer in
+  Sanitizer.set_armed san true;
   Fun.protect
     ~finally:(fun () ->
+      Sanitizer.set_armed san false;
       if watch <> None then Heap.remove_root vm.heap watch_cell)
   @@ fun () ->
   while !outcome = None do

@@ -19,6 +19,8 @@ type t = {
   shared : State.shared;
   states : State.t array;  (** one interpreter state per processor *)
   interps : Interp.t array;
+  locks : Spinlock.t list;
+      (** every kernel spinlock, enabled or not, for instrumentation *)
   mutable gc_requested : bool;
   mutable scavenge_pauses : int;
   mutable scavenge_cycles : int;  (** total stop-the-world cycles *)
@@ -27,6 +29,9 @@ type t = {
 exception Stuck of string
 
 exception Error of string
+
+(** The VM's serialization sanitizer (armed only while {!run} executes). *)
+val sanitizer : t -> Sanitizer.t
 
 (** Bootstrap a VM.  Expensive (compiles the kernel image); reuse the VM
     for several evaluations where possible. *)

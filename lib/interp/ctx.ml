@@ -26,7 +26,9 @@ let alloc_context st ~size ~cls =
   let sh = st.sh in
   let cm = sh.cm in
   let h = sh.heap in
-  let n, recycled = Free_contexts.take st.free_ctxs h ~now:(now st) size in
+  let n, recycled =
+    Free_contexts.take ~vp:st.id st.free_ctxs h ~now:(now st) size
+  in
   sync_to st n;
   if not (Oop.equal recycled Oop.sentinel) then begin
     add_cost st cm.Cost_model.ctx_recycled;
@@ -36,12 +38,12 @@ let alloc_context st ~size ~cls =
   else begin
     let slots = Layout.Ctx.fixed_slots + frame_slots size in
     (* serialized allocation: the eden bump is under the allocation lock *)
-    let finish =
-      Spinlock.locked_op sh.alloc_lock ~now:(now st)
+    let finish, ctx =
+      Spinlock.critical ~vp:st.id sh.alloc_lock ~now:(now st)
         ~op_cycles:
           (cm.Cost_model.alloc_base + (cm.Cost_model.alloc_per_word * slots))
+        (fun () -> Heap.alloc_new h ~vp:st.id ~slots ~raw:false ~cls ())
     in
-    let ctx = Heap.alloc_new h ~vp:st.id ~slots ~raw:false ~cls () in
     sync_to st finish;
     add_cost st cm.Cost_model.ctx_fresh;
     ctx
@@ -52,11 +54,11 @@ let alloc_context st ~size ~cls =
 let alloc_object st ~slots ~raw ?(bytes = false) ~cls () =
   let sh = st.sh in
   let cm = sh.cm in
-  let finish =
-    Spinlock.locked_op sh.alloc_lock ~now:(now st)
+  let finish, o =
+    Spinlock.critical ~vp:st.id sh.alloc_lock ~now:(now st)
       ~op_cycles:(cm.Cost_model.alloc_base + (cm.Cost_model.alloc_per_word * slots))
+      (fun () -> Heap.alloc_new sh.heap ~vp:st.id ~slots ~raw ~bytes ~cls ())
   in
-  let o = Heap.alloc_new sh.heap ~vp:st.id ~slots ~raw ~bytes ~cls () in
   sync_to st finish;
   o
 
@@ -177,7 +179,7 @@ let return_to st ~from_ctx ~target ~value =
   else begin
     (if recyclable st from_ctx then begin
        let n =
-         Free_contexts.give st.free_ctxs st.sh.heap ~now:(now st)
+         Free_contexts.give ~vp:st.id st.free_ctxs st.sh.heap ~now:(now st)
            (size_class_of_ctx st from_ctx) from_ctx
        in
        sync_to st n

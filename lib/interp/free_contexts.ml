@@ -24,6 +24,10 @@ type lists = {
 type t = {
   mode : mode;
   lists : lists;             (* own (replicated) or the shared pair *)
+  owner : int;               (* owning vp when replicated; -1 = shared *)
+  entry_lock : Spinlock.t option;  (* for tenured-context link stores *)
+  remember_cost : int;
+  mutable sanitizer : Sanitizer.t option;
   mutable reuses : int;
   mutable fresh : int;
   mutable returns : int;     (* contexts handed back *)
@@ -31,16 +35,18 @@ type t = {
 
 let empty_lists () = { small = Oop.sentinel; large = Oop.sentinel }
 
-let create_replicated () =
-  { mode = Replicated; lists = empty_lists (); reuses = 0; fresh = 0;
-    returns = 0 }
+let create_replicated ?(owner = -1) ?entry_lock ?(remember_cost = 0)
+    ?sanitizer () =
+  { mode = Replicated; lists = empty_lists (); owner; entry_lock;
+    remember_cost; sanitizer; reuses = 0; fresh = 0; returns = 0 }
 
-let create_shared ~lock ~lists =
-  { mode = Shared_locked lock; lists; reuses = 0; fresh = 0; returns = 0 }
+let create_shared ?entry_lock ?(remember_cost = 0) ?sanitizer ~lock ~lists () =
+  { mode = Shared_locked lock; lists; owner = -1; entry_lock; remember_cost;
+    sanitizer; reuses = 0; fresh = 0; returns = 0 }
 
 let create_disabled () =
-  { mode = Disabled; lists = empty_lists (); reuses = 0; fresh = 0;
-    returns = 0 }
+  { mode = Disabled; lists = empty_lists (); owner = -1; entry_lock = None;
+    remember_cost = 0; sanitizer = None; reuses = 0; fresh = 0; returns = 0 }
 
 let flush t =
   t.lists.small <- Oop.sentinel;
@@ -48,52 +54,104 @@ let flush t =
 
 type size_class = Small | Large
 
+let check_owner t ~vp ~now =
+  match t.sanitizer with
+  | Some san when t.mode = Replicated ->
+      Sanitizer.check_owner san ~resource:"free contexts" ~owner:t.owner ~vp
+        ~now
+  | _ -> ()
+
+let check_shared_mutation t ~vp ~now =
+  match t.sanitizer with
+  | Some san ->
+      Sanitizer.check_guarded san ~resource:"free context list" ~vp ~now
+        ~detail:""
+  | None -> ()
+
 (* Pop a recycled context, charging lock time for the shared variant.
    Returns (now, ctx) where ctx is [Oop.sentinel] when the list is empty. *)
-let take t heap ~now size =
+let take ?(vp = -1) t heap ~now size =
   match t.mode with
-  | Disabled -> (now, Oop.sentinel)
+  | Disabled ->
+      (* still a fresh allocation: the reuse-rate denominator must count
+         every context the ablation fails to recycle *)
+      t.fresh <- t.fresh + 1;
+      (now, Oop.sentinel)
   | Replicated | Shared_locked _ ->
-      let now =
-        match t.mode with
-        | Shared_locked lock -> Spinlock.locked_op lock ~now ~op_cycles:6
-        | Replicated | Disabled -> now
+      check_owner t ~vp ~now;
+      let pop () =
+        let head =
+          match size with Small -> t.lists.small | Large -> t.lists.large
+        in
+        if Oop.equal head Oop.sentinel then begin
+          t.fresh <- t.fresh + 1;
+          Oop.sentinel
+        end
+        else begin
+          let next = Heap.get heap head Layout.Ctx.sender in
+          (match size with
+           | Small -> t.lists.small <- next
+           | Large -> t.lists.large <- next);
+          t.reuses <- t.reuses + 1;
+          head
+        end
       in
-      let head = match size with Small -> t.lists.small | Large -> t.lists.large in
-      if Oop.equal head Oop.sentinel then begin
-        t.fresh <- t.fresh + 1;
-        (now, Oop.sentinel)
-      end
-      else begin
-        let next = Heap.get heap head Layout.Ctx.sender in
-        (match size with
-         | Small -> t.lists.small <- next
-         | Large -> t.lists.large <- next);
-        t.reuses <- t.reuses + 1;
-        (now, head)
-      end
+      (match t.mode with
+       | Shared_locked lock ->
+           Spinlock.critical ~vp lock ~now ~op_cycles:6 (fun () ->
+               check_shared_mutation t ~vp ~now;
+               pop ())
+       | Replicated | Disabled -> (now, pop ()))
 
 (* Hand a dead context back for reuse. *)
-let give t heap ~now size ctx =
+let give ?(vp = -1) t heap ~now size ctx =
   match t.mode with
   | Disabled -> now
   | Replicated | Shared_locked _ ->
+      check_owner t ~vp ~now;
+      t.returns <- t.returns + 1;
+      (* Link the context into the chain.  A tenured context on the free
+         list must stay visible to the entry table while it links to new
+         space; MS holds one kernel lock at a time, so the insert is
+         deferred out of the free-list section and performed under the
+         entry-table lock afterwards (as the scheduler does). *)
+      let pending = ref (-1) in
+      let link () =
+        let head =
+          match size with Small -> t.lists.small | Large -> t.lists.large
+        in
+        if Heap.store_would_remember heap ctx head then
+          pending := Oop.addr ctx;
+        Heap.set_raw heap ctx Layout.Ctx.sender head;
+        match size with
+        | Small -> t.lists.small <- ctx
+        | Large -> t.lists.large <- ctx
+      in
       let now =
         match t.mode with
-        | Shared_locked lock -> Spinlock.locked_op lock ~now ~op_cycles:6
-        | Replicated | Disabled -> now
+        | Shared_locked lock ->
+            let now, () =
+              Spinlock.critical ~vp lock ~now ~op_cycles:6 (fun () ->
+                  check_shared_mutation t ~vp ~now;
+                  link ())
+            in
+            now
+        | Replicated | Disabled ->
+            link ();
+            now
       in
-      t.returns <- t.returns + 1;
-      (* [store_ptr], not [set_raw]: a tenured context on the free list must
-         stay visible to the entry table while it links to new space *)
-      (match size with
-       | Small ->
-           ignore (Heap.store_ptr heap ctx Layout.Ctx.sender t.lists.small);
-           t.lists.small <- ctx
-       | Large ->
-           ignore (Heap.store_ptr heap ctx Layout.Ctx.sender t.lists.large);
-           t.lists.large <- ctx);
-      now
+      if !pending >= 0 && not (Heap.is_remembered heap !pending) then
+        match t.entry_lock with
+        | Some el ->
+            let finish, () =
+              Spinlock.critical ~vp el ~now ~op_cycles:t.remember_cost
+                (fun () -> Heap.remember heap !pending)
+            in
+            finish
+        | None ->
+            Heap.remember heap !pending;
+            now
+      else now
 
 let reuses t = t.reuses
 let fresh_allocations t = t.fresh

@@ -20,9 +20,16 @@ type size_class = Small | Large
 
 val empty_lists : unit -> lists
 
-val create_replicated : unit -> t
+(** [owner] is the vp the replicated list belongs to (the sanitizer flags
+    any other toucher); [entry_lock]/[remember_cost] serialize the
+    entry-table insert when a tenured context links to new space. *)
+val create_replicated :
+  ?owner:int -> ?entry_lock:Spinlock.t -> ?remember_cost:int ->
+  ?sanitizer:Sanitizer.t -> unit -> t
 
-val create_shared : lock:Spinlock.t -> lists:lists -> t
+val create_shared :
+  ?entry_lock:Spinlock.t -> ?remember_cost:int -> ?sanitizer:Sanitizer.t ->
+  lock:Spinlock.t -> lists:lists -> unit -> t
 
 val create_disabled : unit -> t
 
@@ -31,10 +38,10 @@ val flush : t -> unit
 (** [take t heap ~now size] pops a recycled context of [size], charging
     lock time for the shared variant; returns the completion time and the
     context ([Oop.sentinel] when the list is empty). *)
-val take : t -> Heap.t -> now:int -> size_class -> int * Oop.t
+val take : ?vp:int -> t -> Heap.t -> now:int -> size_class -> int * Oop.t
 
 (** [give t heap ~now size ctx] hands a dead context back for reuse. *)
-val give : t -> Heap.t -> now:int -> size_class -> Oop.t -> int
+val give : ?vp:int -> t -> Heap.t -> now:int -> size_class -> Oop.t -> int
 
 val reuses : t -> int
 

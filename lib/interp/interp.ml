@@ -101,7 +101,9 @@ let rec full_send st ~sel ~nargs ~super =
     else begin
       let key = behavior_key ~class_receiver ~recv ~recv_class in
       let now0 = now st in
-      let now1, cached = Method_cache.probe st.mcache ~now:now0 ~sel ~cls:key in
+      let now1, cached =
+        Method_cache.probe ~vp:st.id st.mcache ~now:now0 ~sel ~cls:key
+      in
       sync_to st now1;
       match cached with
       | Some m ->
@@ -118,7 +120,10 @@ let rec full_send st ~sel ~nargs ~super =
           add_cost st (cm.Cost_model.cache_probe + (!probes * 4));
           (match m with
            | Some m ->
-               let now2 = Method_cache.fill st.mcache ~now:(now st) ~sel ~cls:key ~meth:m in
+               let now2 =
+                 Method_cache.fill ~vp:st.id st.mcache ~now:(now st) ~sel
+                   ~cls:key ~meth:m
+               in
                sync_to st now2
            | None -> ());
           m
@@ -269,7 +274,7 @@ let do_event_poll st =
   let cm = st.sh.cm in
   add_cost st cm.Cost_model.event_poll_cost;
   let finish, ev =
-    Devices.poll st.sh.input ~now:(now st) ~op_cycles:10
+    Devices.poll ~vp:st.id st.sh.input ~now:(now st) ~op_cycles:10
   in
   sync_to st finish;
   match ev with
@@ -288,7 +293,7 @@ let do_sched_check st =
   let cm = st.sh.cm in
   let sched = st.sh.sched in
   let finish =
-    Spinlock.locked_op sched.Scheduler.lock ~now:(now st)
+    Spinlock.locked_op ~vp:st.id sched.Scheduler.lock ~now:(now st)
       ~op_cycles:cm.Cost_model.sched_check_cost
   in
   sync_to st finish;

@@ -28,6 +28,8 @@ type table = {
 type t = {
   mode : mode;
   table : table;             (* per-interpreter, or the shared one *)
+  owner : int;               (* owning vp when replicated; -1 = shared *)
+  mutable sanitizer : Sanitizer.t option;
   mutable hits : int;
   mutable misses : int;
 }
@@ -38,13 +40,25 @@ let make_table () = {
   meths = Array.make cache_size Oop.sentinel;
 }
 
-let create_replicated () =
-  { mode = Replicated; table = make_table (); hits = 0; misses = 0 }
+let create_replicated ?(owner = -1) ?sanitizer () =
+  { mode = Replicated; table = make_table (); owner; sanitizer;
+    hits = 0; misses = 0 }
 
 (* All interpreters share [table] and [lock]; per-interpreter [t] values
    keep their own statistics. *)
-let create_shared ~lock ~table =
-  { mode = Shared_locked lock; table; hits = 0; misses = 0 }
+let create_shared ?sanitizer ~lock ~table () =
+  { mode = Shared_locked lock; table; owner = -1; sanitizer;
+    hits = 0; misses = 0 }
+
+(* A replicated cache belongs to one interpreter.  [flush] is exempt: the
+   scavenger and method installation flush every cache cross-processor by
+   design (stop-the-world, or the install broadcast). *)
+let check_owner t ~vp ~now =
+  match t.sanitizer with
+  | Some san when t.mode = Replicated ->
+      Sanitizer.check_owner san ~resource:"method cache" ~owner:t.owner ~vp
+        ~now
+  | _ -> ()
 
 let slot sel cls = (sel lxor (cls * 0x9e3779b1)) land (cache_size - 1)
 
@@ -57,35 +71,40 @@ let flush t = flush_table t.table
 
 (* Probe; returns the cached method and accumulates the lock time for the
    shared variant into the caller's clock via [now]. *)
-let probe t ~now ~sel ~cls =
+let probe ?(vp = -1) t ~now ~sel ~cls =
+  check_owner t ~vp ~now;
   let i = slot sel cls in
   let tbl = t.table in
-  let now =
-    match t.mode with
-    | Replicated -> now
-    | Shared_locked lock -> Spinlock.locked_op lock ~now ~op_cycles:4
+  let read () =
+    if Oop.equal tbl.sels.(i) sel && Oop.equal tbl.clss.(i) cls then begin
+      t.hits <- t.hits + 1;
+      Some tbl.meths.(i)
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      None
+    end
   in
-  if Oop.equal tbl.sels.(i) sel && Oop.equal tbl.clss.(i) cls then begin
-    t.hits <- t.hits + 1;
-    (now, Some tbl.meths.(i))
-  end
-  else begin
-    t.misses <- t.misses + 1;
-    (now, None)
-  end
+  match t.mode with
+  | Replicated -> (now, read ())
+  | Shared_locked lock -> Spinlock.critical ~vp lock ~now ~op_cycles:4 read
 
-let fill t ~now ~sel ~cls ~meth =
+let fill ?(vp = -1) t ~now ~sel ~cls ~meth =
+  check_owner t ~vp ~now;
   let i = slot sel cls in
   let tbl = t.table in
-  let now =
-    match t.mode with
-    | Replicated -> now
-    | Shared_locked lock -> Spinlock.locked_op lock ~now ~op_cycles:6
+  let write () =
+    tbl.sels.(i) <- sel;
+    tbl.clss.(i) <- cls;
+    tbl.meths.(i) <- meth
   in
-  tbl.sels.(i) <- sel;
-  tbl.clss.(i) <- cls;
-  tbl.meths.(i) <- meth;
-  now
+  match t.mode with
+  | Replicated ->
+      write ();
+      now
+  | Shared_locked lock ->
+      let now, () = Spinlock.critical ~vp lock ~now ~op_cycles:6 write in
+      now
 
 let hits t = t.hits
 let misses t = t.misses

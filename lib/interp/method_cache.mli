@@ -16,27 +16,35 @@ type table
 type t = {
   mode : mode;
   table : table;
+  owner : int;  (** owning vp when replicated; -1 = shared *)
+  mutable sanitizer : Sanitizer.t option;
   mutable hits : int;
   mutable misses : int;
 }
 
 val make_table : unit -> table
 
-(** A private per-processor cache. *)
-val create_replicated : unit -> t
+(** A private per-processor cache; the sanitizer flags any probe or fill
+    from a vp other than [owner]. *)
+val create_replicated : ?owner:int -> ?sanitizer:Sanitizer.t -> unit -> t
 
 (** A view of the one shared cache: all interpreters pass [table] and
     [lock]; each keeps its own statistics. *)
-val create_shared : lock:Spinlock.t -> table:table -> t
+val create_shared :
+  ?sanitizer:Sanitizer.t -> lock:Spinlock.t -> table:table -> unit -> t
 
+(** Flushes are never owner-checked: the scavenger and the method-install
+    broadcast flush every cache cross-processor by design. *)
 val flush : t -> unit
 
 (** [probe t ~now ~sel ~cls] looks up the (selector, behaviour) pair,
     returning the completion time (lock time included for the shared
     variant) and the cached method if it hits. *)
-val probe : t -> now:int -> sel:Oop.t -> cls:Oop.t -> int * Oop.t option
+val probe :
+  ?vp:int -> t -> now:int -> sel:Oop.t -> cls:Oop.t -> int * Oop.t option
 
-val fill : t -> now:int -> sel:Oop.t -> cls:Oop.t -> meth:Oop.t -> int
+val fill :
+  ?vp:int -> t -> now:int -> sel:Oop.t -> cls:Oop.t -> meth:Oop.t -> int
 
 val hits : t -> int
 

@@ -93,9 +93,13 @@ let finish_process st ~result =
 let signal_semaphore st sem =
   let excess = Oop.small_val (Heap.get (h_ st) sem Layout.Semaphore.excess_signals) in
   (* brief list surgery under the scheduler lock *)
-  match Scheduler.ll_pop_first st.sh.sched sem with
+  let n, popped =
+    Scheduler.ll_pop_first ~vp:st.id st.sh.sched ~now:(now st) sem
+  in
+  sync_to st n;
+  match popped with
   | Some waiter ->
-      let n = Scheduler.wake st.sh.sched ~now:(now st) waiter in
+      let n = Scheduler.wake ~vp:st.id st.sh.sched ~now:(now st) waiter in
       sync_to st n
   | None ->
       Heap.set_raw (h_ st) sem Layout.Semaphore.excess_signals
@@ -142,13 +146,24 @@ let float_of st o =
   then Some (Universe.float_value (u_ st) o)
   else None
 
+(* Box a float in new space, taking the allocation lock like any other
+   eden allocation. *)
+let new_float st f =
+  let u = u_ st in
+  let o =
+    Ctx.alloc_object st ~slots:2 ~raw:true
+      ~cls:u.Universe.classes.Universe.float_c ()
+  in
+  Universe.write_float u o f;
+  o
+
 let float_arith st ~nargs f =
   if nargs <> 1 then Failed
   else
     match (float_of st (peek st ~depth:1), float_of st (peek st ~depth:0)) with
     | Some a, Some b ->
         charge_arith st;
-        let r = Universe.new_float_new (u_ st) ~vp:st.id (f a b) in
+        let r = new_float st (f a b) in
         pop_all_push st ~nargs r
     | _ -> Failed
 
@@ -366,7 +381,10 @@ let prim_wait st ~nargs =
             ~requeue:false proc
         in
         sync_to st n;
-        Scheduler.ll_append st.sh.sched sem proc;
+        let n =
+          Scheduler.ll_append ~vp:st.id st.sh.sched ~now:(now st) sem proc
+        in
+        sync_to st n;
         pick_next st;
         Switched
       end
@@ -383,7 +401,7 @@ let prim_resume st ~nargs =
     then Failed
     else begin
       charge_misc st;
-      let n = Scheduler.wake st.sh.sched ~now:(now st) proc in
+      let n = Scheduler.wake ~vp:st.id st.sh.sched ~now:(now st) proc in
       sync_to st n;
       pop_all_push st ~nargs proc
     end
@@ -409,9 +427,14 @@ let prim_suspend st ~nargs =
              Heap.set_raw (h_ st) proc Layout.Process.state
                (Oop.of_small Layout.Process_state.suspend_requested)
          | None ->
+             (* not running anywhere: drop it from the ready queue.  (Not
+                [relinquish], which would clear THIS processor's running
+                slot while it keeps executing the active Process.) *)
              let n =
-               Scheduler.relinquish st.sh.sched ~now:(now st) ~vp:st.id
-                 ~requeue:false proc
+               Scheduler.ll_remove ~vp:st.id st.sh.sched ~now:(now st)
+                 (Scheduler.ready_list st.sh.sched
+                    (Scheduler.priority_of st.sh.sched proc))
+                 proc
              in
              sync_to st n);
         pop_all_push st ~nargs proc
@@ -482,13 +505,17 @@ let prim_set_priority st ~nargs =
       charge_misc st;
       let sched = st.sh.sched in
       let was_ready = Scheduler.is_in_ready_queue sched proc in
-      if was_ready then
-        Scheduler.ll_remove sched
-          (Scheduler.ready_list sched (Scheduler.priority_of sched proc))
-          proc;
+      if was_ready then begin
+        let n =
+          Scheduler.ll_remove ~vp:st.id sched ~now:(now st)
+            (Scheduler.ready_list sched (Scheduler.priority_of sched proc))
+            proc
+        in
+        sync_to st n
+      end;
       Heap.set_raw (h_ st) proc Layout.Process.priority p;
       if was_ready then begin
-        let n = Scheduler.wake sched ~now:(now st) proc in
+        let n = Scheduler.wake ~vp:st.id sched ~now:(now st) proc in
         sync_to st n
       end;
       pop_all_push st ~nargs proc
@@ -527,11 +554,15 @@ let prim_terminate st ~nargs =
         (match Scheduler.running_on st.sh.sched proc with
          | Some _ -> ()  (* its own processor notices at the next check *)
          | None ->
-             if Scheduler.is_in_ready_queue st.sh.sched proc then
-               Scheduler.ll_remove st.sh.sched
-                 (Scheduler.ready_list st.sh.sched
-                    (Scheduler.priority_of st.sh.sched proc))
-                 proc);
+             if Scheduler.is_in_ready_queue st.sh.sched proc then begin
+               let n =
+                 Scheduler.ll_remove ~vp:st.id st.sh.sched ~now:(now st)
+                   (Scheduler.ready_list st.sh.sched
+                      (Scheduler.priority_of st.sh.sched proc))
+                   proc
+               in
+               sync_to st n
+             end);
         pop_all_push st ~nargs proc
       end
     end
@@ -576,7 +607,7 @@ let prim_display st ~nargs =
   if nargs <> 1 then Failed
   else begin
     charge_misc st;
-    let finish = Devices.display_enqueue st.sh.display ~now:(now st) in
+    let finish = Devices.display_enqueue ~vp:st.id st.sh.display ~now:(now st) in
     sync_to st finish;
     pop_all_push st ~nargs (peek st ~depth:1)
   end
@@ -592,7 +623,9 @@ let prim_transcript_show st ~nargs =
         charge_misc st;
         (* transcript output goes through the display controller's
            serialized queue *)
-        let finish = Devices.display_enqueue st.sh.display ~now:(now st) in
+        let finish =
+          Devices.display_enqueue ~vp:st.id st.sh.display ~now:(now st)
+        in
         sync_to st finish;
         Buffer.add_string transcript s;
         pop_all_push st ~nargs (peek st ~depth:1)
@@ -610,7 +643,9 @@ let prim_clock st ~nargs =
 let prim_next_event st ~nargs =
   if nargs <> 0 then Failed
   else begin
-    let finish, ev = Devices.poll st.sh.input ~now:(now st) ~op_cycles:20 in
+    let finish, ev =
+      Devices.poll ~vp:st.id st.sh.input ~now:(now st) ~op_cycles:20
+    in
     sync_to st finish;
     let v = match ev with Some p -> Oop.of_small p | None -> nil st in
     pop_all_push st ~nargs v
@@ -720,7 +755,7 @@ let prim_compile st ~nargs =
              let ops = max 1 (total / 2 / 60) in
              for _ = 1 to ops do
                let finish =
-                 Spinlock.locked_op st.sh.alloc_lock ~now:(now st) ~op_cycles:60
+                 Spinlock.locked_op ~vp:st.id st.sh.alloc_lock ~now:(now st) ~op_cycles:60
                in
                sync_to st finish
              done;
@@ -752,7 +787,7 @@ let prim_decompile st ~nargs =
               let ops = max 1 (total / 2 / 60) in
               for _ = 1 to ops do
                 let finish =
-                  Spinlock.locked_op st.sh.alloc_lock ~now:(now st) ~op_cycles:60
+                  Spinlock.locked_op ~vp:st.id st.sh.alloc_lock ~now:(now st) ~op_cycles:60
                 in
                 sync_to st finish
               done;
@@ -987,10 +1022,7 @@ let run st ~prim ~nargs =
         let recv = peek st ~depth:0 in
         if Oop.is_small recv then begin
           charge_arith st;
-          let f =
-            Universe.new_float_new (u_ st) ~vp:st.id
-              (float_of_int (Oop.small_val recv))
-          in
+          let f = new_float st (float_of_int (Oop.small_val recv)) in
           pop_all_push st ~nargs f
         end
         else Failed

@@ -13,86 +13,161 @@
    The ready queue itself is the ProcessorScheduler heap object: an Array
    of LinkedLists, one per priority, with Processes chained through their
    [next_link] slots — fully visible at the Smalltalk level, exactly the
-   exposure the paper worries about. *)
+   exposure the paper worries about.
+
+   Lock discipline: every list operation runs inside the scheduler lock's
+   critical section.  A store that would insert its receiver into the
+   entry table is deferred — the address is queued while the scheduler
+   lock is held and the insert is performed under the entry-table lock
+   right after the section closes, because MS holds one kernel lock at a
+   time.  The deferral is invisible to the scavenger: every public
+   operation flushes before returning. *)
 
 type t = {
   u : Universe.t;
   lock : Spinlock.t;
+  entry_lock : Spinlock.t;
   op_cycles : int;              (* cost of one ready-queue operation *)
+  remember_cost : int;          (* entry-table insert, under its lock *)
   keep_running_in_queue : bool;
   processors : int;
   running : Oop.t array;          (* per processor: process or sentinel *)
   preempt : bool array;           (* per processor: reschedule requested *)
+  mutable sanitizer : Sanitizer.t option;
+  mutable pending_remembers : int list;  (* deferred entry-table inserts *)
   mutable wakes : int;
   mutable picks : int;
   mutable preemptions : int;
 }
 
-let create ~u ~lock ~op_cycles ~keep_running_in_queue ~processors =
-  { u; lock; op_cycles; keep_running_in_queue; processors;
+let create ~u ~lock ~entry_lock ~op_cycles ~remember_cost
+    ~keep_running_in_queue ~processors =
+  { u; lock; entry_lock; op_cycles; remember_cost; keep_running_in_queue;
+    processors;
     running = Array.make processors Oop.sentinel;
     preempt = Array.make processors false;
+    sanitizer = None;
+    pending_remembers = [];
     wakes = 0; picks = 0; preemptions = 0 }
+
+let set_sanitizer t san = t.sanitizer <- Some san
 
 let heap t = Universe.heap t.u
 let nil t = t.u.Universe.nil
+
+(* A pointer store into scheduler-guarded heap state.  Reports the mutation
+   to the sanitizer, defers any entry-table insert (we are inside the
+   scheduler lock; the entry-table lock is taken by [flush_remembers]). *)
+let store t ~vp obj i v =
+  let h = heap t in
+  (match t.sanitizer with
+   | Some san when Sanitizer.checking san ->
+       Sanitizer.check_guarded san ~resource:"ready queue" ~vp ~now:(-1)
+         ~detail:(Printf.sprintf "%d[%d]" (Oop.addr obj) i)
+   | _ -> ());
+  if Heap.store_would_remember h obj v then
+    t.pending_remembers <- Oop.addr obj :: t.pending_remembers;
+  Heap.set_raw h obj i v
+
+(* Perform the deferred entry-table inserts, each under the entry-table
+   lock, in queue order.  Returns the advanced completion time. *)
+let flush_remembers t ~now ~vp =
+  match t.pending_remembers with
+  | [] -> now
+  | pending ->
+      t.pending_remembers <- [];
+      let h = heap t in
+      List.fold_left
+        (fun now a ->
+          (* another deferred store (or an earlier flush) may have
+             remembered it already *)
+          if Heap.is_remembered h a then now
+          else
+            let finish, () =
+              Spinlock.critical ~vp t.entry_lock ~now
+                ~op_cycles:t.remember_cost (fun () -> Heap.remember h a)
+            in
+            finish)
+        now (List.rev pending)
 
 (* --- linked lists of Processes (LinkedList and Semaphore share layout) --- *)
 
 let ll_is_empty t list =
   Oop.equal (Heap.get (heap t) list Layout.Linked_list.first) (nil t)
 
-let ll_append t list proc =
+(* The unlocked bodies: callers hold the scheduler lock. *)
+
+let append_unlocked t ~vp list proc =
   let h = heap t in
   let n = nil t in
   let first = Heap.get h list Layout.Linked_list.first in
   if Oop.equal first n then begin
-    ignore (Heap.store_ptr h list Layout.Linked_list.first proc);
-    ignore (Heap.store_ptr h list Layout.Linked_list.last proc)
+    store t ~vp list Layout.Linked_list.first proc;
+    store t ~vp list Layout.Linked_list.last proc
   end
   else begin
     let last = Heap.get h list Layout.Linked_list.last in
-    ignore (Heap.store_ptr h last Layout.Process.next_link proc);
-    ignore (Heap.store_ptr h list Layout.Linked_list.last proc)
+    store t ~vp last Layout.Process.next_link proc;
+    store t ~vp list Layout.Linked_list.last proc
   end;
-  ignore (Heap.store_ptr h proc Layout.Process.next_link n);
-  ignore (Heap.store_ptr h proc Layout.Process.my_list list)
+  store t ~vp proc Layout.Process.next_link n;
+  store t ~vp proc Layout.Process.my_list list
 
-let ll_pop_first t list =
+let pop_first_unlocked t ~vp list =
   let h = heap t in
   let n = nil t in
   let first = Heap.get h list Layout.Linked_list.first in
   if Oop.equal first n then None
   else begin
     let next = Heap.get h first Layout.Process.next_link in
-    ignore (Heap.store_ptr h list Layout.Linked_list.first next);
-    if Oop.equal next n then
-      ignore (Heap.store_ptr h list Layout.Linked_list.last n);
-    ignore (Heap.store_ptr h first Layout.Process.next_link n);
-    ignore (Heap.store_ptr h first Layout.Process.my_list n);
+    store t ~vp list Layout.Linked_list.first next;
+    if Oop.equal next n then store t ~vp list Layout.Linked_list.last n;
+    store t ~vp first Layout.Process.next_link n;
+    store t ~vp first Layout.Process.my_list n;
     Some first
   end
 
-let ll_remove t list proc =
+let remove_unlocked t ~vp list proc =
   let h = heap t in
   let n = nil t in
   let rec unlink prev cur =
     if Oop.equal cur n then ()
     else if Oop.equal cur proc then begin
       let next = Heap.get h cur Layout.Process.next_link in
-      (if Oop.equal prev n then
-         ignore (Heap.store_ptr h list Layout.Linked_list.first next)
-       else ignore (Heap.store_ptr h prev Layout.Process.next_link next));
+      (if Oop.equal prev n then store t ~vp list Layout.Linked_list.first next
+       else store t ~vp prev Layout.Process.next_link next);
       if Oop.equal next n then
-        ignore
-          (Heap.store_ptr h list Layout.Linked_list.last
-             (if Oop.equal prev n then n else prev));
-      ignore (Heap.store_ptr h proc Layout.Process.next_link n);
-      ignore (Heap.store_ptr h proc Layout.Process.my_list n)
+        store t ~vp list Layout.Linked_list.last
+          (if Oop.equal prev n then n else prev);
+      store t ~vp proc Layout.Process.next_link n;
+      store t ~vp proc Layout.Process.my_list n
     end
     else unlink cur (Heap.get h cur Layout.Process.next_link)
   in
   unlink n (Heap.get h list Layout.Linked_list.first)
+
+(* Public list surgery: under the scheduler lock, then flush. *)
+
+let ll_append ?(vp = -1) t ~now list proc =
+  let now, () =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        append_unlocked t ~vp list proc)
+  in
+  flush_remembers t ~now ~vp
+
+let ll_pop_first ?(vp = -1) t ~now list =
+  let now, popped =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        pop_first_unlocked t ~vp list)
+  in
+  (flush_remembers t ~now ~vp, popped)
+
+let ll_remove ?(vp = -1) t ~now list proc =
+  let now, () =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        remove_unlocked t ~vp list proc)
+  in
+  flush_remembers t ~now ~vp
 
 (* --- the ready queue --- *)
 
@@ -107,13 +182,15 @@ let priority_of t proc =
 let process_state t proc =
   Oop.small_val (Heap.get (heap t) proc Layout.Process.state)
 
-let set_running_on t proc vp_opt =
+let set_running_on_u t ~vp proc vp_opt =
   let v =
     match vp_opt with
-    | Some vp -> Oop.of_small vp
+    | Some p -> Oop.of_small p
     | None -> nil t
   in
-  ignore (Heap.store_ptr (heap t) proc Layout.Process.running_on v)
+  store t ~vp proc Layout.Process.running_on v
+
+let set_running_on t proc vp_opt = set_running_on_u t ~vp:(-1) proc vp_opt
 
 let running_on t proc =
   let v = Heap.get (heap t) proc Layout.Process.running_on in
@@ -123,6 +200,81 @@ let is_in_ready_queue t proc =
   let list = Heap.get (heap t) proc Layout.Process.my_list in
   not (Oop.equal list (nil t))
   && Oop.equal list (ready_list t (priority_of t proc))
+
+(* --- invariants ---------------------------------------------------------
+
+   Checked after every wake/pick/yield/relinquish when a sanitizer is
+   armed: the running table and the Processes' [running_on] slots must
+   mirror each other, no Process may run on two processors, every Process
+   chained into a ready list must point back at it through [my_list], and
+   under the MS reorganization a running Process stays in the queue. *)
+
+let check_invariants t ~now ~vp =
+  match t.sanitizer with
+  | Some san when Sanitizer.checking san ->
+      let report msg =
+        Sanitizer.report_violation san ~vp ~now ~resource:"scheduler" msg
+      in
+      let h = heap t in
+      let n = nil t in
+      Array.iteri
+        (fun i proc ->
+          if not (Oop.equal proc Oop.sentinel) then begin
+            (match running_on t proc with
+             | Some v when v = i -> ()
+             | Some v ->
+                 report
+                   (Printf.sprintf
+                      "running.(%d) holds a process with running_on=%d" i v)
+             | None ->
+                 report
+                   (Printf.sprintf
+                      "running.(%d) holds a process with running_on=nil" i));
+            for j = 0 to i - 1 do
+              if Oop.equal t.running.(j) proc then
+                report
+                  (Printf.sprintf "process running on both vp %d and vp %d" j
+                     i)
+            done;
+            if t.keep_running_in_queue && not (is_in_ready_queue t proc) then
+              report
+                (Printf.sprintf
+                   "running.(%d) process missing from the ready queue" i)
+          end)
+        t.running;
+      (* Bounded walk of every ready list: back-pointers and running_on
+         agreement.  The budget guards against a corrupted cyclic chain. *)
+      let budget = ref 10_000 in
+      for priority = 1 to Layout.Scheduler.priorities do
+        let list = ready_list t priority in
+        let rec scan cur =
+          if Oop.equal cur n || !budget <= 0 then ()
+          else begin
+            decr budget;
+            let ml = Heap.get h cur Layout.Process.my_list in
+            if not (Oop.equal ml list) then
+              report
+                (Printf.sprintf
+                   "process %d chained into ready list %d but my_list \
+                    disagrees"
+                   (Oop.addr cur) priority);
+            (match running_on t cur with
+             | Some v ->
+                 if v < 0 || v >= t.processors
+                    || not (Oop.equal t.running.(v) cur)
+                 then
+                   report
+                     (Printf.sprintf
+                        "ready process %d claims running_on=%d but the \
+                         running table disagrees"
+                        (Oop.addr cur) v)
+             | None -> ());
+            scan (Heap.get h cur Layout.Process.next_link)
+          end
+        in
+        scan (Heap.get h list Layout.Linked_list.first)
+      done
+  | _ -> ()
 
 (* Request a reschedule of the processor running the lowest-priority
    process below [priority], if any. *)
@@ -144,69 +296,86 @@ let request_preemption t ~priority =
   end
 
 (* Make [proc] ready.  Idempotent when it is already in the ready queue. *)
-let wake t ~now proc =
-  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
-  t.wakes <- t.wakes + 1;
-  if not (is_in_ready_queue t proc) then
-    ll_append t (ready_list t (priority_of t proc)) proc;
-  request_preemption t ~priority:(priority_of t proc);
+let wake ?(vp = -1) t ~now proc =
+  let now, () =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        t.wakes <- t.wakes + 1;
+        if not (is_in_ready_queue t proc) then
+          append_unlocked t ~vp (ready_list t (priority_of t proc)) proc;
+        request_preemption t ~priority:(priority_of t proc))
+  in
+  let now = flush_remembers t ~now ~vp in
+  check_invariants t ~now ~vp;
   now
 
 (* Choose the next Process for processor [vp]: the highest-priority ready
    Process that no processor is currently executing. *)
 let pick t ~now ~vp =
-  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
-  t.picks <- t.picks + 1;
-  let h = heap t in
-  let n = nil t in
-  let found = ref Oop.sentinel in
-  let priority = ref Layout.Scheduler.priorities in
-  while Oop.equal !found Oop.sentinel && !priority >= 1 do
-    let list = ready_list t !priority in
-    let rec scan cur =
-      if Oop.equal cur n then ()
-      else if
-        running_on t cur = None
-        && process_state t cur = Layout.Process_state.runnable
-      then found := cur
-      else scan (Heap.get h cur Layout.Process.next_link)
-    in
-    scan (Heap.get h list Layout.Linked_list.first);
-    decr priority
-  done;
-  if Oop.equal !found Oop.sentinel then (now, None)
-  else begin
-    let proc = !found in
-    if not t.keep_running_in_queue then
-      ll_remove t (ready_list t (priority_of t proc)) proc;
-    set_running_on t proc (Some vp);
-    t.running.(vp) <- proc;
-    (now, Some proc)
-  end
+  let now, picked =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        t.picks <- t.picks + 1;
+        let h = heap t in
+        let n = nil t in
+        let found = ref Oop.sentinel in
+        let priority = ref Layout.Scheduler.priorities in
+        while Oop.equal !found Oop.sentinel && !priority >= 1 do
+          let list = ready_list t !priority in
+          let rec scan cur =
+            if Oop.equal cur n then ()
+            else if
+              running_on t cur = None
+              && process_state t cur = Layout.Process_state.runnable
+            then found := cur
+            else scan (Heap.get h cur Layout.Process.next_link)
+          in
+          scan (Heap.get h list Layout.Linked_list.first);
+          decr priority
+        done;
+        if Oop.equal !found Oop.sentinel then None
+        else begin
+          let proc = !found in
+          if not t.keep_running_in_queue then
+            remove_unlocked t ~vp (ready_list t (priority_of t proc)) proc;
+          set_running_on_u t ~vp proc (Some vp);
+          t.running.(vp) <- proc;
+          Some proc
+        end)
+  in
+  let now = flush_remembers t ~now ~vp in
+  check_invariants t ~now ~vp;
+  (now, picked)
 
 (* The current Process of [vp] stops running.  [requeue] keeps it ready
    (yield/preemption); otherwise it leaves the ready queue (wait, suspend,
    terminate). *)
 let relinquish t ~now ~vp ~requeue proc =
-  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
-  set_running_on t proc None;
-  t.running.(vp) <- Oop.sentinel;
-  if requeue then begin
-    if not (is_in_ready_queue t proc) then
-      ll_append t (ready_list t (priority_of t proc)) proc
-  end
-  else if is_in_ready_queue t proc then
-    ll_remove t (ready_list t (priority_of t proc)) proc;
+  let now, () =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        set_running_on_u t ~vp proc None;
+        t.running.(vp) <- Oop.sentinel;
+        if requeue then begin
+          if not (is_in_ready_queue t proc) then
+            append_unlocked t ~vp (ready_list t (priority_of t proc)) proc
+        end
+        else if is_in_ready_queue t proc then
+          remove_unlocked t ~vp (ready_list t (priority_of t proc)) proc)
+  in
+  let now = flush_remembers t ~now ~vp in
+  check_invariants t ~now ~vp;
   now
 
 (* Move the current Process to the back of its priority list. *)
 let yield t ~now ~vp proc =
-  let now = Spinlock.locked_op t.lock ~now ~op_cycles:t.op_cycles in
-  let list = ready_list t (priority_of t proc) in
-  if is_in_ready_queue t proc then ll_remove t list proc;
-  ll_append t list proc;
-  set_running_on t proc None;
-  t.running.(vp) <- Oop.sentinel;
+  let now, () =
+    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        let list = ready_list t (priority_of t proc) in
+        if is_in_ready_queue t proc then remove_unlocked t ~vp list proc;
+        append_unlocked t ~vp list proc;
+        set_running_on_u t ~vp proc None;
+        t.running.(vp) <- Oop.sentinel)
+  in
+  let now = flush_remembers t ~now ~vp in
+  check_invariants t ~now ~vp;
   now
 
 let take_preempt_flag t vp =

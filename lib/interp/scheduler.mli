@@ -12,16 +12,25 @@
     The ready queue itself is the ProcessorScheduler heap object: an
     Array of LinkedLists with Processes chained through their [next_link]
     slots, fully visible at the Smalltalk level — exactly the exposure the
-    paper worries about. *)
+    paper worries about.
+
+    Every list operation runs inside the scheduler lock's critical
+    section; stores that must insert their receiver into the entry table
+    defer the insert and perform it under the entry-table lock right after
+    the section closes (MS holds one kernel lock at a time). *)
 
 type t = {
   u : Universe.t;
   lock : Spinlock.t;
+  entry_lock : Spinlock.t;  (** for deferred entry-table inserts *)
   op_cycles : int;  (** cost of one ready-queue operation *)
+  remember_cost : int;  (** entry-table insert, under its lock *)
   keep_running_in_queue : bool;
   processors : int;
   running : Oop.t array;  (** per processor: process or sentinel *)
   preempt : bool array;  (** per processor: reschedule requested *)
+  mutable sanitizer : Sanitizer.t option;
+  mutable pending_remembers : int list;
   mutable wakes : int;
   mutable picks : int;
   mutable preemptions : int;
@@ -30,20 +39,28 @@ type t = {
 val create :
   u:Universe.t ->
   lock:Spinlock.t ->
+  entry_lock:Spinlock.t ->
   op_cycles:int ->
+  remember_cost:int ->
   keep_running_in_queue:bool ->
   processors:int ->
   t
 
-(** {2 Linked lists of Processes (LinkedList and Semaphore share layout)} *)
+val set_sanitizer : t -> Sanitizer.t -> unit
+
+(** {2 Linked lists of Processes (LinkedList and Semaphore share layout)}
+
+    The mutating operations take the scheduler lock, advance virtual time
+    from [now] and return the completion time; [vp] is the acting
+    processor (default [-1], the engine). *)
 
 val ll_is_empty : t -> Oop.t -> bool
 
-val ll_append : t -> Oop.t -> Oop.t -> unit
+val ll_append : ?vp:int -> t -> now:int -> Oop.t -> Oop.t -> int
 
-val ll_pop_first : t -> Oop.t -> Oop.t option
+val ll_pop_first : ?vp:int -> t -> now:int -> Oop.t -> int * Oop.t option
 
-val ll_remove : t -> Oop.t -> Oop.t -> unit
+val ll_remove : ?vp:int -> t -> now:int -> Oop.t -> Oop.t -> int
 
 (** {2 The ready queue} *)
 
@@ -65,7 +82,7 @@ val request_preemption : t -> priority:int -> unit
 
 (** Make a Process ready (idempotent); may request preemption.  Returns
     the completion time of the locked operation. *)
-val wake : t -> now:int -> Oop.t -> int
+val wake : ?vp:int -> t -> now:int -> Oop.t -> int
 
 (** Choose the next Process for a processor: the highest-priority ready
     Process no processor is currently executing. *)
@@ -84,3 +101,10 @@ val take_preempt_flag : t -> int -> bool
 
 (** Is a ready, not-running Process of higher priority available? *)
 val better_ready : t -> than:int -> bool
+
+(** Check the scheduler invariants against an attached, armed sanitizer:
+    [running] mirrors [running_on], no Process on two processors,
+    [my_list] back-pointers agree with chain membership, and (under the MS
+    reorganization) running Processes stay in the ready queue.  Violations
+    are reported as resource "scheduler". *)
+val check_invariants : t -> now:int -> vp:int -> unit

@@ -34,6 +34,8 @@ type shared = {
      cycle (the compile/decompile primitives call up into stcompile) *)
   mutable compile_hook : (cls:Oop.t -> class_side:bool -> string -> Oop.t) option;
   mutable decompile_hook : (meth:Oop.t -> string) option;
+  (* serialization checking; mode Off unless configured *)
+  sanitizer : Sanitizer.t;
 }
 
 type t = {
@@ -149,15 +151,19 @@ let set_sp st sp =
 
 (* Pointer store with the generation-scavenging store check; an insertion
    into the entry table passes through the entry-table lock (serialization,
-   paper section 3.1). *)
+   paper section 3.1) — acquired before the store, so the insert happens
+   inside the critical section. *)
 let store_with_check st obj i v =
-  if Heap.store_ptr st.sh.heap obj i v then begin
-    let finish =
-      Spinlock.locked_op st.sh.entry_lock ~now:(now st)
-        ~op_cycles:st.sh.cm.Cost_model.remember_insert
+  let h = st.sh.heap in
+  if Heap.store_would_remember h obj v then begin
+    let finish, () =
+      Spinlock.critical ~vp:st.id st.sh.entry_lock ~now:(now st)
+        ~op_cycles:st.sh.cm.Cost_model.remember_insert (fun () ->
+          ignore (Heap.store_ptr h obj i v))
     in
     sync_to st finish
   end
+  else ignore (Heap.store_ptr h obj i v)
 
 let push st v =
   let sp = get_sp st in

@@ -33,6 +33,7 @@ type shared = {
       (** installed by the VM assembly to avoid a dependency cycle: the
           compile primitive calls up into stcompile *)
   mutable decompile_hook : (meth:Oop.t -> string) option;
+  sanitizer : Sanitizer.t;  (** serialization checking; Off by default *)
 }
 
 type t = {

@@ -60,6 +60,8 @@ type t = {
   mutable on_scavenge : (unit -> unit) list;
   mutable method_ctx_class : Oop.t;
   mutable block_ctx_class : Oop.t;
+  (* serialization checking (attached by the VM layer) *)
+  mutable sanitizer : Sanitizer.t option;
   (* statistics *)
   mutable allocations : int;
   mutable words_allocated : int;
@@ -108,6 +110,7 @@ let create ?(policy = Unlocked) ?(processors = 1) ?(tenure_age = 4)
     on_scavenge = [];
     method_ctx_class = Oop.sentinel;
     block_ctx_class = Oop.sentinel;
+    sanitizer = None;
     allocations = 0;
     words_allocated = 0;
     scavenge_count = 0;
@@ -116,6 +119,7 @@ let create ?(policy = Unlocked) ?(processors = 1) ?(tenure_age = 4)
     last_scavenge = empty_stats () }
 
 let set_nil h nil = h.nil <- nil
+let set_sanitizer h san = h.sanitizer <- Some san
 let add_root h cell = h.roots <- cell :: h.roots
 let remove_root h cell =
   h.roots <- List.filter (fun c -> not (c == cell)) h.roots
@@ -152,6 +156,11 @@ let set_raw h (o : Oop.t) i v =
 (* --- the entry table --- *)
 
 let remember h a =
+  (match h.sanitizer with
+   | Some san when Sanitizer.checking san ->
+       Sanitizer.check_guarded san ~resource:"entry table" ~vp:(-1) ~now:(-1)
+         ~detail:(string_of_int a)
+   | _ -> ());
   if h.rset_len = Array.length h.rset then begin
     let bigger = Array.make (2 * Array.length h.rset) 0 in
     Array.blit h.rset 0 bigger 0 h.rset_len;
@@ -162,6 +171,13 @@ let remember h a =
   h.mem.(a) <- h.mem.(a) lor Layout.flag_remembered
 
 let remembered_count h = h.rset_len
+
+(* True when [store_ptr h o _ v] would insert [o] into the entry table —
+   lets callers acquire the entry-table lock before the store instead of
+   charging it after the fact. *)
+let store_would_remember h (o : Oop.t) (v : Oop.t) =
+  let a = Oop.addr o in
+  a < h.new_base && a >= 2 && is_new h v && not (is_remembered h a)
 
 (* Pointer store with the generation-scavenging store check.  Returns true
    when the store inserted the receiver into the entry table, so the caller
@@ -207,6 +223,11 @@ let alloc_new h ~vp ~slots ~raw ?(bytes = false) ~cls () =
   let total = slots + Layout.header_words in
   let r = eden_region h vp in
   if region_avail r < total then raise Scavenge_needed;
+  (match h.sanitizer with
+   | Some san when Sanitizer.checking san ->
+       Sanitizer.check_guarded san ~resource:"allocation" ~vp ~now:(-1)
+         ~detail:(Printf.sprintf "%d words" total)
+   | _ -> ());
   let a = r.ptr in
   r.ptr <- r.ptr + total;
   write_header h a ~total ~flags:(flags_of_format ~raw ~bytes) ~age:0 ~cls;

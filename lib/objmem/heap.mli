@@ -57,6 +57,7 @@ type t = {
   mutable on_scavenge : (unit -> unit) list;
   mutable method_ctx_class : Oop.t;  (** so the scavenger can bound frames *)
   mutable block_ctx_class : Oop.t;
+  mutable sanitizer : Sanitizer.t option;  (** attached by the VM layer *)
   mutable allocations : int;
   mutable words_allocated : int;
   mutable scavenge_count : int;
@@ -80,6 +81,11 @@ val create :
   t
 
 val set_nil : t -> Oop.t -> unit
+
+(** Attach a serialization checker: entry-table inserts must then happen
+    inside the "entry table" lock's critical section and eden allocations
+    inside the allocation lock's (when those guards are registered). *)
+val set_sanitizer : t -> Sanitizer.t -> unit
 
 (** Register a cell the scavenger must treat (and update) as a root. *)
 val add_root : t -> Oop.t ref -> unit
@@ -124,6 +130,10 @@ val get : t -> Oop.t -> int -> Oop.t
 
 (** Raw store: non-pointer values, or new-space receivers. *)
 val set_raw : t -> Oop.t -> int -> int -> unit
+
+(** True when [store_ptr h o i v] would insert [o] into the entry table,
+    so the caller can take the entry-table lock {e before} the store. *)
+val store_would_remember : t -> Oop.t -> Oop.t -> bool
 
 (** Pointer store with the generation-scavenging store check; true when
     the receiver was just inserted into the entry table (the caller

@@ -98,6 +98,10 @@ val new_float_old : t -> float -> Oop.t
 
 val new_float_new : t -> vp:int -> float -> Oop.t
 
+(** Write a float's IEEE bits into an already-allocated 2-slot raw box —
+    for callers that must allocate the box under the allocation lock. *)
+val write_float : t -> Oop.t -> float -> unit
+
 val float_value : t -> Oop.t -> float
 
 (** {2 Characters (256 preallocated immutable instances)} *)

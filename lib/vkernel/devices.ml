@@ -30,7 +30,7 @@ let make_display ~enabled_locks ~cost =
 (* Enqueue one draw command at [now]; returns the completion time for the
    enqueueing processor (it does not wait for the paint, only for queue
    space and the queue lock). *)
-let display_enqueue d ~now =
+let display_enqueue ?(vp = -1) d ~now =
   (* Backlog length at [now], inferred from when the controller will drain. *)
   let backlog =
     if d.free_at <= now then 0
@@ -45,8 +45,15 @@ let display_enqueue d ~now =
       t
     end
   in
-  let after_lock = Spinlock.locked_op d.lock ~now:start ~op_cycles:10 in
-  d.commands <- d.commands + 1;
+  let after_lock, () =
+    Spinlock.critical ~vp d.lock ~now:start ~op_cycles:10 (fun () ->
+        (match Spinlock.sanitizer d.lock with
+         | Some san ->
+             Sanitizer.check_guarded san ~resource:"display output queue" ~vp
+               ~now:start ~detail:"enqueue"
+         | None -> ());
+        d.commands <- d.commands + 1)
+  in
   d.free_at <- max d.free_at after_lock + d.service_cycles;
   after_lock
 
@@ -84,15 +91,20 @@ let inject q ~time ~payload =
 
 (* Poll at [now] under the lock: returns (completion_time, event payload if
    one was ready). *)
-let poll q ~now ~op_cycles =
+let poll ?(vp = -1) q ~now ~op_cycles =
   q.polls <- q.polls + 1;
-  let finish = Spinlock.locked_op q.ilock ~now ~op_cycles in
-  match q.pending with
-  | e :: rest when e.time <= now ->
-      q.pending <- rest;
-      q.delivered <- q.delivered + 1;
-      (finish, Some e.payload)
-  | _ -> (finish, None)
+  Spinlock.critical ~vp q.ilock ~now ~op_cycles (fun () ->
+      match q.pending with
+      | e :: rest when e.time <= now ->
+          (match Spinlock.sanitizer q.ilock with
+           | Some san ->
+               Sanitizer.check_guarded san ~resource:"input event queue" ~vp
+                 ~now ~detail:"pop"
+           | None -> ());
+          q.pending <- rest;
+          q.delivered <- q.delivered + 1;
+          Some e.payload
+      | _ -> None)
 
 let input_pending q = List.length q.pending
 

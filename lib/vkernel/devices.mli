@@ -14,7 +14,7 @@ val make_display : enabled_locks:bool -> cost:Cost_model.t -> display
 
 (** Enqueue one draw command at [now]; returns the producer's completion
     time (it waits for queue space and the lock, not the paint). *)
-val display_enqueue : display -> now:int -> int
+val display_enqueue : ?vp:int -> display -> now:int -> int
 
 val display_commands : display -> int
 
@@ -34,7 +34,7 @@ val inject : input_queue -> time:int -> payload:int -> unit
 
 (** Poll under the queue's lock at [now]: completion time and the event,
     if one is visible. *)
-val poll : input_queue -> now:int -> op_cycles:int -> int * int option
+val poll : ?vp:int -> input_queue -> now:int -> op_cycles:int -> int * int option
 
 (** Events injected but not yet delivered. *)
 val input_pending : input_queue -> int

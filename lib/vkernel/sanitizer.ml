@@ -1,0 +1,158 @@
+type mode = Off | Report | Strict
+
+exception Violation of string
+
+(* Per-lock serialization state.  [last_start]/[last_finish] describe the
+   most recent completed (or open) critical section on the lock's virtual
+   timeline; [depth]/[section_vp] track the currently open bracket.  The
+   host is single-threaded, so a bracket being open means host-order
+   nesting, which is exactly the discipline the checker verifies. *)
+type lock_state = {
+  mutable last_start : int;
+  mutable last_finish : int;
+  mutable depth : int;
+  mutable section_vp : int;
+}
+
+type t = {
+  mode : mode;
+  trace : Trace.t;
+  locks : (string, lock_state) Hashtbl.t;
+  mutable lock_order : string list;  (* reverse registration order *)
+  guards : (string, string) Hashtbl.t;  (* resource -> lock name *)
+  mutable armed : bool;
+  mutable violation_count : int;
+  mutable messages : string list;  (* newest first, capped *)
+}
+
+let max_messages = 64
+
+let create ?(trace_capacity = 4096) mode =
+  {
+    mode;
+    trace = Trace.create ~capacity:(max 1 trace_capacity) ();
+    locks = Hashtbl.create 16;
+    lock_order = [];
+    guards = Hashtbl.create 16;
+    armed = false;
+    violation_count = 0;
+    messages = [];
+  }
+
+let mode t = t.mode
+let active t = t.mode <> Off
+let set_armed t b = t.armed <- b
+let armed t = t.armed
+let checking t = active t && t.armed
+let trace t = t.trace
+let violation_count t = t.violation_count
+let violations t = List.rev t.messages
+
+let register_lock t name =
+  if not (Hashtbl.mem t.locks name) then begin
+    Hashtbl.replace t.locks name
+      { last_start = 0; last_finish = 0; depth = 0; section_vp = -1 };
+    t.lock_order <- name :: t.lock_order
+  end
+
+let lock_names t = List.rev t.lock_order
+
+let register_guard t ~resource ~lock =
+  register_lock t lock;
+  Hashtbl.replace t.guards resource lock
+
+let report_violation t ~vp ~now ~resource msg =
+  t.violation_count <- t.violation_count + 1;
+  if List.length t.messages < max_messages then
+    t.messages <- Printf.sprintf "%s: %s" resource msg :: t.messages;
+  Trace.record t.trace ~vp ~time:now ~kind:Trace.Violation ~resource
+    ~detail:msg;
+  if t.mode = Strict then
+    raise (Violation (Printf.sprintf "sanitizer: %s: %s" resource msg))
+
+let lock_state t name =
+  match Hashtbl.find_opt t.locks name with
+  | Some st -> st
+  | None ->
+      register_lock t name;
+      Hashtbl.find t.locks name
+
+let on_lock_op t ~lock ~vp ~now ~start ~finish ~contended =
+  if active t then begin
+    let st = lock_state t lock in
+    if t.armed && start < st.last_finish then
+      report_violation t ~vp ~now ~resource:lock
+        (Printf.sprintf
+           "timeline moved backwards: section [%d,%d] starts before \
+            previous finish %d"
+           start finish st.last_finish);
+    if t.armed && finish < start then
+      report_violation t ~vp ~now ~resource:lock
+        (Printf.sprintf "section finish %d before start %d" finish start);
+    st.last_start <- start;
+    st.last_finish <- max st.last_finish finish;
+    Trace.record t.trace ~vp ~time:start
+      ~kind:(if contended then Trace.Lock_contend else Trace.Lock_acquire)
+      ~resource:lock
+      ~detail:(Printf.sprintf "finish=%d" finish)
+  end
+
+let section_enter t ~lock ~vp ~now ~start ~finish ~contended =
+  if active t then begin
+    on_lock_op t ~lock ~vp ~now ~start ~finish ~contended;
+    let st = lock_state t lock in
+    st.depth <- st.depth + 1;
+    st.section_vp <- vp;
+    Trace.record t.trace ~vp ~time:start ~kind:Trace.Section_enter
+      ~resource:lock ~detail:""
+  end
+
+let section_exit t ~lock ~vp ~now =
+  if active t then begin
+    let st = lock_state t lock in
+    if t.armed && st.depth <= 0 then
+      report_violation t ~vp ~now ~resource:lock
+        "section exit without matching enter"
+    else st.depth <- max 0 (st.depth - 1);
+    if st.depth = 0 then st.section_vp <- -1;
+    Trace.record t.trace ~vp ~time:now ~kind:Trace.Section_exit
+      ~resource:lock ~detail:""
+  end
+
+let check_guarded t ~resource ~vp ~now ~detail =
+  if checking t then
+    match Hashtbl.find_opt t.guards resource with
+    | None -> ()
+    | Some lock ->
+        let st = lock_state t lock in
+        if st.depth <= 0 then
+          report_violation t ~vp ~now ~resource
+            (Printf.sprintf "mutated outside '%s' critical section (%s)"
+               lock detail)
+        else if vp >= 0 && st.section_vp >= 0 && vp <> st.section_vp then
+          report_violation t ~vp ~now ~resource
+            (Printf.sprintf
+               "mutated by vp %d inside '%s' section held by vp %d (%s)" vp
+               lock st.section_vp detail)
+        else
+          Trace.record t.trace ~vp ~time:now ~kind:Trace.Mutation ~resource
+            ~detail
+
+let check_owner t ~resource ~owner ~vp ~now =
+  if checking t && owner >= 0 then
+    if vp >= 0 && vp <> owner then
+      report_violation t ~vp ~now ~resource
+        (Printf.sprintf "replicated resource owned by vp %d touched by vp %d"
+           owner vp)
+    else
+      Trace.record t.trace ~vp ~time:now ~kind:Trace.Owner_touch ~resource
+        ~detail:(Printf.sprintf "owner=%d" owner)
+
+let print_report t =
+  Printf.printf "sanitizer: mode=%s violations=%d\n"
+    (match t.mode with Off -> "off" | Report -> "report" | Strict -> "strict")
+    t.violation_count;
+  let msgs = violations t in
+  List.iteri (fun i m -> Printf.printf "  %2d. %s\n" (i + 1) m) msgs;
+  if t.violation_count > List.length msgs then
+    Printf.printf "  ... and %d more\n" (t.violation_count - List.length msgs)

@@ -1,0 +1,96 @@
+(** Deterministic serialization sanitizer.
+
+    The simulation is only faithful to the paper's Firefly if every shared
+    resource is serialized through its designated spinlock timeline in
+    nondecreasing virtual-time order.  This checker enforces that at
+    simulation time:
+
+    - {b Timelines:} a lock's critical sections never overlap in virtual
+      time and never move backwards — each section's start is at or after
+      the previous section's finish.
+    - {b Guarded mutations:} every mutation of a registered guarded
+      resource (entry table, heap allocation pointer, ready queue, device
+      queues, shared free-context list) happens while its designated
+      lock's critical-section bracket is open, on the vp that opened it.
+    - {b Ownership:} replicated resources (per-processor method caches and
+      free-context lists) are only touched by their owning vp.
+    - {b Scheduler invariants:} checked by {!Scheduler.check_invariants}
+      after every wake/pick/yield/relinquish, reported through
+      {!report_violation}.
+
+    In [Strict] mode the first violation raises {!Violation}; in [Report]
+    mode violations accumulate and surface through the instrumentation
+    report.  Checks only fire while the sanitizer is {e armed} — the engine
+    arms it for the duration of [Vm.run] and disarms it around the
+    scavenger, so bootstrap and GC (which mutate freely by design) are not
+    flagged. *)
+
+type mode = Off | Report | Strict
+
+exception Violation of string
+
+type t
+
+val create : ?trace_capacity:int -> mode -> t
+
+val mode : t -> mode
+
+(** [true] unless mode is [Off]. *)
+val active : t -> bool
+
+(** Arm/disarm the checker; checks are no-ops while disarmed. *)
+val set_armed : t -> bool -> unit
+
+val armed : t -> bool
+
+(** [true] when checks should fire: active and armed. *)
+val checking : t -> bool
+
+val trace : t -> Trace.t
+
+(** Declare a lock so its timeline is tracked. Idempotent. *)
+val register_lock : t -> string -> unit
+
+(** Names of all registered locks, in registration order. *)
+val lock_names : t -> string list
+
+(** Declare that mutations of [resource] must happen inside [lock]'s
+    critical section. *)
+val register_guard : t -> resource:string -> lock:string -> unit
+
+(** Record a one-shot lock operation: check [start >= previous finish],
+    advance the timeline, trace it. *)
+val on_lock_op :
+  t -> lock:string -> vp:int -> now:int -> start:int -> finish:int ->
+  contended:bool -> unit
+
+(** Like {!on_lock_op} but additionally opens the critical-section
+    bracket for [lock] on [vp]. *)
+val section_enter :
+  t -> lock:string -> vp:int -> now:int -> start:int -> finish:int ->
+  contended:bool -> unit
+
+val section_exit : t -> lock:string -> vp:int -> now:int -> unit
+
+(** Check that a mutation of [resource] is bracketed by its guard lock's
+    critical section (no-op for unregistered resources or while not
+    checking). *)
+val check_guarded :
+  t -> resource:string -> vp:int -> now:int -> detail:string -> unit
+
+(** Check that a replicated resource is touched only by its owner
+    ([owner < 0] means shared — never flagged). *)
+val check_owner :
+  t -> resource:string -> owner:int -> vp:int -> now:int -> unit
+
+(** Count a violation: trace it, accumulate the message, raise
+    {!Violation} in [Strict] mode. *)
+val report_violation :
+  t -> vp:int -> now:int -> resource:string -> string -> unit
+
+val violation_count : t -> int
+
+(** Accumulated violation messages, oldest first (capped). *)
+val violations : t -> string list
+
+val print_report : t -> unit

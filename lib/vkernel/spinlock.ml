@@ -14,7 +14,8 @@
      [free_at].
 
    A disabled lock (baseline Berkeley Smalltalk, which is single-threaded)
-   charges nothing: the code path simply has no synchronization. *)
+   charges no synchronization: the code path still does the operation's
+   work, but pays no test-and-set and never spins. *)
 
 type t = {
   name : string;
@@ -22,6 +23,7 @@ type t = {
   delay_quantum : int;
   acquire_cost : int;
   mutable free_at : int;
+  mutable san : Sanitizer.t option;
   (* statistics *)
   mutable acquisitions : int;
   mutable contended : int;
@@ -34,6 +36,7 @@ let make ~enabled ~cost name =
     delay_quantum = cost.Cost_model.delay_quantum;
     acquire_cost = cost.Cost_model.lock_acquire;
     free_at = 0;
+    san = None;
     acquisitions = 0;
     contended = 0;
     spin_cycles = 0 }
@@ -44,40 +47,85 @@ let acquisitions t = t.acquisitions
 let contended t = t.contended
 let spin_cycles t = t.spin_cycles
 
+let attach t san =
+  t.san <- Some san;
+  if t.enabled then Sanitizer.register_lock san t.name
+
+let sanitizer t = t.san
+
+(* A stats reset must not touch [free_at]: the lock's virtual timeline is
+   simulation state, not a statistic, and rewinding it would let a later
+   acquire start before an earlier critical section finished. *)
 let reset_stats t =
   t.acquisitions <- 0;
   t.contended <- 0;
-  t.spin_cycles <- 0;
-  t.free_at <- 0
+  t.spin_cycles <- 0
+
+(* Acquire at [now]: returns [(start, contended)] and advances [free_at] to
+   [start + acquire_cost + op_cycles].  Shared by [locked_op] and
+   [critical]. *)
+let acquire t ~now ~op_cycles =
+  t.acquisitions <- t.acquisitions + 1;
+  let start, was_contended =
+    if now >= t.free_at then (now, false)
+    else begin
+      t.contended <- t.contended + 1;
+      let wait = t.free_at - now in
+      let q = t.delay_quantum in
+      let retries = (wait + q - 1) / q in
+      let start = now + (retries * q) in
+      t.spin_cycles <- t.spin_cycles + (start - now);
+      (start, true)
+    end
+  in
+  let finish = start + t.acquire_cost + op_cycles in
+  t.free_at <- finish;
+  (start, finish, was_contended)
 
 (* Perform a critical section of [op_cycles] starting no earlier than [now].
    Returns the completion time. *)
-let locked_op t ~now ~op_cycles =
+let locked_op ?(vp = -1) t ~now ~op_cycles =
   if not t.enabled then now + op_cycles
   else begin
-    t.acquisitions <- t.acquisitions + 1;
-    let start =
-      if now >= t.free_at then now
-      else begin
-        t.contended <- t.contended + 1;
-        let wait = t.free_at - now in
-        let q = t.delay_quantum in
-        let retries = (wait + q - 1) / q in
-        let start = now + (retries * q) in
-        t.spin_cycles <- t.spin_cycles + (start - now);
-        start
-      end
-    in
-    let finish = start + t.acquire_cost + op_cycles in
-    t.free_at <- finish;
+    let start, finish, was_contended = acquire t ~now ~op_cycles in
+    (match t.san with
+     | Some san ->
+         Sanitizer.on_lock_op san ~lock:t.name ~vp ~now ~start ~finish
+           ~contended:was_contended
+     | None -> ());
     finish
+  end
+
+(* A bracketed critical section: acquire, run [f] inside the section (so
+   guarded-resource mutations performed by [f] are seen by the sanitizer as
+   covered), release.  Returns the section's completion time and [f]'s
+   result.  The bracket is closed even if [f] raises — the timeline has
+   already advanced, matching [locked_op] (lock work was charged before the
+   failure propagates). *)
+let critical ?(vp = -1) t ~now ~op_cycles f =
+  if not t.enabled then (now + op_cycles, f ())
+  else begin
+    let start, finish, was_contended = acquire t ~now ~op_cycles in
+    match t.san with
+    | None -> (finish, f ())
+    | Some san ->
+        Sanitizer.section_enter san ~lock:t.name ~vp ~now ~start ~finish
+          ~contended:was_contended;
+        let result =
+          try f ()
+          with e ->
+            Sanitizer.section_exit san ~lock:t.name ~vp ~now:finish;
+            raise e
+        in
+        Sanitizer.section_exit san ~lock:t.name ~vp ~now:finish;
+        (finish, result)
   end
 
 (* Convenience: run the critical section on a processor, updating its clock
    and spin statistics. *)
 let locked_op_on t (vp : Machine.vp) ~op_cycles =
   let now = vp.Machine.clock in
-  let finish = locked_op t ~now ~op_cycles in
+  let finish = locked_op ~vp:vp.Machine.id t ~now ~op_cycles in
   let spin = finish - now - op_cycles - (if t.enabled then t.acquire_cost else 0) in
   if spin > 0 then vp.Machine.spin_cycles <- vp.Machine.spin_cycles + spin;
   vp.Machine.clock <- finish

@@ -9,7 +9,7 @@
     delay quantum until the holder's release time.
 
     A disabled lock (baseline Berkeley Smalltalk is single-threaded)
-    charges nothing. *)
+    charges no synchronization cost. *)
 
 type t
 
@@ -21,10 +21,27 @@ val name : t -> string
 
 val enabled : t -> bool
 
+(** Attach a sanitizer: lock operations report their timeline to it and
+    [critical] brackets open/close sanitizer sections.  Registers the lock
+    with the sanitizer when enabled. *)
+val attach : t -> Sanitizer.t -> unit
+
+val sanitizer : t -> Sanitizer.t option
+
 (** [locked_op t ~now ~op_cycles] performs a critical section of
     [op_cycles] starting no earlier than [now] and returns its completion
-    time.  Calls must be made in nondecreasing [now] order. *)
-val locked_op : t -> now:int -> op_cycles:int -> int
+    time.  Calls must be made in nondecreasing [now] order.  [vp] is the
+    acquiring processor, for the sanitizer trace (default [-1]). *)
+val locked_op : ?vp:int -> t -> now:int -> op_cycles:int -> int
+
+(** [critical t ~now ~op_cycles f] is [locked_op] with a bracketed body:
+    [f] runs inside the critical section, so guarded-resource mutations it
+    performs are seen by the sanitizer as covered.  Returns the section's
+    completion time and [f]'s result.  If [f] raises, the bracket is
+    closed and the exception propagates (the timeline has already
+    advanced). *)
+val critical :
+  ?vp:int -> t -> now:int -> op_cycles:int -> (unit -> 'a) -> int * 'a
 
 (** [locked_op_on t vp ~op_cycles] is [locked_op] against a virtual
     processor's clock, updating the clock and its spin statistics. *)
@@ -40,4 +57,5 @@ val contended : t -> int
 (** Total cycles spent spinning (in Delay-quantum steps). *)
 val spin_cycles : t -> int
 
+(** Reset the counters.  Does not touch the lock's timeline. *)
 val reset_stats : t -> unit

@@ -1,0 +1,83 @@
+(* A bounded event trace.  The buffer is a plain circular array: [next] is
+   the slot the next event lands in, [total] counts every event ever
+   recorded, so the live window is the last [min total capacity] slots
+   before [next]. *)
+
+type kind =
+  | Lock_acquire
+  | Lock_contend
+  | Section_enter
+  | Section_exit
+  | Mutation
+  | Owner_touch
+  | Violation
+
+type event = {
+  vp : int;
+  time : int;
+  kind : kind;
+  resource : string;
+  detail : string;
+}
+
+let dummy = { vp = -1; time = -1; kind = Mutation; resource = ""; detail = "" }
+
+type t = {
+  buf : event array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity";
+  { buf = Array.make capacity dummy; next = 0; total = 0 }
+
+let capacity t = Array.length t.buf
+let recorded t = t.total
+
+let record t ~vp ~time ~kind ~resource ~detail =
+  t.buf.(t.next) <- { vp; time; kind; resource; detail };
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let last t n =
+  let cap = Array.length t.buf in
+  let live = min t.total cap in
+  let n = min n live in
+  let rec take i acc =
+    if i >= n then acc
+    else
+      (* i = 0 is the most recent event, at next - 1 *)
+      let slot = (t.next - 1 - i + (2 * cap)) mod cap in
+      take (i + 1) (t.buf.(slot) :: acc)
+  in
+  take 0 []
+
+let clear t =
+  t.next <- 0;
+  t.total <- 0;
+  Array.fill t.buf 0 (Array.length t.buf) dummy
+
+let kind_name = function
+  | Lock_acquire -> "acquire"
+  | Lock_contend -> "contend"
+  | Section_enter -> "enter"
+  | Section_exit -> "exit"
+  | Mutation -> "mutate"
+  | Owner_touch -> "touch"
+  | Violation -> "VIOLATION"
+
+let pp_event fmt e =
+  let vp = if e.vp < 0 then "--" else string_of_int e.vp in
+  let time = if e.time < 0 then "?" else string_of_int e.time in
+  Format.fprintf fmt "[vp %2s @@ %10s] %-9s %-20s %s" vp time
+    (kind_name e.kind) e.resource e.detail
+
+let dump fmt t ~n =
+  let events = last t n in
+  if events = [] then Format.fprintf fmt "(trace empty)@."
+  else begin
+    Format.fprintf fmt "trace: last %d of %d events@." (List.length events)
+      t.total;
+    List.iter (fun e -> Format.fprintf fmt "  %a@." pp_event e) events
+  end

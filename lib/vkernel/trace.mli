@@ -1,0 +1,51 @@
+(** A ring-buffer event trace for the simulated kernel.
+
+    Every serialization-relevant event — lock acquisitions, critical
+    sections, guarded-resource mutations, invariant violations — can be
+    recorded here with its virtual processor, virtual time, kind and
+    resource name.  The buffer is bounded: once full, new events overwrite
+    the oldest, so tracing is safe to leave on for whole benchmark runs.
+    Recording is O(1) and allocation-light; rendering happens only when a
+    dump is requested. *)
+
+type kind =
+  | Lock_acquire  (** an uncontended [locked_op] or critical section *)
+  | Lock_contend  (** the acquire found the lock held and spun *)
+  | Section_enter  (** a bracketed critical section opened *)
+  | Section_exit
+  | Mutation  (** a guarded resource was mutated (checked) *)
+  | Owner_touch  (** a replicated resource was touched by a vp *)
+  | Violation  (** a sanitizer invariant failed *)
+
+type event = {
+  vp : int;  (** virtual processor id, or -1 for the engine *)
+  time : int;  (** virtual time in cycles, or -1 when unknown *)
+  kind : kind;
+  resource : string;
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+
+(** Total events ever recorded, including overwritten ones. *)
+val recorded : t -> int
+
+val record :
+  t -> vp:int -> time:int -> kind:kind -> resource:string -> detail:string ->
+  unit
+
+(** The most recent [n] events, oldest first. *)
+val last : t -> int -> event list
+
+val clear : t -> unit
+
+val kind_name : kind -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Print the most recent [n] events, one per line. *)
+val dump : Format.formatter -> t -> n:int -> unit

@@ -1,0 +1,230 @@
+(* Tests for the serialization sanitizer and its event trace: the ring
+   buffer, the lock-timeline and guarded-mutation checks, injected
+   violations caught end to end inside a real VM, and clean strict runs. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cm = Cost_model.uniform
+
+(* --- the trace ring --- *)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Trace.record t ~vp:0 ~time:i ~kind:Trace.Mutation ~resource:"r"
+      ~detail:(string_of_int i)
+  done;
+  check "total recorded counts overwritten events" 10 (Trace.recorded t);
+  let times = List.map (fun e -> e.Trace.time) (Trace.last t 4) in
+  Alcotest.(check (list int)) "last 4, oldest first" [ 6; 7; 8; 9 ] times;
+  let times = List.map (fun e -> e.Trace.time) (Trace.last t 100) in
+  Alcotest.(check (list int)) "requests beyond capacity are clamped"
+    [ 6; 7; 8; 9 ] times;
+  Trace.clear t;
+  check "cleared" 0 (Trace.recorded t)
+
+(* --- timeline checks --- *)
+
+(* Drive a lock's timeline by hand: a start before the previous finish is
+   the free_at-rewind bug the sanitizer exists to catch. *)
+let test_timeline_report () =
+  let san = Sanitizer.create Sanitizer.Report in
+  Sanitizer.register_lock san "l";
+  Sanitizer.set_armed san true;
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:0 ~now:0 ~start:0 ~finish:100
+    ~contended:false;
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:1 ~now:50 ~start:50 ~finish:150
+    ~contended:false;
+  check "overlapping sections reported" 1 (Sanitizer.violation_count san);
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:0 ~now:150 ~start:150 ~finish:200
+    ~contended:false;
+  check "a correctly serialized op adds nothing" 1
+    (Sanitizer.violation_count san)
+
+let test_timeline_strict_raises () =
+  let san = Sanitizer.create Sanitizer.Strict in
+  Sanitizer.register_lock san "l";
+  Sanitizer.set_armed san true;
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:0 ~now:0 ~start:0 ~finish:100
+    ~contended:false;
+  match
+    Sanitizer.on_lock_op san ~lock:"l" ~vp:1 ~now:50 ~start:50 ~finish:150
+      ~contended:false
+  with
+  | () -> Alcotest.fail "expected Violation"
+  | exception Sanitizer.Violation _ -> ()
+
+let test_disarmed_is_silent () =
+  let san = Sanitizer.create Sanitizer.Strict in
+  Sanitizer.register_lock san "l";
+  (* not armed: bootstrap-style mutation must pass *)
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:0 ~now:0 ~start:0 ~finish:100
+    ~contended:false;
+  Sanitizer.on_lock_op san ~lock:"l" ~vp:1 ~now:50 ~start:50 ~finish:150
+    ~contended:false;
+  check "nothing recorded while disarmed" 0 (Sanitizer.violation_count san)
+
+(* --- guarded mutations through a real Spinlock --- *)
+
+let test_guarded_mutation () =
+  let san = Sanitizer.create Sanitizer.Report in
+  let l = Spinlock.make ~enabled:true ~cost:cm "guard lock" in
+  Spinlock.attach l san;
+  Sanitizer.register_guard san ~resource:"table" ~lock:"guard lock";
+  Sanitizer.set_armed san true;
+  (* outside any critical section *)
+  Sanitizer.check_guarded san ~resource:"table" ~vp:0 ~now:0 ~detail:"x";
+  check "unbracketed mutation flagged" 1 (Sanitizer.violation_count san);
+  (* inside the bracket: clean *)
+  let _, () =
+    Spinlock.critical ~vp:1 l ~now:10 ~op_cycles:5 (fun () ->
+        Sanitizer.check_guarded san ~resource:"table" ~vp:1 ~now:10 ~detail:"y")
+  in
+  check "bracketed mutation passes" 1 (Sanitizer.violation_count san);
+  (* a different vp mutating inside someone else's section *)
+  let _, () =
+    Spinlock.critical ~vp:1 l ~now:100 ~op_cycles:5 (fun () ->
+        Sanitizer.check_guarded san ~resource:"table" ~vp:2 ~now:100
+          ~detail:"z")
+  in
+  check "cross-vp mutation flagged" 2 (Sanitizer.violation_count san);
+  (* unregistered resources are never checked *)
+  Sanitizer.check_guarded san ~resource:"unknown" ~vp:0 ~now:0 ~detail:"w";
+  check "unregistered resource ignored" 2 (Sanitizer.violation_count san)
+
+let test_owner_check () =
+  let san = Sanitizer.create Sanitizer.Report in
+  Sanitizer.set_armed san true;
+  Sanitizer.check_owner san ~resource:"cache" ~owner:2 ~vp:2 ~now:0;
+  check "owner may touch" 0 (Sanitizer.violation_count san);
+  Sanitizer.check_owner san ~resource:"cache" ~owner:2 ~vp:0 ~now:0;
+  check "foreign vp flagged" 1 (Sanitizer.violation_count san);
+  Sanitizer.check_owner san ~resource:"cache" ~owner:(-1) ~vp:0 ~now:0;
+  check "shared (-1) never flagged" 1 (Sanitizer.violation_count san)
+
+(* --- injected violations inside a real VM --- *)
+
+let strict_vm ?(processors = 2) () =
+  Vm.create
+    { (Config.testing ~processors ()) with Config.sanitize = Sanitizer.Strict }
+
+(* An entry-table insert without the entry-table lock: exactly the class
+   of bug the deferred-remember discipline exists to prevent. *)
+let test_injected_unlocked_remember () =
+  let vm = strict_vm () in
+  let h = vm.Vm.heap in
+  let u = vm.Vm.u in
+  let cls = u.Universe.classes.Universe.array in
+  (* set the scene unarmed: an old-space holder and a new-space value *)
+  let old_obj = Heap.alloc_old h ~slots:1 ~raw:false ~cls () in
+  let young = Heap.alloc_new h ~vp:0 ~slots:1 ~raw:false ~cls () in
+  let san = Vm.sanitizer vm in
+  Sanitizer.set_armed san true;
+  (match Heap.store_ptr h old_obj 0 young with
+   | _ -> Alcotest.fail "expected Violation for the unlocked remember"
+   | exception Sanitizer.Violation _ -> ());
+  Sanitizer.set_armed san false;
+  check_bool "violation was counted" true (Sanitizer.violation_count san > 0)
+
+let test_injected_unlocked_alloc () =
+  let vm = strict_vm () in
+  let h = vm.Vm.heap in
+  let cls = vm.Vm.u.Universe.classes.Universe.array in
+  let san = Vm.sanitizer vm in
+  Sanitizer.set_armed san true;
+  (match Heap.alloc_new h ~vp:0 ~slots:4 ~raw:false ~cls () with
+   | _ -> Alcotest.fail "expected Violation for the unlocked allocation"
+   | exception Sanitizer.Violation _ -> ());
+  Sanitizer.set_armed san false
+
+let test_injected_scheduler_corruption () =
+  let vm =
+    Vm.create
+      { (Config.testing ~processors:2 ()) with
+        Config.sanitize = Sanitizer.Report }
+  in
+  let proc = Vm.spawn vm "3 + 4" in
+  let san = Vm.sanitizer vm in
+  let sched = vm.Vm.shared.State.sched in
+  Sanitizer.set_armed san true;
+  (* claim the Process is running on vp 0; its running_on slot says
+     otherwise *)
+  sched.Scheduler.running.(0) <- proc;
+  Scheduler.check_invariants sched ~now:0 ~vp:0;
+  check_bool "running-table corruption detected" true
+    (Sanitizer.violation_count san > 0);
+  Sanitizer.set_armed san false
+
+(* --- clean strict runs --- *)
+
+let busy_eval_source =
+  "| s | s := 0. 1 to: 120 do: [:i | s := s + i printString size. \
+   Transcript show: 'x']. s"
+
+let test_strict_clean_uniprocessor () =
+  let vm = strict_vm ~processors:1 () in
+  ignore (Vm.eval vm busy_eval_source);
+  check "no violations on the baseline" 0
+    (Sanitizer.violation_count (Vm.sanitizer vm))
+
+let test_strict_clean_multiprocessor () =
+  let vm = strict_vm ~processors:5 () in
+  ignore (Workloads.spawn_busy vm 4);
+  ignore (Vm.eval vm busy_eval_source);
+  check "no violations under MS with busy competition" 0
+    (Sanitizer.violation_count (Vm.sanitizer vm))
+
+(* --- satellite fixes --- *)
+
+let test_free_contexts_disabled_counts_fresh () =
+  let h =
+    Heap.create ~old_words:4096 ~eden_words:4096 ~survivor_words:1024 ()
+  in
+  let t = Free_contexts.create_disabled () in
+  let now, o = Free_contexts.take t h ~now:42 Free_contexts.Small in
+  check "no time charged" 42 now;
+  check_bool "nothing recycled" true (Oop.equal o Oop.sentinel);
+  check "the miss counts as a fresh allocation" 1
+    (Free_contexts.fresh_allocations t);
+  ignore (Free_contexts.take t h ~now:43 Free_contexts.Large);
+  check "every take counts" 2 (Free_contexts.fresh_allocations t)
+
+let test_instrumentation_covers_all_locks () =
+  let vm = Vm.create (Config.testing ~processors:2 ()) in
+  let r = Instrumentation.gather vm in
+  let names = List.map (fun l -> l.Instrumentation.lock_name) r.locks in
+  check "all seven kernel locks reported" 7 (List.length names);
+  List.iter
+    (fun expected ->
+      check_bool (expected ^ " present") true (List.mem expected names))
+    [ "allocation"; "entry table"; "scheduler"; "method cache";
+      "free contexts" ]
+
+let () =
+  Alcotest.run "sanitizer"
+    [ ("trace", [ Alcotest.test_case "ring buffer" `Quick test_trace_ring ]);
+      ("timeline",
+       [ Alcotest.test_case "report mode" `Quick test_timeline_report;
+         Alcotest.test_case "strict raises" `Quick test_timeline_strict_raises;
+         Alcotest.test_case "disarmed" `Quick test_disarmed_is_silent ]);
+      ("guards",
+       [ Alcotest.test_case "guarded mutation" `Quick test_guarded_mutation;
+         Alcotest.test_case "ownership" `Quick test_owner_check ]);
+      ("injection",
+       [ Alcotest.test_case "unlocked remember" `Quick
+           test_injected_unlocked_remember;
+         Alcotest.test_case "unlocked allocation" `Quick
+           test_injected_unlocked_alloc;
+         Alcotest.test_case "scheduler corruption" `Quick
+           test_injected_scheduler_corruption ]);
+      ("strict_clean",
+       [ Alcotest.test_case "uniprocessor" `Quick
+           test_strict_clean_uniprocessor;
+         Alcotest.test_case "multiprocessor busy" `Quick
+           test_strict_clean_multiprocessor ]);
+      ("satellites",
+       [ Alcotest.test_case "disabled free list counts fresh" `Quick
+           test_free_contexts_disabled_counts_fresh;
+         Alcotest.test_case "instrumentation lock coverage" `Quick
+           test_instrumentation_covers_all_locks ]) ]

@@ -54,6 +54,78 @@ let test_lock_reset () =
   Spinlock.reset_stats l;
   check "stats cleared" 0 (Spinlock.acquisitions l)
 
+(* Regression: a stats reset must not rewind the lock's timeline.  It used
+   to clear [free_at] too, which let an acquire issued inside the previous
+   critical section start before that section finished. *)
+let test_lock_reset_keeps_timeline () =
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  let fin1 = Spinlock.locked_op l ~now:0 ~op_cycles:1000 in
+  Spinlock.reset_stats l;
+  let fin2 = Spinlock.locked_op l ~now:10 ~op_cycles:0 in
+  check_bool "second acquire still serialized after the first" true
+    (fin2 - cm.Cost_model.lock_acquire >= fin1);
+  check "the post-reset acquire was contended" 1 (Spinlock.contended l)
+
+(* --- spin-lock timeline properties --- *)
+
+(* Replay a random schedule of acquires against the documented model:
+   contended acquires start at the first Delay-quantum retry instant at or
+   after [free_at], spin time is exactly the wait, and the timeline never
+   moves backwards. *)
+let arb_schedule =
+  QCheck.(
+    list_of_size Gen.(int_range 1 40)
+      (pair (int_range 0 300) (int_range 0 200)))
+
+let prop_locked_op_model =
+  QCheck.Test.make ~count:300 ~name:"locked_op matches the timeline model"
+    arb_schedule (fun sched ->
+      let l = Spinlock.make ~enabled:true ~cost:cm "p" in
+      let q = cm.Cost_model.delay_quantum in
+      let acq = cm.Cost_model.lock_acquire in
+      let now = ref 0 in
+      let prev_finish = ref 0 in
+      let free_at = ref 0 in
+      let expected_spin = ref 0 in
+      List.for_all
+        (fun (advance, op_cycles) ->
+          now := !now + advance;
+          let fin = Spinlock.locked_op l ~now:!now ~op_cycles in
+          let start = fin - acq - op_cycles in
+          let ok =
+            if !now >= !free_at then start = !now
+            else begin
+              expected_spin := !expected_spin + (start - !now);
+              (* first retry instant at or after free_at, on a quantum
+                 boundary measured from the acquiring processor's [now] *)
+              start >= !free_at
+              && start - q < !free_at
+              && (start - !now) mod q = 0
+            end
+          in
+          let ok =
+            ok && start >= !prev_finish
+            && Spinlock.spin_cycles l = !expected_spin
+          in
+          prev_finish := fin;
+          free_at := fin;
+          ok)
+        sched)
+
+let prop_locked_op_disabled =
+  QCheck.Test.make ~count:100 ~name:"disabled locks charge only the op"
+    arb_schedule (fun sched ->
+      let l = Spinlock.make ~enabled:false ~cost:cm "p" in
+      let now = ref 0 in
+      List.for_all
+        (fun (advance, op_cycles) ->
+          now := !now + advance;
+          Spinlock.locked_op l ~now:!now ~op_cycles = !now + op_cycles)
+        sched
+      && Spinlock.acquisitions l = 0
+      && Spinlock.contended l = 0
+      && Spinlock.spin_cycles l = 0)
+
 (* --- mailboxes --- *)
 
 let test_mailbox () =
@@ -122,6 +194,24 @@ let test_input_order () =
 
 (* --- machine --- *)
 
+(* Clock ties must resolve deterministically: the engine steps the vp with
+   the lowest id among the minimum clocks, so identical inputs replay to
+   identical schedules. *)
+let prop_min_runnable_deterministic =
+  QCheck.Test.make ~count:300 ~name:"min_runnable breaks clock ties by id"
+    QCheck.(list_of_size Gen.(int_range 1 8) (int_range 0 5))
+    (fun clocks ->
+      let n = List.length clocks in
+      let m = Machine.make ~processors:n cm in
+      List.iteri (fun i c -> (Machine.vp m i).Machine.clock <- c) clocks;
+      let least = List.fold_left min max_int clocks in
+      match Machine.min_runnable m with
+      | None -> false
+      | Some vp ->
+          vp.Machine.clock = least
+          && List.filteri (fun i c -> c = least && i < vp.Machine.id) clocks
+             = [])
+
 let test_machine_min_runnable () =
   let m = Machine.make ~processors:3 cm in
   (Machine.vp m 0).Machine.clock <- 30;
@@ -167,7 +257,13 @@ let () =
          Alcotest.test_case "contended" `Quick test_lock_contended;
          Alcotest.test_case "sequential" `Quick test_lock_sequential_no_contention;
          Alcotest.test_case "disabled" `Quick test_lock_disabled;
-         Alcotest.test_case "reset" `Quick test_lock_reset ]);
+         Alcotest.test_case "reset" `Quick test_lock_reset;
+         Alcotest.test_case "reset keeps timeline" `Quick
+           test_lock_reset_keeps_timeline ]);
+      ("spinlock_properties",
+       [ QCheck_alcotest.to_alcotest prop_locked_op_model;
+         QCheck_alcotest.to_alcotest prop_locked_op_disabled;
+         QCheck_alcotest.to_alcotest prop_min_runnable_deterministic ]);
       ("mailbox",
        [ Alcotest.test_case "timing" `Quick test_mailbox;
          Alcotest.test_case "fifo" `Quick test_mailbox_fifo_order ]);
