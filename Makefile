@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check smoke-parallel-scavenge bench clean
 
 all: build
 
@@ -10,9 +10,16 @@ build:
 test:
 	dune runtest
 
+# A quick E10 run with the strict sanitizer: every parallel collection is
+# claim/chunk-checked and followed by a full heap verification, so a
+# protocol regression fails the build rather than skewing the numbers.
+smoke-parallel-scavenge:
+	dune exec bench/main.exe -- parallel-scavenge --quick --sanitize=strict
+
 check:
 	dune build
 	dune runtest
+	$(MAKE) smoke-parallel-scavenge
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

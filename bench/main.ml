@@ -116,9 +116,15 @@ let run_parallel_scavenge ~quick () =
   section
     "E10: applying multiple processors to the scavenge (future work in the paper)";
   let iterations = if quick then 8_000 else 30_000 in
+  (match !sanitize_mode with
+   | Sanitizer.Off -> ()
+   | Sanitizer.Report | Sanitizer.Strict ->
+       Format.fprintf fmt
+         "(sanitizer on: claim/chunk invariants and a full heap check run \
+          after every parallel collection)@.@.");
   Gc_study.print_rows fmt
     ~label:"4 busy allocators, eden 80 KB, k scavenge workers"
-    (Gc_study.parallel_scavenge_sweep ~iterations ())
+    (Gc_study.parallel_scavenge_sweep ~sanitize:!sanitize_mode ~iterations ())
 
 (* --- instrumentation: the paper's section-6 plan, realized --- *)
 

@@ -16,6 +16,9 @@ type row = {
   interval_s : float;        (* mean simulated time between scavenges *)
   gc_share : float;          (* fraction of run time spent scavenging *)
   total_s : float;
+  mean_pause_ms : float;     (* mean stop-the-world pause *)
+  coord_share : float;       (* coordination cycles / scavenge cycles *)
+  imbalance : float;         (* max worker busy / mean worker busy; 1.0 serial *)
 }
 
 (* An allocation-heavy workload: the per-iteration allocation mirrors the
@@ -39,7 +42,7 @@ spawnChurn: n done: sem
 !
 |st}
 
-let run_one ~eden_kb ~allocators ~scavenge_workers ~iterations =
+let run_one ?sanitize ~eden_kb ~allocators ~scavenge_workers ~iterations () =
   let processors = max 1 allocators in
   let config =
     let base =
@@ -48,7 +51,9 @@ let run_one ~eden_kb ~allocators ~scavenge_workers ~iterations =
     in
     { base with
       Config.eden_words = eden_kb * 1024 / 8;
-      Config.scavenge_workers }
+      Config.scavenge_workers;
+      Config.sanitize =
+        (match sanitize with Some m -> m | None -> base.Config.sanitize) }
   in
   let vm = Vm.create config in
   Vm.load_classes vm churn_classes;
@@ -72,6 +77,18 @@ let run_one ~eden_kb ~allocators ~scavenge_workers ~iterations =
   let cycles = Vm.cycles vm - t0 in
   let scavenges = Heap.scavenge_count vm.Vm.heap in
   let cm = config.Config.cost in
+  let imbalance =
+    if vm.Vm.par_scavenges = 0 then 1.0
+    else begin
+      let k = min scavenge_workers processors in
+      let busy = Array.sub vm.Vm.par_busy_cycles 0 k in
+      let total = Array.fold_left ( + ) 0 busy in
+      if total = 0 then 1.0
+      else
+        let mean = float_of_int total /. float_of_int k in
+        float_of_int (Array.fold_left max 0 busy) /. mean
+    end
+  in
   { eden_kb;
     allocators;
     scavenge_workers;
@@ -80,35 +97,55 @@ let run_one ~eden_kb ~allocators ~scavenge_workers ~iterations =
       (if scavenges = 0 then infinity
        else Cost_model.seconds cm (cycles / scavenges));
     gc_share = float_of_int vm.Vm.scavenge_cycles /. float_of_int cycles;
-    total_s = Cost_model.seconds cm cycles }
+    total_s = Cost_model.seconds cm cycles;
+    mean_pause_ms =
+      (if vm.Vm.scavenge_pauses = 0 then 0.0
+       else
+         1000.0
+         *. Cost_model.seconds cm
+              (vm.Vm.scavenge_cycles / vm.Vm.scavenge_pauses));
+    coord_share =
+      (if vm.Vm.scavenge_cycles = 0 then 0.0
+       else
+         float_of_int vm.Vm.par_coord_cycles
+         /. float_of_int vm.Vm.scavenge_cycles);
+    imbalance }
 
 (* E8: eden size sweep with one allocator. *)
 let eden_sweep ?(iterations = 30_000) () =
   List.map
-    (fun eden_kb -> run_one ~eden_kb ~allocators:1 ~scavenge_workers:1 ~iterations)
+    (fun eden_kb ->
+      run_one ~eden_kb ~allocators:1 ~scavenge_workers:1 ~iterations ())
     [ 40; 80; 160; 320 ]
 
 (* E8b: k allocating processes, eden scaled as k*s keeps the interval. *)
 let scaling_sweep ?(iterations = 30_000) () =
   List.map
     (fun k ->
-      run_one ~eden_kb:(80 * k) ~allocators:k ~scavenge_workers:1 ~iterations)
+      run_one ~eden_kb:(80 * k) ~allocators:k ~scavenge_workers:1 ~iterations
+        ())
     [ 1; 2; 4 ]
 
-(* E10: parallel scavenging with 4 busy allocators. *)
-let parallel_scavenge_sweep ?(iterations = 30_000) () =
+(* E10: parallel scavenging with 4 busy allocators.  With [sanitize] on,
+   every parallel collection also runs the claim/chunk invariant checks and
+   a full heap verification (fatal under Strict). *)
+let parallel_scavenge_sweep ?sanitize ?(iterations = 30_000) () =
   List.map
     (fun workers ->
-      run_one ~eden_kb:80 ~allocators:4 ~scavenge_workers:workers ~iterations)
+      run_one ?sanitize ~eden_kb:80 ~allocators:4 ~scavenge_workers:workers
+        ~iterations ())
     [ 1; 2; 3; 5 ]
 
 let print_rows fmt ~label rows =
   Format.fprintf fmt "%s@." label;
   Format.fprintf fmt
-    "  eden(KB)  allocators  gc-workers  scavenges  interval(s)  gc-share  total(s)@.";
+    "  eden(KB)  allocators  gc-workers  scavenges  interval(s)  gc-share  \
+     total(s)  pause(ms)  coord%%  imbalance@.";
   List.iter
     (fun r ->
-      Format.fprintf fmt "  %7d  %9d  %9d  %9d  %10.3f  %7.1f%%  %8.2f@."
+      Format.fprintf fmt
+        "  %7d  %9d  %9d  %9d  %10.3f  %7.1f%%  %8.2f  %9.2f  %5.1f%%  %9.2f@."
         r.eden_kb r.allocators r.scavenge_workers r.scavenges r.interval_s
-        (100.0 *. r.gc_share) r.total_s)
+        (100.0 *. r.gc_share) r.total_s r.mean_pause_ms
+        (100.0 *. r.coord_share) r.imbalance)
     rows

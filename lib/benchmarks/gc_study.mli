@@ -13,10 +13,26 @@ type row = {
   interval_s : float;  (** mean simulated time between scavenges *)
   gc_share : float;  (** fraction of run time spent scavenging *)
   total_s : float;
+  mean_pause_ms : float;  (** mean stop-the-world pause *)
+  coord_share : float;
+      (** coordination cycles (claims, chunk claims, steals, barriers) as a
+          fraction of all scavenge cycles; 0 for serial scavenging *)
+  imbalance : float;
+      (** max worker busy / mean worker busy, over all parallel
+          collections; 1.0 for serial scavenging *)
 }
 
+(** [sanitize] overrides the configuration's sanitizer mode; under [Strict]
+    any parallel-scavenge invariant violation or heap-verification failure
+    aborts the run. *)
 val run_one :
-  eden_kb:int -> allocators:int -> scavenge_workers:int -> iterations:int -> row
+  ?sanitize:Sanitizer.mode ->
+  eden_kb:int ->
+  allocators:int ->
+  scavenge_workers:int ->
+  iterations:int ->
+  unit ->
+  row
 
 (** E8: eden size sweep with one allocator. *)
 val eden_sweep : ?iterations:int -> unit -> row list
@@ -24,7 +40,9 @@ val eden_sweep : ?iterations:int -> unit -> row list
 (** E8b: k allocators with eden k*s holds the interval. *)
 val scaling_sweep : ?iterations:int -> unit -> row list
 
-(** E10: parallel scavenging with 4 busy allocators. *)
-val parallel_scavenge_sweep : ?iterations:int -> unit -> row list
+(** E10: parallel scavenging with 4 busy allocators; pauses come from the
+    simulated multi-worker scavenge. *)
+val parallel_scavenge_sweep :
+  ?sanitize:Sanitizer.mode -> ?iterations:int -> unit -> row list
 
 val print_rows : Format.formatter -> label:string -> row list -> unit

@@ -28,11 +28,24 @@ type interp_row = {
   gc_wait : int;
 }
 
+(* One parallel-scavenge worker's accumulated totals (workers > 1). *)
+type scavenge_worker_row = {
+  worker : int;
+  copied_objects : int;
+  copied_words : int;
+  busy_cycles : int;
+  idle_cycles : int;
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
   scavenges : int;
   scavenge_cycles : int;
+  par_scavenges : int;
+  par_rounds : int;
+  par_coord_cycles : int;
+  scavenge_workers : scavenge_worker_row list;
   words_allocated : int;
   words_copied : int;
   words_tenured : int;
@@ -75,10 +88,30 @@ let gather (vm : Vm.t) =
              gc_wait = (Machine.vp vm.Vm.machine i).Machine.gc_wait_cycles })
          vm.Vm.states)
   in
+  let scavenge_workers =
+    (* workers that never ran (all-zero rows) are elided *)
+    List.filter
+      (fun w ->
+        w.copied_objects <> 0 || w.copied_words <> 0 || w.busy_cycles <> 0
+        || w.idle_cycles <> 0)
+      (Array.to_list
+         (Array.mapi
+            (fun i _ ->
+              { worker = i;
+                copied_objects = vm.Vm.par_copied_objects.(i);
+                copied_words = vm.Vm.par_copied_words.(i);
+                busy_cycles = vm.Vm.par_busy_cycles.(i);
+                idle_cycles = vm.Vm.par_idle_cycles.(i) })
+            vm.Vm.par_copied_words))
+  in
   { locks;
     interps;
     scavenges = Heap.scavenge_count vm.Vm.heap;
     scavenge_cycles = vm.Vm.scavenge_cycles;
+    par_scavenges = vm.Vm.par_scavenges;
+    par_rounds = vm.Vm.par_rounds;
+    par_coord_cycles = vm.Vm.par_coord_cycles;
+    scavenge_workers;
     words_allocated = Heap.words_allocated vm.Vm.heap;
     words_copied = Heap.words_copied_total vm.Vm.heap;
     words_tenured = Heap.tenured_words_total vm.Vm.heap;
@@ -126,6 +159,20 @@ let print fmt r =
      tenured; %d remembered objects@."
     r.scavenges r.scavenge_cycles r.words_allocated r.words_copied
     r.words_tenured r.remembered;
+  if r.par_scavenges > 0 then begin
+    Format.fprintf fmt "@.Parallel scavenging:@.";
+    Format.fprintf fmt
+      "  %d parallel collections, %d grey rounds, %d coordination cycles@."
+      r.par_scavenges r.par_rounds r.par_coord_cycles;
+    Format.fprintf fmt "  %-6s %10s %10s %12s %12s %6s@." "worker" "objects"
+      "words" "busy cycles" "idle cycles" "idle%";
+    List.iter
+      (fun w ->
+        Format.fprintf fmt "  %-6d %10d %10d %12d %12d %5.1f%%@." w.worker
+          w.copied_objects w.copied_words w.busy_cycles w.idle_cycles
+          (pct w.idle_cycles (w.busy_cycles + w.idle_cycles)))
+      r.scavenge_workers
+  end;
   Format.fprintf fmt "Devices:@.";
   Format.fprintf fmt
     "  display: %d commands, %d cycles of producer wait; input: %d polls@."

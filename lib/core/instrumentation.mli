@@ -27,11 +27,26 @@ type interp_row = {
   gc_wait : int;
 }
 
+(** One parallel-scavenge worker's accumulated totals, summed over every
+    collection the simulated parallel scavenger ran. *)
+type scavenge_worker_row = {
+  worker : int;
+  copied_objects : int;
+  copied_words : int;
+  busy_cycles : int;
+  idle_cycles : int;  (** gap to the slowest worker, per collection *)
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
   scavenges : int;
   scavenge_cycles : int;
+  par_scavenges : int;  (** collections run with [scavenge_workers > 1] *)
+  par_rounds : int;
+  par_coord_cycles : int;
+  scavenge_workers : scavenge_worker_row list;
+      (** workers that did something; empty when all scavenges were serial *)
   words_allocated : int;
   words_copied : int;
   words_tenured : int;

@@ -20,6 +20,15 @@ type t = {
   mutable gc_requested : bool;
   mutable scavenge_pauses : int;
   mutable scavenge_cycles : int;
+  (* parallel-scavenge accumulators (workers > 1 only); the arrays are
+     indexed by worker id, length [processors] *)
+  mutable par_scavenges : int;
+  mutable par_rounds : int;
+  mutable par_coord_cycles : int;
+  par_copied_objects : int array;
+  par_copied_words : int array;
+  par_busy_cycles : int array;
+  par_idle_cycles : int array;
 }
 
 let sanitizer vm = vm.shared.State.sanitizer
@@ -165,7 +174,12 @@ let create (config : Config.t) =
   shared.State.on_method_install <-
     (fun () -> Array.iter (fun st -> Method_cache.flush st.State.mcache) states);
   { config; machine; heap; u; shared; states; interps; locks = all_locks;
-    gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0 }
+    gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0;
+    par_scavenges = 0; par_rounds = 0; par_coord_cycles = 0;
+    par_copied_objects = Array.make processors 0;
+    par_copied_words = Array.make processors 0;
+    par_busy_cycles = Array.make processors 0;
+    par_idle_cycles = Array.make processors 0 }
 
 (* --- spawning Smalltalk Processes from OCaml --- *)
 
@@ -214,8 +228,11 @@ let spawn_method vm ~priority ~name meth =
   in
   Heap.remove_root h ctx_cell;
   let ctx = !ctx_cell in
-  let set i v = ignore (Heap.store_ptr h ctx i v) in
-  ignore set;
+  (* [store_ptr] below may insert [proc] into the entry table without the
+     entry-table lock being taken or charged: spawning runs between engine
+     runs, when every interpreter is parked and the sanitizer is disarmed,
+     so the insert cannot race with any vp — and charging lock cycles here
+     would misattribute host-side setup work to the simulation. *)
   let setp i v = ignore (Heap.store_ptr h proc i v) in
   setp Layout.Process.next_link n;
   setp Layout.Process.suspended_context ctx;
@@ -248,11 +265,47 @@ let do_scavenge vm =
   Sanitizer.set_armed san false;
   Fun.protect ~finally:(fun () -> Sanitizer.set_armed san was_armed)
   @@ fun () ->
-  let stats = Scavenger.scavenge vm.heap in
   let workers =
     min vm.config.Config.scavenge_workers vm.config.Config.processors
   in
-  let cost = Scavenger.cost_parallel vm.shared.State.cm stats ~workers in
+  let cost =
+    if workers <= 1 then begin
+      let stats = Scavenger.scavenge vm.heap in
+      Scavenger.cost vm.shared.State.cm stats
+    end
+    else begin
+      let _stats, pr =
+        Scavenger.scavenge_parallel vm.heap vm.shared.State.cm ~workers
+      in
+      vm.par_scavenges <- vm.par_scavenges + 1;
+      vm.par_rounds <- vm.par_rounds + pr.Scavenger.rounds;
+      vm.par_coord_cycles <-
+        vm.par_coord_cycles + pr.Scavenger.coordination_cycles;
+      Array.iter
+        (fun (ws : Scavenger.worker_stat) ->
+          let i = ws.Scavenger.worker in
+          vm.par_copied_objects.(i) <-
+            vm.par_copied_objects.(i) + ws.Scavenger.copied_objects;
+          vm.par_copied_words.(i) <-
+            vm.par_copied_words.(i) + ws.Scavenger.copied_words;
+          vm.par_busy_cycles.(i) <-
+            vm.par_busy_cycles.(i) + ws.Scavenger.busy_cycles;
+          vm.par_idle_cycles.(i) <-
+            vm.par_idle_cycles.(i) + ws.Scavenger.idle_cycles)
+        pr.Scavenger.worker_stats;
+      (* the parallel scavenger reorders copies, so machine-check the heap
+         after every collection whenever the sanitizer is on: any claim or
+         tiling mistake surfaces as a violation (fatal under Strict) *)
+      if Sanitizer.active san then
+        List.iter
+          (fun p ->
+            Sanitizer.report_violation san ~vp:(-1) ~now:t0
+              ~resource:"parallel scavenge"
+              (Format.asprintf "heap check: %a" Verify.pp_problem p))
+          (Verify.check vm.heap);
+      pr.Scavenger.pause_cycles
+    end
+  in
   Machine.synchronize_clocks m (t0 + cost);
   vm.scavenge_pauses <- vm.scavenge_pauses + 1;
   vm.scavenge_cycles <- vm.scavenge_cycles + cost;

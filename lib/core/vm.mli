@@ -24,6 +24,16 @@ type t = {
   mutable gc_requested : bool;
   mutable scavenge_pauses : int;
   mutable scavenge_cycles : int;  (** total stop-the-world cycles *)
+  mutable par_scavenges : int;
+      (** collections run by the simulated parallel scavenger
+          ([scavenge_workers > 1]) *)
+  mutable par_rounds : int;  (** total grey-scanning rounds *)
+  mutable par_coord_cycles : int;
+      (** claims + chunk claims + steals + barriers, summed *)
+  par_copied_objects : int array;  (** per worker id, length [processors] *)
+  par_copied_words : int array;
+  par_busy_cycles : int array;
+  par_idle_cycles : int array;
 }
 
 exception Stuck of string

@@ -88,8 +88,15 @@ let create ?(policy = Unlocked) ?(processors = 1) ?(tenure_age = 4)
   let eden_regions =
     match policy with
     | Replicated_eden ->
+        (* the last slice absorbs the division remainder, so the slices
+           tile eden exactly (Verify checks this invariant) *)
         let slice = eden_words / processors in
-        Array.init processors (fun i -> region (eden_base + (i * slice)) slice)
+        Array.init processors (fun i ->
+            let base = eden_base + (i * slice) in
+            let words =
+              if i = processors - 1 then eden_words - (i * slice) else slice
+            in
+            region base words)
     | Unlocked | Shared_locked -> [| eden |]
   in
   { mem = Array.make total 0;
@@ -141,6 +148,7 @@ let age h a = (h.mem.(a) lsr Layout.age_shift) land Layout.age_mask
 let is_raw h a = h.mem.(a) land Layout.flag_raw <> 0
 let is_bytes h a = h.mem.(a) land Layout.flag_bytes <> 0
 let is_remembered h a = h.mem.(a) land Layout.flag_remembered <> 0
+let is_filler h a = h.mem.(a) land Layout.flag_filler <> 0
 
 let class_of h (o : Oop.t) ~small_int_class =
   if Oop.is_small o then small_int_class else class_at h (Oop.addr o)

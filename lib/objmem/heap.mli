@@ -122,6 +122,11 @@ val is_bytes : t -> int -> bool
 
 val is_remembered : t -> int -> bool
 
+(** Dead padding written by the parallel scavenger when it abandons a
+    partially filled worker buffer; fillers may be a single word, so
+    region walkers must test this before reading a class slot. *)
+val is_filler : t -> int -> bool
+
 val class_of : t -> Oop.t -> small_int_class:Oop.t -> Oop.t
 
 (** {2 Fields} *)

@@ -13,6 +13,12 @@ let header_words = 2
 let flag_remembered = 0b0001
 let flag_raw = 0b0010        (* contents are not oops; scavenger skips them *)
 let flag_bytes = 0b0100      (* raw contents are characters *)
+(* Dead padding left by the parallel scavenger when a worker abandons a
+   partially filled allocation buffer.  Fillers keep every region tileable
+   (headers chain from base to ptr); they are never reachable, and may be
+   as small as one word, so walkers must test this flag before assuming a
+   two-word header. *)
+let flag_filler = 0b1000
 let age_shift = 4
 let age_mask = 0b1111
 let size_shift = 8

@@ -24,7 +24,57 @@ val scavenge : Heap.t -> Heap.scavenge_stats
     to every parked processor (the collection is stop-the-world). *)
 val cost : Cost_model.t -> Heap.scavenge_stats -> int
 
-(** The paper's section-3.1 suggestion: the copying work divides across
-    [workers]; root and entry-table scanning stays serial, and each extra
-    worker adds a coordination cost. *)
+(** The paper's section-3.1 suggestion as a closed-form approximation,
+    kept as a cross-check against {!scavenge_parallel}: the copying work
+    divides across [workers] (ceiling division); root and entry-table
+    scanning stays serial; the coordination term applies only when the
+    scavenge actually copied something. *)
 val cost_parallel : Cost_model.t -> Heap.scavenge_stats -> workers:int -> int
+
+(** {2 Simulated parallel scavenging (E10)} *)
+
+(** Per-worker outcome of a simulated parallel scavenge.  Cycle fields are
+    the worker's own timeline under the cost model: [copy_cycles] for
+    copying, [scan_cycles] for entry-table rescans, [coord_cycles] for
+    claims, chunk claims and steals; [busy_cycles] is their sum and
+    [idle_cycles] the gap to the slowest worker. *)
+type worker_stat = {
+  worker : int;
+  mutable copied_objects : int;
+  mutable copied_words : int;
+  mutable entries_scanned : int;
+  mutable chunks_claimed : int;
+  mutable steals : int;
+  mutable copy_cycles : int;
+  mutable scan_cycles : int;
+  mutable coord_cycles : int;
+  mutable busy_cycles : int;
+  mutable idle_cycles : int;
+}
+
+type parallel_result = {
+  workers : int;
+  rounds : int;  (** grey-scanning rounds after the root/entry phase *)
+  pause_cycles : int;
+      (** the stop-the-world pause: scavenge base + the slowest worker's
+          busy timeline + the per-round barrier costs *)
+  barrier_cycles : int;
+  coordination_cycles : int;
+      (** claims + chunk claims + steals across all workers + barriers *)
+  worker_stats : worker_stat array;
+}
+
+(** Run one scavenge simulated across [workers] virtual workers: roots and
+    the entry-table snapshot are sharded deterministically; each worker
+    copies into private allocation buffers chunk-claimed from the shared
+    to-space/old-space regions (abandoned buffer tails are sealed with
+    filler pseudo-objects so the regions still tile); the forwarding slot
+    is the claim — exactly one worker copies each object; grey objects are
+    scanned in rounds with work stealing at the round boundaries until a
+    round finds every queue empty.  The heap ends in the same abstract
+    state as {!scavenge} (same reachable objects, possibly different
+    placement); speedup, imbalance and coordination overhead emerge from
+    the per-worker timelines rather than a closed-form divide.
+    @raise Heap.Image_full when promotion exhausts old space. *)
+val scavenge_parallel :
+  Heap.t -> Cost_model.t -> workers:int -> Heap.scavenge_stats * parallel_result

@@ -20,11 +20,19 @@ let object_starts h =
   let walk_region r =
     let a = ref r.base in
     while !a < r.ptr do
-      Hashtbl.replace starts !a ();
-      let sz = size_words h !a in
-      if sz < Layout.header_words then (* corrupt; stop this region *)
-        a := r.ptr
-      else a := !a + sz
+      if h.mem.(!a) <> Layout.forwarded_marker && is_filler h !a then begin
+        (* dead padding from the parallel scavenger: not an object, but it
+           still tiles the region; fillers may be a single word *)
+        let sz = size_words h !a in
+        if sz < 1 then a := r.ptr else a := !a + sz
+      end
+      else begin
+        Hashtbl.replace starts !a ();
+        let sz = size_words h !a in
+        if sz < Layout.header_words then (* corrupt; stop this region *)
+          a := r.ptr
+        else a := !a + sz
+      end
     done
   in
   walk_region h.old;
@@ -37,6 +45,27 @@ let object_starts h =
 let check h =
   let problems = ref [] in
   let report addr what = problems := { addr; what } :: !problems in
+  (* Replicated eden slices must tile eden exactly: contiguous, starting
+     at the eden base, ending at the eden limit — a remainder word lost to
+     flooring would silently shrink the allocatable space. *)
+  (match h.policy with
+   | Replicated_eden ->
+       let n = Array.length h.eden_regions in
+       if n = 0 then report h.eden.base "replicated eden has no slices"
+       else begin
+         if h.eden_regions.(0).base <> h.eden.base then
+           report h.eden_regions.(0).base
+             "first eden slice does not start at the eden base";
+         for i = 0 to n - 2 do
+           if h.eden_regions.(i).limit <> h.eden_regions.(i + 1).base then
+             report h.eden_regions.(i).limit
+               "eden slices do not tile (gap or overlap between slices)"
+         done;
+         if h.eden_regions.(n - 1).limit <> h.eden.limit then
+           report h.eden_regions.(n - 1).limit
+             "eden slices do not cover eden (remainder words unreachable)"
+       end
+   | Unlocked | Shared_locked -> ());
   let starts = object_starts h in
   let in_rset = Hashtbl.create 256 in
   for i = 0 to h.rset_len - 1 do

@@ -14,6 +14,17 @@ type lock_state = {
   mutable section_vp : int;
 }
 
+(* Parallel-scavenge phase: while the engine's lock checker is disarmed
+   (the stop-the-world scavenger mutates without locks by design), the
+   scavenger itself has invariants worth machine-checking — each from-space
+   object is claimed by exactly one worker, allocation buffers claimed from
+   the shared regions never overlap, and every copy lands inside a buffer
+   owned by the copying worker. *)
+type scav_state = {
+  claims : (int, int) Hashtbl.t;  (* from-space address -> claiming worker *)
+  mutable chunks : (int * int * int) list;  (* worker, base, limit *)
+}
+
 type t = {
   mode : mode;
   trace : Trace.t;
@@ -21,6 +32,7 @@ type t = {
   mutable lock_order : string list;  (* reverse registration order *)
   guards : (string, string) Hashtbl.t;  (* resource -> lock name *)
   mutable armed : bool;
+  mutable scav : scav_state option;  (* open parallel-scavenge phase *)
   mutable violation_count : int;
   mutable messages : string list;  (* newest first, capped *)
 }
@@ -35,6 +47,7 @@ let create ?(trace_capacity = 4096) mode =
     lock_order = [];
     guards = Hashtbl.create 16;
     armed = false;
+    scav = None;
     violation_count = 0;
     messages = [];
   }
@@ -147,6 +160,74 @@ let check_owner t ~resource ~owner ~vp ~now =
     else
       Trace.record t.trace ~vp ~time:now ~kind:Trace.Owner_touch ~resource
         ~detail:(Printf.sprintf "owner=%d" owner)
+
+(* --- the parallel-scavenge phase --- *)
+
+let scav_resource = "parallel scavenge"
+
+(* Phase checks are gated on [active] rather than [checking]: the engine
+   deliberately disarms the lock checker around the scavenger, but the
+   scavenge-internal invariants must still be enforced. *)
+let scavenge_begin t ~workers =
+  if active t then begin
+    t.scav <- Some { claims = Hashtbl.create 1024; chunks = [] };
+    Trace.record t.trace ~vp:(-1) ~time:(-1) ~kind:Trace.Mutation
+      ~resource:scav_resource
+      ~detail:(Printf.sprintf "begin (%d workers)" workers)
+  end
+
+let scavenge_claim t ~worker ~addr =
+  match t.scav with
+  | None -> ()
+  | Some s -> (
+      match Hashtbl.find_opt s.claims addr with
+      | Some prior ->
+          report_violation t ~vp:worker ~now:(-1) ~resource:scav_resource
+            (Printf.sprintf
+               "object at %d claimed by worker %d but already claimed by \
+                worker %d"
+               addr worker prior)
+      | None -> Hashtbl.replace s.claims addr worker)
+
+let scavenge_chunk t ~worker ~base ~limit =
+  match t.scav with
+  | None -> ()
+  | Some s ->
+      if limit <= base then
+        report_violation t ~vp:worker ~now:(-1) ~resource:scav_resource
+          (Printf.sprintf "worker %d claimed an empty chunk [%d,%d)" worker
+             base limit)
+      else begin
+        List.iter
+          (fun (w, b, l) ->
+            if base < l && b < limit then
+              report_violation t ~vp:worker ~now:(-1) ~resource:scav_resource
+                (Printf.sprintf
+                   "worker %d's chunk [%d,%d) overlaps worker %d's [%d,%d)"
+                   worker base limit w b l))
+          s.chunks;
+        s.chunks <- (worker, base, limit) :: s.chunks;
+        Trace.record t.trace ~vp:worker ~time:(-1) ~kind:Trace.Mutation
+          ~resource:scav_resource
+          ~detail:(Printf.sprintf "chunk [%d,%d)" base limit)
+      end
+
+let scavenge_copy t ~worker ~addr ~words =
+  match t.scav with
+  | None -> ()
+  | Some s ->
+      let inside =
+        List.exists
+          (fun (w, b, l) -> w = worker && addr >= b && addr + words <= l)
+          s.chunks
+      in
+      if not inside then
+        report_violation t ~vp:worker ~now:(-1) ~resource:scav_resource
+          (Printf.sprintf
+             "worker %d copied %d words to %d outside any buffer it owns"
+             worker words addr)
+
+let scavenge_end t = t.scav <- None
 
 let print_report t =
   Printf.printf "sanitizer: mode=%s violations=%d\n"

@@ -83,6 +83,34 @@ val check_guarded :
 val check_owner :
   t -> resource:string -> owner:int -> vp:int -> now:int -> unit
 
+(** {2 The parallel-scavenge phase}
+
+    The engine disarms the lock checker around the stop-the-world
+    scavenger (it mutates without locks by design), but the parallel
+    scavenger has invariants of its own: every from-space object is
+    claimed by exactly one worker, allocation buffers chunk-claimed from
+    the shared to/old regions are pairwise disjoint, and every copy lands
+    inside a buffer owned by the copying worker.  These checks fire
+    whenever the sanitizer is {e active} (mode not [Off]), armed or not. *)
+
+(** Open a parallel-scavenge phase; resets claim and chunk tracking. *)
+val scavenge_begin : t -> workers:int -> unit
+
+(** Record a worker winning the claim on the from-space object at [addr];
+    a second claim of the same address is a violation. *)
+val scavenge_claim : t -> worker:int -> addr:int -> unit
+
+(** Record an allocation buffer [base,limit) claimed by [worker]; overlap
+    with any previously claimed chunk is a violation. *)
+val scavenge_chunk : t -> worker:int -> base:int -> limit:int -> unit
+
+(** Check that a copy of [words] words to [addr] lies inside a chunk owned
+    by [worker]. *)
+val scavenge_copy : t -> worker:int -> addr:int -> words:int -> unit
+
+(** Close the phase and drop its tracking state. *)
+val scavenge_end : t -> unit
+
 (** Count a violation: trace it, accumulate the message, raise
     {!Violation} in [Strict] mode. *)
 val report_violation :

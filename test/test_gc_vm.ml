@@ -106,6 +106,56 @@ let test_scavenge_pause_charged_to_all () =
   in
   check_bool "other processors paid the pause" true (gc_wait > 0)
 
+(* Allocation churn that keeps four independent windows live: every
+   scavenge copies real survivors, and the live graph has breadth, so the
+   round-boundary work stealing can spread the copying (a single chain
+   would serialize on one worker — see DESIGN.md). *)
+let churn_source =
+  {st|
+| a b c d |
+a := Array new: 60. b := Array new: 60.
+c := Array new: 60. d := Array new: 60.
+1 to: 2000 do: [:i |
+    | j |
+    j := i \\ 60 + 1.
+    a at: j put: (Array new: 6).
+    b at: j put: (Array new: 6).
+    c at: j put: (Array new: 6).
+    d at: j put: (Array new: 6)].
+0
+|st}
+
+let test_parallel_scavenge_workers () =
+  let run workers =
+    let base = Config.ms ~processors:4 () in
+    let vm =
+      Vm.create
+        { base with
+          Config.eden_words = 2048;
+          survivor_words = 1024;
+          scavenge_workers = workers }
+    in
+    ignore (Vm.eval vm churn_source);
+    check_bool "scavenges happened" true (vm.Vm.scavenge_pauses > 0);
+    check "heap verifies clean" 0 (List.length (Verify.check vm.Vm.heap));
+    vm
+  in
+  let serial = run 1 in
+  let parallel = run 3 in
+  check "serial config never uses the parallel scavenger" 0
+    serial.Vm.par_scavenges;
+  check "every pause came from the simulated parallel scavenge"
+    parallel.Vm.scavenge_pauses parallel.Vm.par_scavenges;
+  let mean vm = vm.Vm.scavenge_cycles / vm.Vm.scavenge_pauses in
+  check_bool "three workers shorten the mean pause" true
+    (mean parallel < mean serial);
+  (* the per-worker totals surface through the instrumentation report *)
+  let r = Instrumentation.gather parallel in
+  check_bool "instrumentation reports parallel collections" true
+    (r.Instrumentation.par_scavenges > 0);
+  check_bool "instrumentation reports worker rows" true
+    (r.Instrumentation.scavenge_workers <> [])
+
 let test_eval_survives_many_cycles () =
   (* a long computation crossing dozens of collections gets right answers *)
   let vm = Vm.create (small_heap ()) in
@@ -160,6 +210,8 @@ let () =
       ("across contexts",
        [ Alcotest.test_case "stop-the-world accounting" `Quick
            test_scavenge_pause_charged_to_all;
+         Alcotest.test_case "parallel scavenge workers" `Quick
+           test_parallel_scavenge_workers;
          Alcotest.test_case "long computation" `Quick test_eval_survives_many_cycles;
          Alcotest.test_case "deep chains" `Quick test_contexts_survive_scavenge;
          Alcotest.test_case "blocks" `Quick test_blocks_survive_scavenge ]) ]

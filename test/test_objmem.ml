@@ -86,6 +86,29 @@ let test_replicated_eden_regions () =
   check_bool "per-vp availability is a slice" true
     (Heap.eden_avail h ~vp:0 <= 1024)
 
+let test_replicated_eden_remainder () =
+  (* 4096 words over 3 processors does not divide evenly; the last slice
+     must absorb the remainder so the slices tile eden exactly *)
+  let h, _, _ =
+    make_heap ~policy:Heap.Replicated_eden ~processors:3 ~eden:4096 ()
+  in
+  let rs = h.Heap.eden_regions in
+  check "three slices" 3 (Array.length rs);
+  check "first slice starts at the eden base" h.Heap.eden.Heap.base
+    rs.(0).Heap.base;
+  for i = 0 to 1 do
+    check
+      (Printf.sprintf "slice %d abuts slice %d" i (i + 1))
+      rs.(i).Heap.limit
+      rs.(i + 1).Heap.base
+  done;
+  check "last slice ends at the eden limit" h.Heap.eden.Heap.limit
+    rs.(2).Heap.limit;
+  check "no words lost to flooring" 4096
+    (Array.fold_left (fun n r -> n + (r.Heap.limit - r.Heap.base)) 0 rs);
+  check "the tiling invariant verifies clean" 0
+    (List.length (Verify.check h))
+
 (* --- the entry table --- *)
 
 let test_store_check () =
@@ -208,6 +231,31 @@ let test_scavenge_cost_model () =
                         + (10 * cm.Cost_model.scavenge_per_remembered))
     (Scavenger.cost cm stats)
 
+let test_parallel_cost_model () =
+  let cm = Cost_model.firefly in
+  let stats = Heap.empty_stats () in
+  stats.Heap.survivor_words <- 101;
+  stats.Heap.remembered_scanned <- 10;
+  (* one worker is exactly the serial formula *)
+  check "one worker degenerates to the serial cost"
+    (Scavenger.cost cm stats)
+    (Scavenger.cost_parallel cm stats ~workers:1);
+  (* the copy work divides with a ceiling, not a floor *)
+  let copy_work = 101 * cm.Cost_model.scavenge_per_word in
+  check "ceiling division charges the straggler's partial share"
+    (cm.Cost_model.scavenge_base
+     + (10 * cm.Cost_model.scavenge_per_remembered)
+     + ((copy_work + 1) / 2)
+     + (2 * 400))
+    (Scavenger.cost_parallel cm stats ~workers:2);
+  (* a scavenge that copies nothing never pays the coordination term *)
+  let empty = Heap.empty_stats () in
+  empty.Heap.remembered_scanned <- 10;
+  check "zero copies means zero coordination"
+    (cm.Cost_model.scavenge_base
+     + (10 * cm.Cost_model.scavenge_per_remembered))
+    (Scavenger.cost_parallel cm empty ~workers:4)
+
 let test_on_scavenge_hooks () =
   let h, _, _ = make_heap () in
   let fired = ref 0 in
@@ -315,7 +363,9 @@ let () =
          Alcotest.test_case "strings" `Quick test_alloc_string;
          Alcotest.test_case "eden exhaustion" `Quick test_eden_exhaustion;
          Alcotest.test_case "old exhaustion" `Quick test_old_exhaustion;
-         Alcotest.test_case "replicated eden" `Quick test_replicated_eden_regions ]);
+         Alcotest.test_case "replicated eden" `Quick test_replicated_eden_regions;
+         Alcotest.test_case "replicated eden remainder" `Quick
+           test_replicated_eden_remainder ]);
       ("entry_table",
        [ Alcotest.test_case "store check" `Quick test_store_check;
          Alcotest.test_case "non-old sources" `Quick test_store_check_new_to_new ]);
@@ -326,5 +376,6 @@ let () =
          Alcotest.test_case "survivor overflow" `Quick test_scavenge_survivor_overflow;
          Alcotest.test_case "raw not scanned" `Quick test_scavenge_raw_not_scanned;
          Alcotest.test_case "cost model" `Quick test_scavenge_cost_model;
+         Alcotest.test_case "parallel cost model" `Quick test_parallel_cost_model;
          Alcotest.test_case "hooks" `Quick test_on_scavenge_hooks ]);
       ("properties", qtests) ]

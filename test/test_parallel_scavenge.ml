@@ -1,0 +1,248 @@
+(* Tests for the simulated parallel scavenger (E10): the claim/buffer
+   protocol preserves random object graphs for every worker count, the
+   simulation is deterministic, the per-worker timelines respect the
+   analytic bounds, and worker statistics are self-consistent. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cm = Cost_model.firefly
+
+(* A replicated-eden heap with a fake class object, as the paper's MS
+   configuration would hand the scavenger. *)
+let make_heap ?(processors = 4) ?(eden = 8192) ?(survivor = 4096)
+    ?(old = 32768) ?(tenure_age = 4) () =
+  let h =
+    Heap.create ~policy:Heap.Replicated_eden ~processors ~tenure_age
+      ~old_words:old ~eden_words:eden ~survivor_words:survivor ()
+  in
+  let cls = Heap.alloc_old h ~slots:0 ~raw:false ~cls:Oop.sentinel () in
+  let nil = Heap.alloc_old h ~slots:0 ~raw:false ~cls () in
+  Heap.set_nil h nil;
+  (h, cls, nil)
+
+(* Build a deterministic random graph: [n] new objects spread across the
+   per-processor eden slices, fields pointing at earlier objects or small
+   ints, plus a few old-space objects holding new references so the entry
+   table has entries to shard. *)
+let build_graph h cls rng ~n ~processors =
+  let objs = Array.make n Oop.sentinel in
+  for i = 0 to n - 1 do
+    let slots = 1 + Random.State.int rng 4 in
+    let vp = Random.State.int rng processors in
+    objs.(i) <- Heap.alloc_new h ~vp ~slots ~raw:false ~cls ();
+    for f = 0 to slots - 1 do
+      if i > 0 && Random.State.bool rng then
+        ignore (Heap.store_ptr h objs.(i) f objs.(Random.State.int rng i))
+      else
+        ignore
+          (Heap.store_ptr h objs.(i) f
+             (Oop.of_small (Random.State.int rng 1000)))
+    done
+  done;
+  let olds =
+    Array.init 6 (fun _ -> Heap.alloc_old h ~slots:2 ~raw:false ~cls ())
+  in
+  Array.iter
+    (fun o -> ignore (Heap.store_ptr h o 0 objs.(Random.State.int rng n)))
+    olds;
+  Heap.add_array_root h objs;
+  objs
+
+(* Structural fingerprint: DFS with visit order, identical to the serial
+   scavenge property's. *)
+let fingerprint h nil root =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let counter = ref 0 in
+  let rec go o =
+    if Oop.is_small o then
+      acc := ("i" ^ string_of_int (Oop.small_val o)) :: !acc
+    else if Oop.equal o nil then acc := "nil" :: !acc
+    else
+      match Hashtbl.find_opt seen o with
+      | Some id -> acc := ("ref" ^ string_of_int id) :: !acc
+      | None ->
+          let id = !counter in
+          incr counter;
+          Hashtbl.add seen o id;
+          let slots = Heap.slots h (Oop.addr o) in
+          acc := Printf.sprintf "obj%d/%d" id slots :: !acc;
+          for f = 0 to slots - 1 do
+            go (Heap.get h o f)
+          done
+  in
+  go root;
+  String.concat "," (List.rev !acc)
+
+(* --- properties --- *)
+
+let parallel_survival_prop =
+  QCheck.Test.make
+    ~name:
+      "random graphs survive parallel scavenging for any worker count, \
+       strict-sanitizer clean"
+    ~count:40
+    QCheck.(triple (int_range 1 60) (int_range 0 1_000_000) (int_range 1 5))
+    (fun (n, seed, workers) ->
+      let rng = Random.State.make [| seed |] in
+      let processors = 4 in
+      let h, cls, nil = make_heap ~processors () in
+      let san = Sanitizer.create Sanitizer.Strict in
+      Heap.set_sanitizer h san;
+      let objs = build_graph h cls rng ~n ~processors in
+      let root = ref objs.(n - 1) in
+      Heap.add_root h root;
+      let before = fingerprint h nil !root in
+      ignore (Scavenger.scavenge_parallel h cm ~workers);
+      let mid = fingerprint h nil !root in
+      (* a second collection crosses the survivor flip, so past-space
+         fillers and copied objects are both exercised as from-space *)
+      ignore (Scavenger.scavenge_parallel h cm ~workers);
+      let after = fingerprint h nil !root in
+      before = mid && mid = after && Verify.check h = [])
+
+let parallel_matches_serial_prop =
+  QCheck.Test.make
+    ~name:"parallel and serial scavenges preserve the same structure"
+    ~count:40
+    QCheck.(pair (int_range 1 60) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      let run ~parallel =
+        let rng = Random.State.make [| seed |] in
+        let processors = 4 in
+        let h, cls, nil = make_heap ~processors () in
+        let objs = build_graph h cls rng ~n ~processors in
+        let root = ref objs.(n - 1) in
+        Heap.add_root h root;
+        if parallel then ignore (Scavenger.scavenge_parallel h cm ~workers:3)
+        else ignore (Scavenger.scavenge h);
+        (fingerprint h nil !root, Verify.check h = [])
+      in
+      let fp_serial, ok_serial = run ~parallel:false in
+      let fp_parallel, ok_parallel = run ~parallel:true in
+      ok_serial && ok_parallel && fp_serial = fp_parallel)
+
+(* --- determinism --- *)
+
+let build_and_collect seed workers =
+  let rng = Random.State.make [| seed |] in
+  let processors = 4 in
+  let h, cls, _ = make_heap ~processors () in
+  let objs = build_graph h cls rng ~n:50 ~processors in
+  let root = ref objs.(49) in
+  Heap.add_root h root;
+  let stats, pr = Scavenger.scavenge_parallel h cm ~workers in
+  (h, stats, pr)
+
+let test_determinism () =
+  List.iter
+    (fun workers ->
+      let h1, _, pr1 = build_and_collect 12345 workers in
+      let h2, _, pr2 = build_and_collect 12345 workers in
+      check_bool
+        (Printf.sprintf "k=%d: identical runs give bit-identical heaps"
+           workers)
+        true
+        (h1.Heap.mem = h2.Heap.mem);
+      check
+        (Printf.sprintf "k=%d: identical runs give identical pauses" workers)
+        pr1.Scavenger.pause_cycles pr2.Scavenger.pause_cycles;
+      check
+        (Printf.sprintf "k=%d: identical round counts" workers)
+        pr1.Scavenger.rounds pr2.Scavenger.rounds)
+    [ 1; 2; 3; 5 ]
+
+(* --- the analytic cross-check --- *)
+
+(* The simulated pause must lie between perfect division of the measured
+   copy and scan work (plus the scavenge base) and the corrected serial
+   formula plus every coordination cycle the simulation charged. *)
+let test_analytic_bounds () =
+  List.iter
+    (fun workers ->
+      let _, stats, pr = build_and_collect 999 workers in
+      let copied = stats.Heap.survivor_words + stats.Heap.tenured_words in
+      let work =
+        (cm.Cost_model.scavenge_per_word * copied)
+        + (cm.Cost_model.scavenge_per_remembered
+           * stats.Heap.remembered_scanned)
+      in
+      check_bool
+        (Printf.sprintf "k=%d: pause at least perfectly-divided work" workers)
+        true
+        (pr.Scavenger.pause_cycles
+         >= cm.Cost_model.scavenge_base + (work / workers));
+      check_bool
+        (Printf.sprintf "k=%d: pause at most serial cost + coordination"
+           workers)
+        true
+        (pr.Scavenger.pause_cycles
+         <= Scavenger.cost cm stats + pr.Scavenger.coordination_cycles))
+    [ 2; 3; 5 ]
+
+(* --- worker statistics --- *)
+
+let test_worker_stats_consistent () =
+  let h, stats, pr = build_and_collect 4242 3 in
+  check "result reports the requested worker count" 3 pr.Scavenger.workers;
+  let sum f =
+    Array.fold_left (fun n w -> n + f w) 0 pr.Scavenger.worker_stats
+  in
+  check "workers copied exactly the surviving words"
+    (stats.Heap.survivor_words + stats.Heap.tenured_words)
+    (sum (fun w -> w.Scavenger.copied_words));
+  check "workers copied exactly the surviving objects"
+    (stats.Heap.survivor_objects + stats.Heap.tenured_objects)
+    (sum (fun w -> w.Scavenger.copied_objects));
+  check "every entry-table entry was scanned by exactly one worker"
+    stats.Heap.remembered_scanned
+    (sum (fun w -> w.Scavenger.entries_scanned));
+  let max_busy =
+    Array.fold_left
+      (fun m w -> max m w.Scavenger.busy_cycles)
+      0 pr.Scavenger.worker_stats
+  in
+  Array.iter
+    (fun w ->
+      check
+        (Printf.sprintf "worker %d idles exactly to the slowest timeline"
+           w.Scavenger.worker)
+        (max_busy - w.Scavenger.busy_cycles)
+        w.Scavenger.idle_cycles)
+    pr.Scavenger.worker_stats;
+  (* fillers may pad the survivor space, never shrink it below the copies *)
+  check_bool "survivor space holds at least the copied words" true
+    (Heap.survivor_used h >= stats.Heap.survivor_words);
+  check "heap verifies clean" 0 (List.length (Verify.check h))
+
+let test_zero_copy_scavenge () =
+  (* nothing live in new space: the parallel scavenge still terminates,
+     runs zero grey rounds, and the heap stays clean *)
+  let h, cls, _ = make_heap () in
+  for vp = 0 to 3 do
+    ignore (Heap.alloc_new h ~vp ~slots:4 ~raw:false ~cls ())
+  done;
+  let stats, pr = Scavenger.scavenge_parallel h cm ~workers:3 in
+  check "nothing copied" 0
+    (stats.Heap.survivor_words + stats.Heap.tenured_words);
+  check "no grey rounds" 0 pr.Scavenger.rounds;
+  check "no barriers charged" 0 pr.Scavenger.barrier_cycles;
+  check "verify clean" 0 (List.length (Verify.check h))
+
+let () =
+  let qtests =
+    List.map QCheck_alcotest.to_alcotest
+      [ parallel_survival_prop; parallel_matches_serial_prop ]
+  in
+  Alcotest.run "parallel_scavenge"
+    [ ("properties", qtests);
+      ("determinism",
+       [ Alcotest.test_case "bit-identical heaps and pauses" `Quick
+           test_determinism ]);
+      ("cost",
+       [ Alcotest.test_case "analytic bounds" `Quick test_analytic_bounds ]);
+      ("stats",
+       [ Alcotest.test_case "worker stats" `Quick test_worker_stats_consistent;
+         Alcotest.test_case "zero-copy collection" `Quick
+           test_zero_copy_scavenge ]) ]

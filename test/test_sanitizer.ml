@@ -103,6 +103,58 @@ let test_owner_check () =
   Sanitizer.check_owner san ~resource:"cache" ~owner:(-1) ~vp:0 ~now:0;
   check "shared (-1) never flagged" 1 (Sanitizer.violation_count san)
 
+(* --- the parallel-scavenge phase --- *)
+
+(* Phase checks fire while the sanitizer is active even though it is
+   disarmed (the engine disarms the lock checker around every scavenge);
+   this test never arms it. *)
+let test_scavenge_phase_report () =
+  let san = Sanitizer.create Sanitizer.Report in
+  Sanitizer.scavenge_begin san ~workers:2;
+  Sanitizer.scavenge_chunk san ~worker:0 ~base:100 ~limit:200;
+  Sanitizer.scavenge_chunk san ~worker:1 ~base:200 ~limit:300;
+  Sanitizer.scavenge_claim san ~worker:0 ~addr:5000;
+  Sanitizer.scavenge_copy san ~worker:0 ~addr:110 ~words:20;
+  check "disjoint chunks, single claims and owned copies are clean" 0
+    (Sanitizer.violation_count san);
+  (* a chunk overlapping both existing chunks: two violations *)
+  Sanitizer.scavenge_chunk san ~worker:1 ~base:150 ~limit:250;
+  check "overlapping chunk flagged against each victim" 2
+    (Sanitizer.violation_count san);
+  Sanitizer.scavenge_claim san ~worker:1 ~addr:5000;
+  check "double claim flagged" 3 (Sanitizer.violation_count san);
+  Sanitizer.scavenge_copy san ~worker:0 ~addr:210 ~words:20;
+  check "copy into another worker's chunk flagged" 4
+    (Sanitizer.violation_count san);
+  Sanitizer.scavenge_copy san ~worker:0 ~addr:190 ~words:20;
+  check "copy straddling the chunk boundary flagged" 5
+    (Sanitizer.violation_count san);
+  Sanitizer.scavenge_end san;
+  Sanitizer.scavenge_claim san ~worker:1 ~addr:5000;
+  check "checks are no-ops once the phase is closed" 5
+    (Sanitizer.violation_count san)
+
+let test_scavenge_phase_empty_chunk () =
+  let san = Sanitizer.create Sanitizer.Report in
+  Sanitizer.scavenge_begin san ~workers:1;
+  Sanitizer.scavenge_chunk san ~worker:0 ~base:10 ~limit:10;
+  check "an empty chunk claim is flagged" 1 (Sanitizer.violation_count san)
+
+let test_scavenge_phase_strict_raises () =
+  let san = Sanitizer.create Sanitizer.Strict in
+  Sanitizer.scavenge_begin san ~workers:2;
+  Sanitizer.scavenge_claim san ~worker:0 ~addr:7;
+  match Sanitizer.scavenge_claim san ~worker:1 ~addr:7 with
+  | () -> Alcotest.fail "expected Violation for the double claim"
+  | exception Sanitizer.Violation _ -> ()
+
+let test_scavenge_phase_off_is_silent () =
+  let san = Sanitizer.create Sanitizer.Off in
+  Sanitizer.scavenge_begin san ~workers:2;
+  Sanitizer.scavenge_claim san ~worker:0 ~addr:7;
+  Sanitizer.scavenge_claim san ~worker:1 ~addr:7;
+  check "mode Off records nothing" 0 (Sanitizer.violation_count san)
+
 (* --- injected violations inside a real VM --- *)
 
 let strict_vm ?(processors = 2) () =
@@ -211,6 +263,14 @@ let () =
       ("guards",
        [ Alcotest.test_case "guarded mutation" `Quick test_guarded_mutation;
          Alcotest.test_case "ownership" `Quick test_owner_check ]);
+      ("scavenge_phase",
+       [ Alcotest.test_case "report mode" `Quick test_scavenge_phase_report;
+         Alcotest.test_case "empty chunk" `Quick
+           test_scavenge_phase_empty_chunk;
+         Alcotest.test_case "strict raises" `Quick
+           test_scavenge_phase_strict_raises;
+         Alcotest.test_case "off is silent" `Quick
+           test_scavenge_phase_off_is_silent ]);
       ("injection",
        [ Alcotest.test_case "unlocked remember" `Quick
            test_injected_unlocked_remember;
