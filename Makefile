@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke bench clean
 
 all: build
 
@@ -16,10 +16,22 @@ test:
 smoke-parallel-scavenge:
 	dune exec bench/main.exe -- parallel-scavenge --quick --sanitize=strict
 
+# Schedule exploration with a small seed budget: the published MS
+# configuration must explore clean under the strict sanitizer, and each
+# deliberately broken configuration must yield a shrunk counterexample
+# whose replayed trace reproduces the failure.
+explore-smoke:
+	dune exec bin/mst.exe -- explore --config=ms --seeds=8 --quick
+	dune exec bin/mst.exe -- explore --config=bs-unlocked --seeds=4 --quick \
+	  --expect-violation --dump /tmp/mst-explore-unlocked
+	dune exec bin/mst.exe -- explore --config=ctx-unbracketed --seeds=4 --quick \
+	  --expect-violation --dump /tmp/mst-explore-ctx
+
 check:
 	dune build
 	dune runtest
 	$(MAKE) smoke-parallel-scavenge
+	$(MAKE) explore-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

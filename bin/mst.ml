@@ -3,6 +3,7 @@
      mst eval "3 + 4"                     evaluate an expression
      mst eval -p 5 --state busy EXPR      with background competition
      mst run FILE.st                      load classes, then evaluate Main
+     mst explore --seeds=50               fuzz the schedule, shrink failures
      mst disasm CLASS SELECTOR            disassemble a kernel method
      mst decompile CLASS SELECTOR         decompile a kernel method
      mst browse CLASS                     definition, hierarchy, selectors
@@ -50,11 +51,15 @@ let report_time vm =
   Printf.printf "(simulated: %.3f s, scavenges: %d)\n" (Vm.seconds vm)
     (Heap.scavenge_count vm.Vm.heap)
 
+(* Prints the sanitizer report and fails the invocation when violations
+   accumulated: a scripted `--sanitize=report` run must exit nonzero just
+   as a strict run does, or CI would scroll the violations past. *)
 let report_sanitizer vm ~trace_dump =
   let san = Vm.sanitizer vm in
   if Sanitizer.active san then Sanitizer.print_report san;
   if trace_dump > 0 then
-    Trace.dump Format.std_formatter (Sanitizer.trace san) ~n:trace_dump
+    Trace.dump Format.std_formatter (Sanitizer.trace san) ~n:trace_dump;
+  if Sanitizer.violation_count san > 0 then exit 1
 
 (* --- eval --- *)
 
@@ -65,7 +70,11 @@ let eval_cmd =
     (try print_endline (Vm.eval_to_string vm expr) with
      | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
      | Interp.Does_not_understand msg ->
-         Printf.eprintf "doesNotUnderstand: %s\n" msg);
+         Printf.eprintf "doesNotUnderstand: %s\n" msg
+     | Sanitizer.Violation msg ->
+         Printf.eprintf "sanitizer: %s\n" msg;
+         report_sanitizer vm ~trace_dump;
+         exit 1);
     let tr = Vm.transcript vm in
     if tr <> "" then Printf.printf "--- transcript ---\n%s\n" tr;
     report_time vm;
@@ -84,7 +93,11 @@ let run_cmd =
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
      | Some _ ->
-         print_endline (Vm.eval_to_string vm "Main new main")
+         (try print_endline (Vm.eval_to_string vm "Main new main")
+          with Sanitizer.Violation msg ->
+            Printf.eprintf "sanitizer: %s\n" msg;
+            report_sanitizer vm ~trace_dump;
+            exit 1)
      | None -> print_endline "(no Main class; classes loaded)");
     let tr = Vm.transcript vm in
     if tr <> "" then print_string tr;
@@ -95,6 +108,142 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Load a class file (image-definition format) and run Main new main")
     Term.(const run $ processors $ state $ sanitize $ trace_dump $ file)
+
+(* --- explore --- *)
+
+let explore_cmd =
+  let seeds =
+    let doc = "Number of exploration seeds to run." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc)
+  in
+  let first_seed =
+    let doc = "First seed (seeds run from $(docv) upward)." in
+    Arg.(value & opt int 0 & info [ "first-seed" ] ~docv:"N" ~doc)
+  in
+  let e_processors =
+    let doc = "Number of simulated processors." in
+    Arg.(value & opt int 5 & info [ "p"; "processors" ] ~doc)
+  in
+  let config_name =
+    let doc =
+      "Configuration to explore: $(b,ms) (published MS, must stay clean), \
+       $(b,bs-unlocked) (locking disabled on several processors — broken \
+       on purpose) or $(b,ctx-unbracketed) (shared free-context list with \
+       its lock bracket skipped — broken on purpose)."
+    in
+    let configs =
+      [ ("ms", `Ms); ("bs-unlocked", `Unlocked); ("ctx-unbracketed", `Ctx) ]
+    in
+    Arg.(value & opt (enum configs) `Ms & info [ "config" ] ~doc)
+  in
+  let replay =
+    let doc = "Replay a saved decision trace instead of exploring." in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let expect_violation =
+    let doc =
+      "Succeed only when the exploration (or replay) surfaces a failure — \
+       for the broken configurations."
+    in
+    Arg.(value & flag & info [ "expect-violation" ] ~doc)
+  in
+  let quick =
+    let doc = "Shorter workload (for smoke tests)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let shrink_budget =
+    let doc = "Replays allowed for shrinking each counterexample." in
+    Arg.(value & opt int 120 & info [ "shrink-budget" ] ~doc)
+  in
+  let dump_prefix =
+    let doc = "Write shrunk counterexample traces to $(docv)-seedN.trace." in
+    Arg.(value & opt string "explore-ctr" & info [ "dump" ] ~docv:"PREFIX" ~doc)
+  in
+  let run processors config_name seeds first_seed quick replay
+      expect_violation shrink_budget dump_prefix =
+    let setup, config_label =
+      let quick = if quick then Some true else None in
+      match config_name with
+      | `Ms -> (Explorer.ms_setup ~processors ?quick (), "ms")
+      | `Unlocked ->
+          (Explorer.broken_unlocked_setup ~processors ?quick (), "bs-unlocked")
+      | `Ctx -> (Explorer.broken_ctx_setup ~processors ?quick (), "ctx-unbracketed")
+    in
+    let finish_with ~failed =
+      if expect_violation && not failed then begin
+        Printf.printf "FAIL: expected a violation, found none\n";
+        exit 1
+      end
+      else if (not expect_violation) && failed then exit 1
+      else exit 0
+    in
+    match replay with
+    | Some file ->
+        let sched = Explore.load file in
+        Printf.printf "replaying %d decision(s) from %s on %s\n"
+          (List.length sched) file config_label;
+        let reference = Explorer.reference setup in
+        let o = Explorer.run_schedule setup sched in
+        (match Explorer.check ~reference o with
+         | Some what ->
+             Printf.printf "replay fails the oracle: %s\n" what;
+             finish_with ~failed:true
+         | None ->
+             Printf.printf "replay matches the reference observables\n";
+             finish_with ~failed:false)
+    | None ->
+        Printf.printf
+          "exploring %s: %d seed(s) from %d, strict sanitizer, %d busy \
+           background Process(es)\n%!"
+          config_label seeds first_seed setup.Explorer.busy;
+        let report =
+          Explorer.explore ~shrink_budget ~first_seed setup ~seeds
+            ~log:(fun line -> Printf.printf "%s\n%!" line)
+        in
+        Printf.printf
+          "%d seed(s), %d distinct schedule(s), %d preemption-point \
+           quer(ies), %d perturbation(s), %d counterexample(s)\n"
+          report.Explorer.seeds_run report.Explorer.distinct
+          report.Explorer.queries report.Explorer.perturbations
+          (List.length report.Explorer.counterexamples);
+        (* Save each shrunk trace and prove the file replays to the same
+           failure, so `--replay=FILE` is a faithful reproducer. *)
+        let all_reproduce = ref true in
+        List.iter
+          (fun (c : Explorer.counterexample) ->
+            let file = Printf.sprintf "%s-seed%d.trace" dump_prefix c.Explorer.seed in
+            Explore.save file c.Explorer.shrunk;
+            let from_file =
+              Explorer.run_schedule setup (Explore.load file)
+            in
+            let reference = Explorer.reference setup in
+            let file_fails =
+              Explorer.check ~reference from_file <> None
+            in
+            if not (c.Explorer.reproduces && file_fails) then
+              all_reproduce := false;
+            Printf.printf
+              "seed %d: %s\n  shrunk to %d decision(s) -> %s (replay from \
+               file %s)\n"
+              c.Explorer.seed c.Explorer.what
+              (List.length c.Explorer.shrunk) file
+              (if file_fails then "reproduces" else "DOES NOT reproduce"))
+          report.Explorer.counterexamples;
+        let failed = report.Explorer.counterexamples <> [] in
+        if failed && not !all_reproduce then begin
+          Printf.printf "FAIL: a shrunk counterexample did not reproduce\n";
+          exit 1
+        end;
+        finish_with ~failed
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore perturbed schedules with the strict sanitizer and a \
+          differential oracle; shrink and save any counterexample")
+    Term.(
+      const run $ e_processors $ config_name $ seeds $ first_seed $ quick
+      $ replay $ expect_violation $ shrink_budget $ dump_prefix)
 
 (* --- disasm / decompile / browse --- *)
 
@@ -153,6 +302,6 @@ let main_cmd =
   Cmd.group ~default
     (Cmd.info "mst" ~version:"1.0"
        ~doc:"Multiprocessor Smalltalk on a simulated Firefly")
-    [ eval_cmd; run_cmd; disasm_cmd; decompile_cmd; browse_cmd ]
+    [ eval_cmd; run_cmd; explore_cmd; disasm_cmd; decompile_cmd; browse_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

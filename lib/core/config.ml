@@ -39,6 +39,10 @@ type t = {
      violations into the instrumentation report; Strict raises *)
   sanitize : Sanitizer.mode;
   trace_capacity : int;          (* event-trace ring size *)
+  (* fault injection for the schedule explorer's self-check: a shared
+     free-context list whose take/give skip the lock bracket — the
+     guarded-mutation bug the sanitizer must catch *)
+  debug_skip_ctx_lock : bool;
 }
 
 (* 80 KB eden as in the paper (section 3.1), expressed in 8-byte words. *)
@@ -59,6 +63,7 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   cost;
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
+  debug_skip_ctx_lock = false;
 }
 
 (* Multiprocessor Smalltalk as published: serialization for allocation,
@@ -79,6 +84,7 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   cost;
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
+  debug_skip_ctx_lock = false;
 }
 
 (* A fast uniform-cost configuration for unit tests. *)

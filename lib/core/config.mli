@@ -44,6 +44,11 @@ type t = {
           accumulates into the instrumentation report, [Strict] raises on
           the first violation *)
   trace_capacity : int;  (** event-trace ring size *)
+  debug_skip_ctx_lock : bool;
+      (** fault injection for the schedule explorer's self-check: shared
+          free-context take/give skip their lock bracket, so the
+          sanitizer sees unguarded mutations.  Never set in a legitimate
+          configuration. *)
 }
 
 val default_eden_words : int

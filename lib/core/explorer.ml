@@ -1,0 +1,243 @@
+(* Whole-VM schedule exploration.
+
+   {!Explore} owns the generic machinery (decisions, PRNG, replay,
+   shrinking); this module supplies the world to run them in: build a
+   VM, install the policy, evaluate a deterministic workload against
+   busy background Processes, and extract the observables a correct
+   schedule may not change.
+
+   The observables are chosen for schedule invariance.  The result and
+   the transcript are what the program computes; the census counts the
+   objects reachable from stable roots (globals, specials, the result) —
+   unlike whole-heap statistics, which legitimately vary with scavenge
+   timing, per-processor recycling and process migration.  On top of the
+   oracle, the strict sanitizer is armed throughout and the scheduler's
+   invariants are re-checked after the run. *)
+
+type setup = {
+  config : Config.t;
+  busy : int;
+  source : string;
+}
+
+(* A deterministic workload: allocates Points and Arrays (the allocation
+   lock), sends messages (method caches, free contexts), writes the
+   transcript, and yields control often enough that forced preemptions
+   and jitter have interleavings to shuffle. *)
+let workload_source ~iterations =
+  Printf.sprintf
+    "| s p a | s := 0.\n\
+     1 to: %d do: [:i |\n\
+    \    p := Point x: i y: i + 1.\n\
+    \    a := Array new: 8.\n\
+    \    a at: 1 put: p.\n\
+    \    s := s + p x + p y + i printString size.\n\
+    \    i \\\\ 16 = 0 ifTrue: [Transcript show: 'x']].\n\
+     s"
+    iterations
+
+let make_setup ?(processors = 5) ?(quick = false) tweak =
+  let config =
+    tweak { (Config.ms ~processors ()) with Config.sanitize = Sanitizer.Strict }
+  in
+  { config;
+    busy = max 1 (processors - 1);
+    source = workload_source ~iterations:(if quick then 24 else 60) }
+
+let ms_setup ?processors ?quick () = make_setup ?processors ?quick Fun.id
+
+let broken_unlocked_setup ?processors ?quick () =
+  make_setup ?processors ?quick (fun c ->
+      { c with Config.locks_enabled = false })
+
+let broken_ctx_setup ?processors ?quick () =
+  make_setup ?processors ?quick (fun c ->
+      { c with
+        Config.free_contexts = Config.Ctx_shared_locked;
+        Config.debug_skip_ctx_lock = true })
+
+type observables = {
+  result : string;
+  transcript : string;
+  census : Verify.census;
+}
+
+type outcome = {
+  obs : observables option;
+  error : string option;
+  violations : int;
+  schedule : Explore.schedule;
+  queries : int;
+}
+
+(* Roots that exist at stable identities across runs of one program:
+   the specials and every global Association. *)
+let stable_roots vm =
+  let u = vm.Vm.u in
+  let globals =
+    Hashtbl.fold (fun _ assoc acc -> assoc :: acc) u.Universe.globals []
+  in
+  u.Universe.nil :: u.Universe.true_ :: u.Universe.false_
+  :: u.Universe.scheduler :: globals
+
+(* Scheduler plumbing is reachable from the "Processor" global but is
+   not schedule-invariant: where each background Process was preempted,
+   the shape of its suspended context chain and how many iterations it
+   completed all legitimately differ between interleavings.  The census
+   stops at those classes and compares only program-level data. *)
+let schedule_dependent vm =
+  let u = vm.Vm.u in
+  let c = u.Universe.classes in
+  let h = vm.Vm.heap in
+  let cut =
+    [ c.Universe.process; c.Universe.method_context; c.Universe.block_context;
+      c.Universe.processor_scheduler; c.Universe.linked_list;
+      c.Universe.semaphore ]
+  in
+  fun o -> List.exists (Oop.equal (Heap.class_at h (Oop.addr o))) cut
+
+(* Evaluate the workload under [driver]'s policy (or the default when
+   [None]) and collect the outcome.  Every run gets a fresh VM: the
+   simulation has no other state, so identical inputs give identical
+   runs. *)
+let run_driver setup driver =
+  let vm = Vm.create setup.config in
+  let san = Vm.sanitizer vm in
+  (match driver with
+   | Some d -> Machine.set_policy vm.Vm.machine (Some (Explore.policy d))
+   | None -> ());
+  ignore (Workloads.spawn_busy vm setup.busy);
+  let finish error obs =
+    (* the run may have died mid-violation; disarm before post-mortem *)
+    Sanitizer.set_armed san false;
+    { obs;
+      error;
+      violations = Sanitizer.violation_count san;
+      schedule =
+        (match driver with Some d -> Explore.recorded d | None -> []);
+      queries = (match driver with Some d -> Explore.queries d | None -> 0) }
+  in
+  match Vm.eval vm setup.source with
+  | result ->
+      (* post-run checks run armed so problems count as violations *)
+      let post_error =
+        try
+          Sanitizer.set_armed san true;
+          Scheduler.check_invariants vm.Vm.shared.State.sched
+            ~now:(Machine.max_clock vm.Vm.machine) ~vp:(-1);
+          Sanitizer.set_armed san false;
+          (match Verify.check vm.Vm.heap with
+           | [] -> None
+           | p :: _ ->
+               Some (Format.asprintf "heap check: %a" Verify.pp_problem p))
+        with Sanitizer.Violation msg ->
+          Some msg
+      in
+      let census =
+        Verify.census vm.Vm.heap ~stop:(schedule_dependent vm)
+          ~roots:(result :: stable_roots vm)
+      in
+      finish post_error
+        (Some
+           { result = Vm.describe vm result;
+             transcript = Vm.transcript vm;
+             census })
+  | exception Sanitizer.Violation msg -> finish (Some msg) None
+  | exception Vm.Error msg -> finish (Some ("vm: " ^ msg)) None
+  | exception State.Vm_error msg -> finish (Some ("vm: " ^ msg)) None
+
+let reference setup = run_driver setup None
+
+let run_seed ?params setup ~seed =
+  run_driver setup (Some (Explore.seeded ?params ~seed ()))
+
+let run_schedule setup sched =
+  run_driver setup (Some (Explore.replay sched))
+
+let check ~reference o =
+  match o.error with
+  | Some e -> Some e
+  | None ->
+      if o.violations > 0 then
+        Some (Printf.sprintf "%d sanitizer violation(s)" o.violations)
+      else begin
+        match (reference.obs, o.obs) with
+        | Some r, Some x ->
+            if r.result <> x.result then
+              Some
+                (Printf.sprintf "result diverged: %S vs reference %S" x.result
+                   r.result)
+            else if r.transcript <> x.transcript then
+              Some
+                (Printf.sprintf "transcript diverged: %S vs reference %S"
+                   x.transcript r.transcript)
+            else if r.census <> x.census then
+              Some
+                (Format.asprintf "heap census diverged: %a vs reference %a"
+                   Verify.pp_census x.census Verify.pp_census r.census)
+            else None
+        | None, Some _ | None, None -> Some "reference run itself failed"
+        | Some _, None -> Some "run died without an error"
+      end
+
+type counterexample = {
+  seed : int;
+  what : string;
+  original : Explore.schedule;
+  shrunk : Explore.schedule;
+  probes : int;
+  reproduces : bool;
+}
+
+type report = {
+  seeds_run : int;
+  distinct : int;
+  queries : int;
+  perturbations : int;
+  counterexamples : counterexample list;
+}
+
+let explore ?params ?(shrink_budget = 120) ?(first_seed = 0)
+    ?(log = fun _ -> ()) setup ~seeds =
+  let ref_outcome = reference setup in
+  let fingerprints = Hashtbl.create 64 in
+  let queries = ref 0 and perturbations = ref 0 in
+  let counterexamples = ref [] in
+  for seed = first_seed to first_seed + seeds - 1 do
+    let o = run_seed ?params setup ~seed in
+    queries := !queries + o.queries;
+    perturbations := !perturbations + List.length o.schedule;
+    Hashtbl.replace fingerprints (Explore.fingerprint o.schedule) ();
+    match check ~reference:ref_outcome o with
+    | None -> ()
+    | Some what ->
+        log
+          (Printf.sprintf
+             "seed %d fails after %d queries (%d perturbed): %s" seed
+             o.queries (List.length o.schedule) what);
+        let fails sched =
+          check ~reference:ref_outcome (run_schedule setup sched) <> None
+        in
+        let shrunk, probes =
+          Explore.shrink ~run:fails ~budget:shrink_budget o.schedule
+        in
+        (* the confirming replay also refreshes the failure description,
+           which may have changed while shrinking *)
+        let replayed = run_schedule setup shrunk in
+        let what, reproduces =
+          match check ~reference:ref_outcome replayed with
+          | Some w -> (w, true)
+          | None -> (what, false)
+        in
+        log
+          (Printf.sprintf "  shrunk to %d decision(s) in %d replay(s): %s"
+             (List.length shrunk) probes what);
+        counterexamples :=
+          { seed; what; original = o.schedule; shrunk; probes; reproduces }
+          :: !counterexamples
+  done;
+  { seeds_run = seeds;
+    distinct = Hashtbl.length fingerprints;
+    queries = !queries;
+    perturbations = !perturbations;
+    counterexamples = List.rev !counterexamples }

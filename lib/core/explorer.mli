@@ -1,0 +1,86 @@
+(** Driving the schedule explorer ({!Explore}) against whole VMs.
+
+    One {!setup} names a configuration, a background load and a
+    deterministic workload expression.  A run builds a fresh VM with the
+    strict sanitizer armed, optionally installs an exploring or replaying
+    scheduling policy, evaluates the workload, and collects the
+    observables a correct schedule may not change: the result, the
+    transcript, the census of the heap reachable from stable roots, a
+    clean heap verification and clean scheduler invariants.
+
+    {!explore} runs N seeds against the unperturbed reference run's
+    observables; any divergence or sanitizer violation is shrunk to a
+    minimal decision trace and re-replayed to confirm it reproduces. *)
+
+type setup = {
+  config : Config.t;
+  busy : int;  (** busy background Processes competing for the locks *)
+  source : string;  (** the watched workload expression *)
+}
+
+(** The published MS configuration (strict sanitizer): exploration must
+    find nothing.  [quick] shortens the workload for smoke tests. *)
+val ms_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** Deliberately broken: locking disabled on several processors, so
+    nothing serializes the shared resources.  Exploration must surface a
+    sanitizer violation. *)
+val broken_unlocked_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** Deliberately broken: the shared free-context list with its lock
+    bracket skipped ([Config.debug_skip_ctx_lock]).  Exploration must
+    surface a guarded-mutation violation. *)
+val broken_ctx_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** What a schedule may not change. *)
+type observables = {
+  result : string;
+  transcript : string;
+  census : Verify.census;
+}
+
+type outcome = {
+  obs : observables option;  (** [None] when the run died early *)
+  error : string option;  (** sanitizer violation, deadlock, VM error *)
+  violations : int;
+  schedule : Explore.schedule;  (** perturbations applied (empty on replay) *)
+  queries : int;  (** preemption-point queries answered *)
+}
+
+(** Run the unperturbed schedule (no policy installed). *)
+val reference : setup -> outcome
+
+(** Run one seeded exploration. *)
+val run_seed : ?params:Explore.params -> setup -> seed:int -> outcome
+
+(** Replay a recorded decision trace. *)
+val run_schedule : setup -> Explore.schedule -> outcome
+
+(** [check ~reference o] is [Some description] when [o] fails the
+    differential oracle — an error, a sanitizer violation, or observables
+    differing from the reference run's. *)
+val check : reference:outcome -> outcome -> string option
+
+type counterexample = {
+  seed : int;
+  what : string;  (** the oracle's description of the failure *)
+  original : Explore.schedule;
+  shrunk : Explore.schedule;
+  probes : int;  (** replays spent shrinking *)
+  reproduces : bool;  (** replaying [shrunk] fails the oracle again *)
+}
+
+type report = {
+  seeds_run : int;
+  distinct : int;  (** distinct perturbation schedules among the seeds *)
+  queries : int;  (** preemption-point queries across all seeded runs *)
+  perturbations : int;  (** non-default decisions across all seeded runs *)
+  counterexamples : counterexample list;
+}
+
+(** Explore [seeds] seeds starting at [first_seed] (default 0).  Each
+    failing seed is shrunk (bounded by [shrink_budget] replays, default
+    120) and confirmed.  [log] receives one progress line per failure. *)
+val explore :
+  ?params:Explore.params -> ?shrink_budget:int -> ?first_seed:int ->
+  ?log:(string -> unit) -> setup -> seeds:int -> report

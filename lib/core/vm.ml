@@ -129,6 +129,7 @@ let create (config : Config.t) =
           ~sanitizer:san ()
     | Config.Ctx_shared_locked ->
         Free_contexts.create_shared ~entry_lock ~remember_cost ~sanitizer:san
+          ~skip_bracket:config.Config.debug_skip_ctx_lock
           ~lock:shared_ctx_lock ~lists:shared_ctx_lists ()
     | Config.Ctx_disabled -> Free_contexts.create_disabled ()
   in
@@ -140,6 +141,14 @@ let create (config : Config.t) =
       Devices.input_lock input; shared_cache_lock; shared_ctx_lock ]
   in
   List.iter (fun l -> Spinlock.attach l san) all_locks;
+  (* the machine's scheduling policy (when the explorer installs one)
+     perturbs lock acquisitions; every lock must see it *)
+  List.iter (fun l -> Spinlock.attach_machine l machine) all_locks;
+  (* several processors with locking off means no serialization at all:
+     let the disabled locks report their op windows, so the sanitizer can
+     expose the overlapping critical sections this config produces *)
+  if (not locks) && processors > 1 then
+    List.iter (fun l -> Spinlock.set_report_unlocked l true) all_locks;
   Heap.set_sanitizer heap san;
   Scheduler.set_sanitizer sched san;
   let guard resource lock =

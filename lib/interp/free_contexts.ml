@@ -27,6 +27,7 @@ type t = {
   owner : int;               (* owning vp when replicated; -1 = shared *)
   entry_lock : Spinlock.t option;  (* for tenured-context link stores *)
   remember_cost : int;
+  skip_bracket : bool;       (* fault injection: mutate without the lock *)
   mutable sanitizer : Sanitizer.t option;
   mutable reuses : int;
   mutable fresh : int;
@@ -38,15 +39,22 @@ let empty_lists () = { small = Oop.sentinel; large = Oop.sentinel }
 let create_replicated ?(owner = -1) ?entry_lock ?(remember_cost = 0)
     ?sanitizer () =
   { mode = Replicated; lists = empty_lists (); owner; entry_lock;
-    remember_cost; sanitizer; reuses = 0; fresh = 0; returns = 0 }
+    remember_cost; skip_bracket = false; sanitizer;
+    reuses = 0; fresh = 0; returns = 0 }
 
-let create_shared ?entry_lock ?(remember_cost = 0) ?sanitizer ~lock ~lists () =
+(* [skip_bracket] injects the bug the lock exists to prevent: take/give
+   mutate the shared list without entering the critical section, so the
+   sanitizer's guarded-mutation check fires.  Only the schedule
+   explorer's broken-configuration self-check sets it. *)
+let create_shared ?entry_lock ?(remember_cost = 0) ?sanitizer
+    ?(skip_bracket = false) ~lock ~lists () =
   { mode = Shared_locked lock; lists; owner = -1; entry_lock; remember_cost;
-    sanitizer; reuses = 0; fresh = 0; returns = 0 }
+    skip_bracket; sanitizer; reuses = 0; fresh = 0; returns = 0 }
 
 let create_disabled () =
   { mode = Disabled; lists = empty_lists (); owner = -1; entry_lock = None;
-    remember_cost = 0; sanitizer = None; reuses = 0; fresh = 0; returns = 0 }
+    remember_cost = 0; skip_bracket = false; sanitizer = None;
+    reuses = 0; fresh = 0; returns = 0 }
 
 let flush t =
   t.lists.small <- Oop.sentinel;
@@ -97,6 +105,10 @@ let take ?(vp = -1) t heap ~now size =
         end
       in
       (match t.mode with
+       | Shared_locked _ when t.skip_bracket ->
+           (* fault injection: no lock, mutation in the open *)
+           check_shared_mutation t ~vp ~now;
+           (now, pop ())
        | Shared_locked lock ->
            Spinlock.critical ~vp lock ~now ~op_cycles:6 (fun () ->
                check_shared_mutation t ~vp ~now;
@@ -129,6 +141,10 @@ let give ?(vp = -1) t heap ~now size ctx =
       in
       let now =
         match t.mode with
+        | Shared_locked _ when t.skip_bracket ->
+            check_shared_mutation t ~vp ~now;
+            link ();
+            now
         | Shared_locked lock ->
             let now, () =
               Spinlock.critical ~vp lock ~now ~op_cycles:6 (fun () ->

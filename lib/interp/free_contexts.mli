@@ -27,9 +27,13 @@ val create_replicated :
   ?owner:int -> ?entry_lock:Spinlock.t -> ?remember_cost:int ->
   ?sanitizer:Sanitizer.t -> unit -> t
 
+(** [skip_bracket] is fault injection for the schedule explorer's
+    self-check: take/give mutate the shared list without entering the
+    lock's critical section, so an armed sanitizer flags every
+    operation.  Never set in a legitimate configuration. *)
 val create_shared :
   ?entry_lock:Spinlock.t -> ?remember_cost:int -> ?sanitizer:Sanitizer.t ->
-  lock:Spinlock.t -> lists:lists -> unit -> t
+  ?skip_bracket:bool -> lock:Spinlock.t -> lists:lists -> unit -> t
 
 val create_disabled : unit -> t
 

@@ -314,6 +314,11 @@ let do_sched_check st =
       if preempt && Scheduler.better_ready sched ~than:my_priority then
         (* the preempted Process stays ready (MS keeps it in the queue) *)
         Primitives.switch_away st ~requeue:true
+      else if Machine.take_forced_preempt st.sh.machine st.id then
+        (* a scheduling-policy (explorer) preemption: behave like a yield
+           at the scheduling check — requeue and repick, regardless of
+           priorities, so the Process may migrate to another processor *)
+        Primitives.switch_away st ~requeue:true
     end
   end
 

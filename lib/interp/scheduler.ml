@@ -378,6 +378,16 @@ let yield t ~now ~vp proc =
   check_invariants t ~now ~vp;
   now
 
+(* A preemption demanded from outside the priority machinery — the
+   schedule explorer's forced-preemption decision.  The flag is honoured
+   (and cleared) at the processor's next scheduling check like any
+   priority-driven request. *)
+let force_preempt t ~vp =
+  if vp >= 0 && vp < t.processors && not t.preempt.(vp) then begin
+    t.preempt.(vp) <- true;
+    t.preemptions <- t.preemptions + 1
+  end
+
 let take_preempt_flag t vp =
   if t.preempt.(vp) then begin
     t.preempt.(vp) <- false;

@@ -96,6 +96,10 @@ val relinquish : t -> now:int -> vp:int -> requeue:bool -> Oop.t -> int
 (** Move the current Process to the back of its priority list. *)
 val yield : t -> now:int -> vp:int -> Oop.t -> int
 
+(** Flag one specific processor for rescheduling regardless of
+    priorities — the schedule explorer's forced-preemption decision. *)
+val force_preempt : t -> vp:int -> unit
+
 (** Read and clear the processor's preemption flag. *)
 val take_preempt_flag : t -> int -> bool
 

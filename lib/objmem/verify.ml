@@ -100,3 +100,63 @@ let check h =
   in
   Hashtbl.iter (fun a () -> check_object a) starts;
   List.rev !problems
+
+(* --- reachable census ---
+
+   The schedule explorer's differential oracle needs a heap observable
+   that is invariant across interleavings of the same program.  Whole-
+   heap counts are not: scavenge timing, per-processor free-context
+   recycling and process migration all shift how much garbage and
+   padding each space holds.  What *is* schedule-invariant is the graph
+   reachable from stable roots — the same objects exist with the same
+   classes and sizes wherever the scheduler happened to put them.  Class
+   oops are stable addresses (classes are bootstrapped into old space
+   before any run), so grouping by class address is comparable across
+   runs of one program.
+
+   The [stop] predicate lets callers fence off parts of the graph that
+   are *not* schedule-invariant even though they hang off stable roots:
+   Process objects and their suspended context chains legitimately
+   differ with the interleaving (a background process preempted earlier
+   has run fewer iterations).  Objects satisfying [stop] are neither
+   counted nor scanned. *)
+
+type census = {
+  objects : int;
+  words : int;
+  per_class : (int * int) list;  (* class oop addr |-> reachable count *)
+}
+
+let census ?(stop = fun _ -> false) h ~roots =
+  let seen = Hashtbl.create 1024 in
+  let by_class = Hashtbl.create 64 in
+  let objects = ref 0 and words = ref 0 in
+  let rec visit o =
+    if Oop.is_ptr o && not (Oop.equal o Oop.sentinel)
+       && not (Hashtbl.mem seen o) && not (stop o)
+    then begin
+      Hashtbl.add seen o ();
+      let a = Oop.addr o in
+      incr objects;
+      words := !words + size_words h a;
+      let cls = class_at h a in
+      let key = if Oop.is_ptr cls then Oop.addr cls else -1 in
+      Hashtbl.replace by_class key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_class key));
+      visit cls;
+      let limit = Scavenger.scan_limit h a in
+      for i = 0 to limit - 1 do
+        visit h.mem.(a + Layout.header_words + i)
+      done
+    end
+  in
+  List.iter visit roots;
+  let per_class =
+    List.sort compare
+      (Hashtbl.fold (fun cls n acc -> (cls, n) :: acc) by_class [])
+  in
+  { objects = !objects; words = !words; per_class }
+
+let pp_census fmt c =
+  Format.fprintf fmt "%d object(s), %d word(s), %d class(es)" c.objects
+    c.words (List.length c.per_class)

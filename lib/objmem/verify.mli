@@ -13,3 +13,24 @@ val pp_problem : Format.formatter -> problem -> unit
 
 (** The empty list means the heap is consistent. *)
 val check : Heap.t -> problem list
+
+(** A census of the objects reachable from the given roots: totals plus
+    per-class counts, keyed by class-oop address (classes live at stable
+    old-space addresses, so the counts are comparable across runs of the
+    same program).  Reachability is schedule-invariant where whole-heap
+    counts are not — the schedule explorer's differential oracle compares
+    censuses taken from the same stable roots.
+
+    Traversal does not enter objects satisfying [stop] (they are neither
+    counted nor scanned); callers use it to fence off runtime state that
+    legitimately varies with the schedule, such as Process objects and
+    their context chains. *)
+type census = {
+  objects : int;
+  words : int;
+  per_class : (int * int) list;
+}
+
+val census : ?stop:(Oop.t -> bool) -> Heap.t -> roots:Oop.t list -> census
+
+val pp_census : Format.formatter -> census -> unit

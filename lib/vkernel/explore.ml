@@ -1,0 +1,328 @@
+(* Seeded schedule exploration: perturb the engine's scheduling decisions
+   at the preemption points exposed by {!Machine.scheduling_policy},
+   record the perturbations as a sparse decision trace, replay such a
+   trace bit for bit, and shrink a failing trace to a minimal one.
+
+   A decision trace is sparse on purpose: a run answers thousands of
+   policy queries but perturbs only a sampled few, and shrinking works by
+   *dropping* perturbations, which keeps the indices of the survivors
+   meaningful (index n names the n-th query of whatever run the schedule
+   is replayed into — queries before the first change are unaffected). *)
+
+type decision =
+  | Tie_pick of int
+  | Lock_jitter of int
+  | Force_preempt
+
+type step = { index : int; decision : decision }
+
+type schedule = step list
+
+type params = {
+  tie_permil : int;
+  jitter_permil : int;
+  preempt_permil : int;
+  jitter_bound : int;
+}
+
+(* Defaults chosen so a run perturbs enough to change the interleaving
+   but traces stay short enough to shrink quickly. *)
+let default_params =
+  { tie_permil = 300; jitter_permil = 100; preempt_permil = 40;
+    jitter_bound = 64 }
+
+(* --- a self-contained splitmix64-style PRNG ---
+
+   Stdlib.Random's stream is not guaranteed stable across compiler
+   releases, and seeded runs must reproduce forever; this is the classic
+   splitmix64 finalizer on a Weyl sequence, on OCaml's 63-bit ints. *)
+
+type rng = { mutable state : int }
+
+let rng_make seed = { state = seed * 0x9E3779B9 + 0x1F123BB5 }
+
+(* The 64-bit splitmix constants, truncated to OCaml's boxed-free int
+   width; mixing quality is ample for sampling perturbations. *)
+let rng_next r =
+  r.state <- r.state + 0x1E3779B97F4A7C15;
+  let z = r.state in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  (z lxor (z lsr 31)) land max_int
+
+let rng_below r n = if n <= 1 then 0 else rng_next r mod n
+
+let chance r permil = rng_below r 1000 < permil
+
+(* --- drivers --- *)
+
+type mode =
+  | Seeded of rng * params
+  | Replay of step array * int ref  (* cursor into the sorted steps *)
+
+type driver = {
+  mode : mode;
+  trace : Trace.t option;
+  mutable queries : int;
+  mutable rev_recorded : step list;
+}
+
+let seeded ?(params = default_params) ?trace ~seed () =
+  { mode = Seeded (rng_make seed, params);
+    trace;
+    queries = 0;
+    rev_recorded = [] }
+
+let replay ?trace sched =
+  let steps =
+    Array.of_list
+      (List.sort (fun a b -> compare a.index b.index) sched)
+  in
+  { mode = Replay (steps, ref 0); trace; queries = 0; rev_recorded = [] }
+
+let recorded d = List.rev d.rev_recorded
+let queries d = d.queries
+
+let describe = function
+  | Tie_pick k -> Printf.sprintf "tie pick %d" k
+  | Lock_jitter j -> Printf.sprintf "jitter %d" j
+  | Force_preempt -> "force preempt"
+
+let applied d ~vp ~now ~resource decision =
+  let index = d.queries in
+  d.rev_recorded <- { index; decision } :: d.rev_recorded;
+  match d.trace with
+  | None -> ()
+  | Some t ->
+      Trace.record t ~vp ~time:now ~kind:Trace.Sched_decision
+        ~resource
+        ~detail:(Printf.sprintf "#%d %s" index (describe decision))
+
+(* Answer one preemption-point query.  [gen] samples a decision from the
+   seed (None = leave the default); replay applies the recorded decision
+   if one names this query index.  A replayed decision of the wrong
+   variant for the query is ignored — a schedule from another context
+   degrades to the default rather than derailing the run. *)
+let decide d ~accept ~gen =
+  let q = d.queries in
+  d.queries <- q + 1;
+  match d.mode with
+  | Seeded (rng, params) -> gen rng params
+  | Replay (steps, cursor) ->
+      let n = Array.length steps in
+      while !cursor < n && steps.(!cursor).index < q do incr cursor done;
+      if !cursor < n && steps.(!cursor).index = q then begin
+        let s = steps.(!cursor) in
+        incr cursor;
+        if accept s.decision then Some s.decision else None
+      end
+      else None
+
+let policy d =
+  let choose_tie candidates =
+    let n = Array.length candidates in
+    let picked =
+      decide d
+        ~accept:(function Tie_pick _ -> true | _ -> false)
+        ~gen:(fun rng params ->
+          if chance rng params.tie_permil then
+            let k = rng_below rng n in
+            if k = 0 then None else Some (Tie_pick k)
+          else None)
+    in
+    match picked with
+    | Some (Tie_pick k) ->
+        let k = min (max k 0) (n - 1) in
+        let vp = candidates.(k) in
+        if k <> 0 then
+          applied d ~vp:vp.Machine.id ~now:vp.Machine.clock
+            ~resource:"schedule" (Tie_pick k);
+        vp
+    | _ -> candidates.(0)
+  in
+  let lock_jitter ~vp ~lock ~now =
+    let picked =
+      decide d
+        ~accept:(function Lock_jitter _ -> true | _ -> false)
+        ~gen:(fun rng params ->
+          if params.jitter_bound > 0 && chance rng params.jitter_permil
+          then Some (Lock_jitter (1 + rng_below rng params.jitter_bound))
+          else None)
+    in
+    match picked with
+    | Some (Lock_jitter j) when j > 0 ->
+        applied d ~vp ~now ~resource:lock (Lock_jitter j);
+        j
+    | _ -> 0
+  in
+  let preempt_after ~vp ~lock ~now =
+    let picked =
+      decide d
+        ~accept:(function Force_preempt -> true | _ -> false)
+        ~gen:(fun rng params ->
+          if chance rng params.preempt_permil then Some Force_preempt
+          else None)
+    in
+    match picked with
+    | Some Force_preempt ->
+        applied d ~vp ~now ~resource:lock Force_preempt;
+        true
+    | _ -> false
+  in
+  { Machine.choose_tie; lock_jitter; preempt_after }
+
+(* --- schedule utilities --- *)
+
+let fingerprint sched =
+  List.fold_left
+    (fun h { index; decision } ->
+      let d =
+        match decision with
+        | Tie_pick k -> (k lsl 2) lor 1
+        | Lock_jitter j -> (j lsl 2) lor 2
+        | Force_preempt -> 3
+      in
+      let h = (h * 0x01000193) lxor index in
+      ((h * 0x01000193) lxor d) land max_int)
+    0x811C9DC5 sched
+
+(* --- shrinking ---
+
+   Classic delta debugging over the decision list: try dropping chunks,
+   halving the chunk size until single decisions, restarting whenever a
+   drop still fails; then shrink the surviving values (halve jitters,
+   pull tie picks toward the default candidate).  [run] rebuilds the
+   world and replays, so every probe costs a full run — the budget caps
+   the total. *)
+
+let shrink ~run ?(budget = 200) sched =
+  let spent = ref 0 in
+  let try_run s =
+    if !spent >= budget then false
+    else begin
+      incr spent;
+      run s
+    end
+  in
+  let drop_chunks current =
+    let current = ref current in
+    let chunk = ref (max 1 (List.length !current / 2)) in
+    let progress = ref true in
+    while !chunk >= 1 && !spent < budget do
+      progress := false;
+      let arr = Array.of_list !current in
+      let n = Array.length arr in
+      let pos = ref 0 in
+      while !pos < n && !spent < budget do
+        let keep = ref [] in
+        Array.iteri
+          (fun i s ->
+            if i < !pos || i >= !pos + !chunk then keep := s :: !keep)
+          arr;
+        let candidate = List.rev !keep in
+        if List.length candidate < n && try_run candidate then begin
+          current := candidate;
+          progress := true;
+          pos := n (* restart scanning on the smaller schedule *)
+        end
+        else pos := !pos + !chunk
+      done;
+      if !progress then chunk := max 1 (min !chunk (List.length !current))
+      else if !chunk = 1 then chunk := 0
+      else chunk := !chunk / 2
+    done;
+    !current
+  in
+  let shrink_values current =
+    let smaller = function
+      | Tie_pick k when k > 1 -> Some (Tie_pick (k / 2))
+      | Lock_jitter j when j > 1 -> Some (Lock_jitter (j / 2))
+      | _ -> None
+    in
+    let current = ref current in
+    let again = ref true in
+    while !again && !spent < budget do
+      again := false;
+      List.iteri
+        (fun i s ->
+          match smaller s.decision with
+          | None -> ()
+          | Some d ->
+              let candidate =
+                List.mapi
+                  (fun j s' -> if j = i then { s' with decision = d } else s')
+                  !current
+              in
+              if try_run candidate then begin
+                current := candidate;
+                again := true
+              end)
+        !current
+    done;
+    !current
+  in
+  let result = shrink_values (drop_chunks sched) in
+  (result, !spent)
+
+(* --- decision-trace files --- *)
+
+let pp fmt sched =
+  List.iter
+    (fun { index; decision } ->
+      match decision with
+      | Tie_pick k -> Format.fprintf fmt "tie %d %d@." index k
+      | Lock_jitter j -> Format.fprintf fmt "jitter %d %d@." index j
+      | Force_preempt -> Format.fprintf fmt "preempt %d@." index)
+    sched
+
+let save path sched =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# mst decision trace v1\n";
+      output_string oc
+        (Printf.sprintf "# %d decision(s); index = preemption-point number\n"
+           (List.length sched));
+      let fmt = Format.formatter_of_out_channel oc in
+      pp fmt sched;
+      Format.pp_print_flush fmt ())
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let steps = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           incr lineno;
+           if line <> "" && line.[0] <> '#' then begin
+             let bad () =
+               failwith
+                 (Printf.sprintf "%s:%d: malformed decision %S" path !lineno
+                    line)
+             in
+             match String.split_on_char ' ' line with
+             | [ "tie"; i; k ] ->
+                 (match (int_of_string_opt i, int_of_string_opt k) with
+                  | Some i, Some k when i >= 0 && k >= 0 ->
+                      steps := { index = i; decision = Tie_pick k } :: !steps
+                  | _ -> bad ())
+             | [ "jitter"; i; j ] ->
+                 (match (int_of_string_opt i, int_of_string_opt j) with
+                  | Some i, Some j when i >= 0 && j >= 0 ->
+                      steps := { index = i; decision = Lock_jitter j } :: !steps
+                  | _ -> bad ())
+             | [ "preempt"; i ] ->
+                 (match int_of_string_opt i with
+                  | Some i when i >= 0 ->
+                      steps := { index = i; decision = Force_preempt } :: !steps
+                  | _ -> bad ())
+             | _ -> bad ()
+           end
+         done
+       with End_of_file -> ());
+      List.sort (fun a b -> compare a.index b.index) !steps)

@@ -1,0 +1,85 @@
+(** Seeded schedule exploration for the simulated Firefly.
+
+    The engine's default schedule is one interleaving per configuration:
+    the runnable processor with the smallest clock steps next, ties going
+    to the lowest id.  This module perturbs that schedule at the three
+    preemption points exposed by {!Machine.scheduling_policy} — min-clock
+    ties, lock acquisitions, and the release of charged critical sections
+    — so the serialization sanitizer and a differential oracle can audit
+    many interleavings instead of one.
+
+    A perturbed run is summarized by its {!schedule}: the sparse list of
+    non-default decisions, each tagged with the index of the preemption
+    point (the n-th policy query of the run) it was applied at.  Because
+    the simulation is deterministic, replaying a schedule reproduces the
+    run bit for bit; shrinking a failing schedule is subset minimization
+    over its decisions plus value shrinking of the survivors. *)
+
+(** One non-default decision at a preemption point. *)
+type decision =
+  | Tie_pick of int  (** take the k-th candidate of a min-clock tie *)
+  | Lock_jitter of int  (** stall this many cycles before an acquire *)
+  | Force_preempt  (** reschedule after this critical section *)
+
+type step = { index : int; decision : decision }
+
+(** A sparse decision trace, strictly ascending by [index].  The empty
+    schedule is the default deterministic run. *)
+type schedule = step list
+
+type params = {
+  tie_permil : int;  (** chance (‰) a min-clock tie is permuted *)
+  jitter_permil : int;  (** chance (‰) an acquire is jittered *)
+  preempt_permil : int;  (** chance (‰) a section forces a preemption *)
+  jitter_bound : int;  (** maximum injected stall, in cycles *)
+}
+
+val default_params : params
+
+(** A driver counts preemption-point queries and either generates
+    decisions from a seed or replays a fixed schedule. *)
+type driver
+
+(** [seeded ~seed ()] makes a generating driver.  The same seed always
+    produces the same decision sequence (the PRNG is our own splitmix
+    derivative, independent of [Stdlib.Random]).  [trace] additionally
+    records every perturbation as a {!Trace.Sched_decision} event. *)
+val seeded : ?params:params -> ?trace:Trace.t -> seed:int -> unit -> driver
+
+(** [replay sched] makes a driver that applies exactly the decisions of
+    [sched] at their recorded preemption points and defaults everywhere
+    else.  Out-of-range tie picks are clamped to the candidate count. *)
+val replay : ?trace:Trace.t -> schedule -> driver
+
+(** The scheduling policy to install with {!Machine.set_policy}. *)
+val policy : driver -> Machine.scheduling_policy
+
+(** The non-default decisions the driver applied, index-ascending. *)
+val recorded : driver -> schedule
+
+(** Total preemption-point queries the driver answered. *)
+val queries : driver -> int
+
+(** A content hash of a schedule, for distinct-schedule statistics. *)
+val fingerprint : schedule -> int
+
+(** [shrink ~run sched] minimizes a failing schedule: [run s] must
+    rebuild the world, replay [s], and return [true] when the failure
+    still reproduces.  [sched] itself is assumed to fail.  Returns the
+    shrunk schedule and the number of replays spent.  [budget] caps the
+    replays (default 200). *)
+val shrink :
+  run:(schedule -> bool) -> ?budget:int -> schedule -> schedule * int
+
+(** {2 Decision-trace files}
+
+    One decision per line — [tie INDEX PICK], [jitter INDEX CYCLES],
+    [preempt INDEX] — with [#] comments; the format documented in
+    DESIGN.md and produced/consumed by [mst explore]. *)
+
+val save : string -> schedule -> unit
+
+(** Raises [Failure] on a malformed file. *)
+val load : string -> schedule
+
+val pp : Format.formatter -> schedule -> unit

@@ -25,10 +25,32 @@ type vp = {
   mutable gc_wait_cycles : int;   (* cycles lost parked for scavenges *)
 }
 
+(* A scheduling policy perturbs the engine's decisions at its three
+   preemption points: min-clock ties, lock acquisitions, and the release
+   of a charged critical section.  [None] is the default deterministic
+   policy (lowest id wins ties, no jitter, no forced preemption) — the
+   explorer in {!Explore} installs a policy to drive the engine through
+   alternative interleavings without touching the default path. *)
+type scheduling_policy = {
+  choose_tie : vp array -> vp;
+      (* candidates share the minimal clock, id-ascending; pick one *)
+  lock_jitter : vp:int -> lock:string -> now:int -> int;
+      (* extra cycles to stall before an acquire; 0 = undisturbed *)
+  preempt_after : vp:int -> lock:string -> now:int -> bool;
+      (* request a reschedule after this critical section? *)
+}
+
+let default_policy =
+  { choose_tie = (fun candidates -> candidates.(0));
+    lock_jitter = (fun ~vp:_ ~lock:_ ~now:_ -> 0);
+    preempt_after = (fun ~vp:_ ~lock:_ ~now:_ -> false) }
+
 type t = {
   vps : vp array;
   cost : Cost_model.t;
   mutable bus_factor_num : int;   (* fixed-point bus multiplier, /1024 *)
+  mutable policy : scheduling_policy option;
+  forced_preempts : bool array;   (* per-vp: policy asked for a reschedule *)
 }
 
 let active_count m =
@@ -55,12 +77,31 @@ let make ~processors cost =
         { id; clock = 0; state = Running; steps = 0;
           spin_cycles = 0; gc_wait_cycles = 0 })
   in
-  let m = { vps; cost; bus_factor_num = 1024 } in
+  let m =
+    { vps; cost; bus_factor_num = 1024; policy = None;
+      forced_preempts = Array.make processors false }
+  in
   refresh_bus m;
   m
 
 let processors m = Array.length m.vps
 let vp m i = m.vps.(i)
+
+let set_policy m p = m.policy <- p
+let policy m = m.policy
+
+let flag_preempt m id =
+  if id >= 0 && id < Array.length m.forced_preempts then
+    m.forced_preempts.(id) <- true
+
+let take_forced_preempt m id =
+  if id >= 0 && id < Array.length m.forced_preempts
+     && m.forced_preempts.(id)
+  then begin
+    m.forced_preempts.(id) <- false;
+    true
+  end
+  else false
 
 let set_state m vp state =
   vp.state <- state;
@@ -73,7 +114,9 @@ let charge _m vp cycles = vp.clock <- vp.clock + cycles
 let charge_mem m vp cycles =
   vp.clock <- vp.clock + (cycles * m.bus_factor_num) asr 10
 
-(* The runnable processor with the smallest clock, if any. *)
+(* The runnable processor with the smallest clock, if any.  Ties go to
+   the lowest id; an installed policy is consulted only when there are at
+   least two minimal candidates, so the default run never queries it. *)
 let min_runnable m =
   let best = ref None in
   Array.iter
@@ -85,7 +128,19 @@ let min_runnable m =
            | _ -> best := Some vp)
       | Parked_for_gc | Halted -> ())
     m.vps;
-  !best
+  match m.policy, !best with
+  | None, b | _, (None as b) -> b
+  | Some p, Some b ->
+      let ties =
+        Array.of_list
+          (Array.fold_right
+             (fun vp acc ->
+               match vp.state with
+               | (Running | Idle) when vp.clock = b.clock -> vp :: acc
+               | _ -> acc)
+             m.vps [])
+      in
+      if Array.length ties < 2 then Some b else Some (p.choose_tie ties)
 
 let max_clock m =
   Array.fold_left (fun t vp -> max t vp.clock) 0 m.vps

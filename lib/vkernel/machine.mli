@@ -22,9 +22,41 @@ type vp = {
   mutable gc_wait_cycles : int;  (** cycles lost to scavenge pauses *)
 }
 
+(** A scheduling policy perturbs the engine's decisions at its preemption
+    points: min-clock ties, lock acquisitions, and the release of a
+    charged critical section.  The engine's default behaviour (lowest id
+    wins ties, no jitter, no forced preemption) is what runs when no
+    policy is installed; {!Explore} builds policies that drive the engine
+    through alternative interleavings. *)
+type scheduling_policy = {
+  choose_tie : vp array -> vp;
+      (** candidates all share the minimal clock, in ascending id order;
+          must return one of them *)
+  lock_jitter : vp:int -> lock:string -> now:int -> int;
+      (** extra cycles to stall before an acquire; 0 leaves it alone *)
+  preempt_after : vp:int -> lock:string -> now:int -> bool;
+      (** request a reschedule after this charged critical section? *)
+}
+
+(** The identity policy: equivalent to having none installed. *)
+val default_policy : scheduling_policy
+
 type t
 
 val make : processors:int -> Cost_model.t -> t
+
+(** Install (or clear) the scheduling policy.  [None] — the default — is
+    the deterministic lowest-id policy and costs nothing per step. *)
+val set_policy : t -> scheduling_policy option -> unit
+
+val policy : t -> scheduling_policy option
+
+(** Record a policy-requested preemption for a processor; the engine
+    drains it with {!take_forced_preempt} after the current step. *)
+val flag_preempt : t -> int -> unit
+
+(** Consume a pending forced preemption, returning whether one was set. *)
+val take_forced_preempt : t -> int -> bool
 
 val processors : t -> int
 

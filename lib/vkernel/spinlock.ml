@@ -24,6 +24,14 @@ type t = {
   acquire_cost : int;
   mutable free_at : int;
   mutable san : Sanitizer.t option;
+  mutable machine : Machine.t option;
+  (* Report the op windows of a *disabled* lock to the sanitizer.  Off by
+     default: legitimately lock-free configurations (baseline BS on one
+     processor, per-processor eden allocation) issue overlapping windows
+     on purpose.  The engine turns it on for configurations that disabled
+     locking while keeping several processors — exactly the broken setup
+     the sanitizer should expose as unserialized timelines. *)
+  mutable report_unlocked : bool;
   (* statistics *)
   mutable acquisitions : int;
   mutable contended : int;
@@ -37,6 +45,8 @@ let make ~enabled ~cost name =
     acquire_cost = cost.Cost_model.lock_acquire;
     free_at = 0;
     san = None;
+    machine = None;
+    report_unlocked = false;
     acquisitions = 0;
     contended = 0;
     spin_cycles = 0 }
@@ -52,6 +62,51 @@ let attach t san =
   if t.enabled then Sanitizer.register_lock san t.name
 
 let sanitizer t = t.san
+
+let attach_machine t m = t.machine <- Some m
+
+let set_report_unlocked t flag = t.report_unlocked <- flag
+
+(* The policy's lock-acquisition preemption point: stall the acquiring
+   processor by the requested jitter before it reaches for the lock.
+   Contended acquires round their start up to the holder's release, so
+   jitter can never rewind a lock's timeline — it only changes who gets
+   there first.  Engine-side callers (vp = -1) are never perturbed: they
+   are simulation bookkeeping, not processor decisions. *)
+let jittered t ~vp ~now =
+  match t.machine with
+  | Some m when vp >= 0 ->
+      (match Machine.policy m with
+       | Some p ->
+           now + max 0 (p.Machine.lock_jitter ~vp ~lock:t.name ~now)
+       | None -> now)
+  | _ -> now
+
+(* The policy's post-section preemption point: after a charged critical
+   section the policy may ask the processor to reschedule at its next
+   check.  The request is parked on the machine; the engine drains it
+   because this module cannot see the scheduler. *)
+let maybe_preempt t ~vp ~now =
+  match t.machine with
+  | Some m when vp >= 0 ->
+      (match Machine.policy m with
+       | Some p ->
+           if p.Machine.preempt_after ~vp ~lock:t.name ~now then
+             Machine.flag_preempt m vp
+       | None -> ())
+  | _ -> ()
+
+(* A disabled lock charges nothing, but when [report_unlocked] is on the
+   op's window still reaches the sanitizer, so concurrent windows from
+   different processors surface as unserialized timelines. *)
+let unlocked_op t ~vp ~now ~op_cycles =
+  let now = jittered t ~vp ~now in
+  (match t.san with
+   | Some san when t.report_unlocked && vp >= 0 ->
+       Sanitizer.on_lock_op san ~lock:t.name ~vp ~now ~start:now
+         ~finish:(now + op_cycles) ~contended:false
+   | _ -> ());
+  now + op_cycles
 
 (* A stats reset must not touch [free_at]: the lock's virtual timeline is
    simulation state, not a statistic, and rewinding it would let a later
@@ -85,14 +140,16 @@ let acquire t ~now ~op_cycles =
 (* Perform a critical section of [op_cycles] starting no earlier than [now].
    Returns the completion time. *)
 let locked_op ?(vp = -1) t ~now ~op_cycles =
-  if not t.enabled then now + op_cycles
+  if not t.enabled then unlocked_op t ~vp ~now ~op_cycles
   else begin
+    let now = jittered t ~vp ~now in
     let start, finish, was_contended = acquire t ~now ~op_cycles in
     (match t.san with
      | Some san ->
          Sanitizer.on_lock_op san ~lock:t.name ~vp ~now ~start ~finish
            ~contended:was_contended
      | None -> ());
+    maybe_preempt t ~vp ~now:finish;
     finish
   end
 
@@ -103,11 +160,16 @@ let locked_op ?(vp = -1) t ~now ~op_cycles =
    already advanced, matching [locked_op] (lock work was charged before the
    failure propagates). *)
 let critical ?(vp = -1) t ~now ~op_cycles f =
-  if not t.enabled then (now + op_cycles, f ())
+  if not t.enabled then (unlocked_op t ~vp ~now ~op_cycles, f ())
   else begin
+    let now = jittered t ~vp ~now in
     let start, finish, was_contended = acquire t ~now ~op_cycles in
+    let finish_section result =
+      maybe_preempt t ~vp ~now:finish;
+      (finish, result)
+    in
     match t.san with
-    | None -> (finish, f ())
+    | None -> finish_section (f ())
     | Some san ->
         Sanitizer.section_enter san ~lock:t.name ~vp ~now ~start ~finish
           ~contended:was_contended;
@@ -118,7 +180,7 @@ let critical ?(vp = -1) t ~now ~op_cycles f =
             raise e
         in
         Sanitizer.section_exit san ~lock:t.name ~vp ~now:finish;
-        (finish, result)
+        finish_section result
   end
 
 (* Convenience: run the critical section on a processor, updating its clock

@@ -28,6 +28,22 @@ val attach : t -> Sanitizer.t -> unit
 
 val sanitizer : t -> Sanitizer.t option
 
+(** Attach the machine: lock operations consult its scheduling policy (if
+    one is installed) at the two lock-side preemption points — jitter
+    before an acquire, and an optional preemption request after a charged
+    critical section.  Without this, or with no policy installed, the
+    lock behaves exactly as before. *)
+val attach_machine : t -> Machine.t -> unit
+
+(** When set, a *disabled* lock still reports each operation's window to
+    the attached sanitizer (processor-side operations only).  Off by
+    default: lock-free configurations that are legitimately serial (one
+    processor) or partitioned (per-processor resources) must not report.
+    The engine enables it when a configuration runs several processors
+    with locking off, so the sanitizer can expose the missing mutual
+    exclusion as overlapping timelines. *)
+val set_report_unlocked : t -> bool -> unit
+
 (** [locked_op t ~now ~op_cycles] performs a critical section of
     [op_cycles] starting no earlier than [now] and returns its completion
     time.  Calls must be made in nondecreasing [now] order.  [vp] is the

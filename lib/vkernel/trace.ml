@@ -11,6 +11,7 @@ type kind =
   | Mutation
   | Owner_touch
   | Violation
+  | Sched_decision
 
 type event = {
   vp : int;
@@ -66,6 +67,7 @@ let kind_name = function
   | Mutation -> "mutate"
   | Owner_touch -> "touch"
   | Violation -> "VIOLATION"
+  | Sched_decision -> "decide"
 
 let pp_event fmt e =
   let vp = if e.vp < 0 then "--" else string_of_int e.vp in

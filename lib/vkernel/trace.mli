@@ -16,6 +16,7 @@ type kind =
   | Mutation  (** a guarded resource was mutated (checked) *)
   | Owner_touch  (** a replicated resource was touched by a vp *)
   | Violation  (** a sanitizer invariant failed *)
+  | Sched_decision  (** the schedule explorer perturbed a decision *)
 
 type event = {
   vp : int;  (** virtual processor id, or -1 for the engine *)

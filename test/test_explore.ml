@@ -1,0 +1,283 @@
+(* Tests for the schedule explorer: the seeded driver's determinism, the
+   decision-trace file format, shrinking against a synthetic failure, the
+   scheduling-policy hook at the machine level, and end-to-end runs — the
+   published MS configuration explores clean while the deliberately broken
+   configurations yield shrunk, replayable counterexamples. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cm = Cost_model.firefly
+
+(* --- the policy hook at the machine level --- *)
+
+(* With no policy installed the engine must behave exactly as before:
+   lowest id wins a min-clock tie. *)
+let test_default_tie_break () =
+  let m = Machine.make ~processors:3 cm in
+  (Machine.vp m 0).Machine.clock <- 10;
+  (Machine.vp m 1).Machine.clock <- 10;
+  (Machine.vp m 2).Machine.clock <- 10;
+  (match Machine.min_runnable m with
+   | Some vp -> check "lowest id wins by default" 0 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp")
+
+let test_policy_tie_break () =
+  let m = Machine.make ~processors:3 cm in
+  (Machine.vp m 0).Machine.clock <- 10;
+  (Machine.vp m 1).Machine.clock <- 10;
+  (Machine.vp m 2).Machine.clock <- 20;
+  let seen = ref 0 in
+  Machine.set_policy m
+    (Some
+       { Machine.default_policy with
+         Machine.choose_tie =
+           (fun cands ->
+             seen := Array.length cands;
+             cands.(Array.length cands - 1)) });
+  (match Machine.min_runnable m with
+   | Some vp -> check "policy picked the last tied candidate" 1 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp");
+  check "only the tied vps were offered" 2 !seen;
+  (* no tie: the policy must not be consulted *)
+  seen := -1;
+  (Machine.vp m 0).Machine.clock <- 5;
+  (match Machine.min_runnable m with
+   | Some vp -> check "unique minimum bypasses the policy" 0 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp");
+  check "policy not consulted without a tie" (-1) !seen
+
+let test_forced_preempt_flag () =
+  let m = Machine.make ~processors:2 cm in
+  check_bool "no pending preempt initially" false
+    (Machine.take_forced_preempt m 0);
+  Machine.flag_preempt m 0;
+  check_bool "flag is delivered" true (Machine.take_forced_preempt m 0);
+  check_bool "and consumed" false (Machine.take_forced_preempt m 0);
+  check_bool "other vps unaffected" false (Machine.take_forced_preempt m 1)
+
+(* Jitter must never rewind an enabled lock's timeline: a contended
+   acquire still starts at or after the previous section's finish. *)
+let test_jitter_keeps_timeline () =
+  let m = Machine.make ~processors:2 cm in
+  Machine.set_policy m
+    (Some
+       { Machine.default_policy with
+         Machine.lock_jitter = (fun ~vp:_ ~lock:_ ~now:_ -> 17) });
+  let l = Spinlock.make ~enabled:true ~cost:cm "t" in
+  Spinlock.attach_machine l m;
+  let fin1 = Spinlock.locked_op ~vp:0 l ~now:0 ~op_cycles:50 in
+  let fin2 = Spinlock.locked_op ~vp:1 l ~now:10 ~op_cycles:50 in
+  check_bool "serialized in spite of the jitter" true
+    (fin2 - cm.Cost_model.lock_acquire - 50 >= fin1)
+
+(* --- the seeded driver --- *)
+
+(* Drive a policy through a fixed query pattern and collect the recorded
+   schedule; the same seed must reproduce it exactly. *)
+let drive seed =
+  let d = Explore.seeded ~seed () in
+  let p = Explore.policy d in
+  let m = Machine.make ~processors:4 cm in
+  let cands = Array.init 3 (Machine.vp m) in
+  for i = 0 to 199 do
+    ignore (p.Machine.choose_tie cands);
+    ignore (p.Machine.lock_jitter ~vp:(i mod 4) ~lock:"l" ~now:(i * 10));
+    ignore (p.Machine.preempt_after ~vp:(i mod 4) ~lock:"l" ~now:(i * 10))
+  done;
+  (Explore.recorded d, Explore.queries d)
+
+let test_seeded_deterministic () =
+  let s1, q1 = drive 42 in
+  let s2, q2 = drive 42 in
+  check "same query count" q1 q2;
+  check_bool "same seed gives the identical schedule" true (s1 = s2);
+  check "every query counted" 600 q1;
+  let s3, _ = drive 43 in
+  check_bool "a different seed perturbs differently" true (s1 <> s3)
+
+let test_seeded_indices_ascend () =
+  let s, _ = drive 7 in
+  check_bool "some perturbations happened" true (s <> []);
+  let rec ascending = function
+    | a :: (b :: _ as rest) ->
+        a.Explore.index < b.Explore.index && ascending rest
+    | _ -> true
+  in
+  check_bool "indices strictly ascend" true (ascending s)
+
+(* --- decision-trace files --- *)
+
+let arb_schedule =
+  let open QCheck in
+  let decision =
+    Gen.oneof
+      [ Gen.map (fun k -> Explore.Tie_pick k) (Gen.int_range 0 7);
+        Gen.map (fun j -> Explore.Lock_jitter j) (Gen.int_range 0 500);
+        Gen.return Explore.Force_preempt ]
+  in
+  let gen =
+    Gen.map
+      (fun ds ->
+        List.mapi (fun i d -> { Explore.index = i * 3; decision = d }) ds)
+      (Gen.list_size (Gen.int_range 0 40) decision)
+  in
+  make ~print:(Format.asprintf "%a" Explore.pp) gen
+
+let save_load_roundtrip_prop =
+  QCheck.Test.make ~count:100 ~name:"decision traces round-trip through files"
+    arb_schedule
+    (fun sched ->
+      let file = Filename.temp_file "mst-trace" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Explore.save file sched;
+          Explore.load file = sched))
+
+let test_load_rejects_garbage () =
+  let file = Filename.temp_file "mst-trace" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "# comment\ntie 3 1\nwibble 4\n";
+      close_out oc;
+      match Explore.load file with
+      | _ -> Alcotest.fail "expected Failure on a malformed line"
+      | exception Failure _ -> ())
+
+(* --- shrinking --- *)
+
+(* A synthetic failure: the run "fails" exactly when the schedule still
+   contains a Force_preempt at index 30 AND any jitter of at least 10.
+   The minimum is two decisions; shrinking must find a two-step schedule
+   and never report success on a passing one. *)
+let test_shrink_synthetic () =
+  let fails sched =
+    List.exists
+      (fun s -> s.Explore.index = 30 && s.Explore.decision = Explore.Force_preempt)
+      sched
+    && List.exists
+         (fun s ->
+           match s.Explore.decision with
+           | Explore.Lock_jitter j -> j >= 10
+           | _ -> false)
+         sched
+  in
+  let original =
+    List.mapi
+      (fun i d -> { Explore.index = i * 10; decision = d })
+      [ Explore.Tie_pick 2; Explore.Lock_jitter 400; Explore.Tie_pick 1;
+        Explore.Force_preempt; Explore.Lock_jitter 3; Explore.Tie_pick 0 ]
+  in
+  check_bool "the original fails" true (fails original);
+  let shrunk, probes = Explore.shrink ~run:fails original in
+  check "shrunk to the two relevant decisions" 2 (List.length shrunk);
+  check_bool "the shrunk schedule still fails" true (fails shrunk);
+  check_bool "some replays were spent" true (probes > 0);
+  (* value shrinking halves the surviving jitter toward the threshold *)
+  List.iter
+    (fun s ->
+      match s.Explore.decision with
+      | Explore.Lock_jitter j ->
+          check_bool "jitter shrunk below twice the threshold" true (j < 20)
+      | _ -> ())
+    shrunk
+
+let test_shrink_budget_respected () =
+  let fails _ = true in
+  let original =
+    List.init 64 (fun i -> { Explore.index = i; decision = Explore.Force_preempt })
+  in
+  let shrunk, probes = Explore.shrink ~run:fails ~budget:10 original in
+  check_bool "budget caps the replays" true (probes <= 10);
+  check_bool "a universally failing schedule shrinks toward empty" true
+    (List.length shrunk <= 64)
+
+(* --- end to end: the differential oracle --- *)
+
+let quick_setup = Explorer.ms_setup ~quick:true ()
+
+let test_ms_explores_clean () =
+  let r = Explorer.explore quick_setup ~seeds:3 in
+  check "no counterexamples on the published MS configuration" 0
+    (List.length r.Explorer.counterexamples);
+  check "three seeds ran" 3 r.Explorer.seeds_run;
+  check_bool "the seeds actually perturbed the schedule" true
+    (r.Explorer.perturbations > 0);
+  check_bool "distinct seeds gave distinct schedules" true
+    (r.Explorer.distinct > 1)
+
+let test_same_seed_same_run () =
+  let o1 = Explorer.run_seed quick_setup ~seed:11 in
+  let o2 = Explorer.run_seed quick_setup ~seed:11 in
+  check_bool "identical schedules" true (o1.Explorer.schedule = o2.Explorer.schedule);
+  check "identical query counts" o1.Explorer.queries o2.Explorer.queries;
+  (match (o1.Explorer.obs, o2.Explorer.obs) with
+   | Some a, Some b ->
+       check_bool "identical observables" true
+         (a.Explorer.result = b.Explorer.result
+          && a.Explorer.transcript = b.Explorer.transcript
+          && a.Explorer.census = b.Explorer.census)
+   | _ -> Alcotest.fail "both runs must complete")
+
+let test_replay_empty_is_reference () =
+  let r = Explorer.reference quick_setup in
+  let o = Explorer.run_schedule quick_setup [] in
+  Alcotest.(check (option string)) "empty schedule passes the oracle" None
+    (Explorer.check ~reference:r o)
+
+let expect_counterexample name setup =
+  let r = Explorer.explore setup ~seeds:4 in
+  check_bool (name ^ ": a counterexample was found") true
+    (r.Explorer.counterexamples <> []);
+  List.iter
+    (fun c ->
+      check_bool
+        (Printf.sprintf "%s: seed %d's shrunk schedule reproduces" name
+           c.Explorer.seed)
+        true c.Explorer.reproduces;
+      check_bool
+        (Printf.sprintf "%s: shrunk no larger than the original" name)
+        true
+        (List.length c.Explorer.shrunk <= List.length c.Explorer.original))
+    r.Explorer.counterexamples
+
+let test_broken_unlocked_found () =
+  expect_counterexample "unlocked"
+    (Explorer.broken_unlocked_setup ~quick:true ())
+
+let test_broken_ctx_found () =
+  expect_counterexample "ctx-unbracketed"
+    (Explorer.broken_ctx_setup ~quick:true ())
+
+let () =
+  let qtests =
+    List.map QCheck_alcotest.to_alcotest [ save_load_roundtrip_prop ]
+  in
+  Alcotest.run "explore"
+    [ ("policy",
+       [ Alcotest.test_case "default tie break" `Quick test_default_tie_break;
+         Alcotest.test_case "policy tie break" `Quick test_policy_tie_break;
+         Alcotest.test_case "forced preempt flag" `Quick
+           test_forced_preempt_flag;
+         Alcotest.test_case "jitter keeps timeline" `Quick
+           test_jitter_keeps_timeline ]);
+      ("seeded",
+       [ Alcotest.test_case "deterministic" `Quick test_seeded_deterministic;
+         Alcotest.test_case "indices ascend" `Quick test_seeded_indices_ascend ]);
+      ("files", Alcotest.test_case "malformed rejected" `Quick
+           test_load_rejects_garbage :: qtests);
+      ("shrink",
+       [ Alcotest.test_case "synthetic failure" `Quick test_shrink_synthetic;
+         Alcotest.test_case "budget" `Quick test_shrink_budget_respected ]);
+      ("oracle",
+       [ Alcotest.test_case "ms explores clean" `Quick test_ms_explores_clean;
+         Alcotest.test_case "same seed same run" `Quick test_same_seed_same_run;
+         Alcotest.test_case "empty replay is the reference" `Quick
+           test_replay_empty_is_reference;
+         Alcotest.test_case "unlocked config caught" `Quick
+           test_broken_unlocked_found;
+         Alcotest.test_case "unbracketed ctx caught" `Quick
+           test_broken_ctx_found ]) ]

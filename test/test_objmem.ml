@@ -6,16 +6,7 @@ let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
 (* A small heap with a fake class object so headers have a valid class. *)
-let make_heap ?(policy = Heap.Unlocked) ?(processors = 1) ?(eden = 2048)
-    ?(survivor = 1024) ?(old = 8192) ?(tenure_age = 4) () =
-  let h =
-    Heap.create ~policy ~processors ~tenure_age ~old_words:old
-      ~eden_words:eden ~survivor_words:survivor ()
-  in
-  let cls = Heap.alloc_old h ~slots:0 ~raw:false ~cls:Oop.sentinel () in
-  let nil = Heap.alloc_old h ~slots:0 ~raw:false ~cls () in
-  Heap.set_nil h nil;
-  (h, cls, nil)
+let make_heap = Testkit.make_heap
 
 (* --- oops --- *)
 
@@ -266,55 +257,20 @@ let test_on_scavenge_hooks () =
 
 (* --- property: random graphs survive scavenges isomorphically --- *)
 
-(* Build a random graph of [n] objects in new space, each with up to 4
-   fields pointing at random earlier objects or holding small ints;
-   serialize reachable structure, scavenge (twice, to cross the survivor
-   flip), and compare. *)
+(* Build a random graph of [n] objects in new space (only the last is
+   rooted, so the rest's reachable slice is exercised against plenty of
+   garbage); serialize reachable structure, scavenge (twice, to cross the
+   survivor flip), and compare. *)
 let graph_survival_prop =
   QCheck.Test.make ~name:"random object graphs survive scavenging" ~count:50
-    QCheck.(pair (int_range 1 60) (int_range 0 1_000_000))
+    Testkit.graph_arb
     (fun (n, seed) ->
       let rng = Random.State.make [| seed |] in
       let h, cls, nil = make_heap ~eden:8192 ~survivor:8192 ~old:16384 () in
-      let objs = Array.make n Oop.sentinel in
-      for i = 0 to n - 1 do
-        let slots = 1 + Random.State.int rng 4 in
-        objs.(i) <- Heap.alloc_new h ~vp:0 ~slots ~raw:false ~cls ();
-        for f = 0 to slots - 1 do
-          if i > 0 && Random.State.bool rng then
-            ignore (Heap.store_ptr h objs.(i) f objs.(Random.State.int rng i))
-          else
-            ignore
-              (Heap.store_ptr h objs.(i) f
-                 (Oop.of_small (Random.State.int rng 1000)))
-        done
-      done;
+      let objs = Testkit.build_graph h cls rng ~n ~processors:1 in
       let root = ref objs.(n - 1) in
       Heap.add_root h root;
-      (* structural fingerprint: DFS with visit order *)
-      let fingerprint root =
-        let seen = Hashtbl.create 32 in
-        let acc = ref [] in
-        let counter = ref 0 in
-        let rec go o =
-          if Oop.is_small o then acc := ("i" ^ string_of_int (Oop.small_val o)) :: !acc
-          else if Oop.equal o nil then acc := "nil" :: !acc
-          else
-            match Hashtbl.find_opt seen o with
-            | Some id -> acc := ("ref" ^ string_of_int id) :: !acc
-            | None ->
-                let id = !counter in
-                incr counter;
-                Hashtbl.add seen o id;
-                let slots = Heap.slots h (Oop.addr o) in
-                acc := (Printf.sprintf "obj%d/%d" id slots) :: !acc;
-                for f = 0 to slots - 1 do
-                  go (Heap.get h o f)
-                done
-        in
-        go root;
-        String.concat "," (List.rev !acc)
-      in
+      let fingerprint root = Testkit.fingerprint h nil root in
       let before = fingerprint !root in
       ignore (Scavenger.scavenge h);
       let mid = fingerprint !root in
@@ -325,8 +281,7 @@ let graph_survival_prop =
 let rset_invariant_prop =
   QCheck.Test.make
     ~name:"store checks keep the remembered-set invariant under random stores"
-    ~count:50
-    QCheck.(int_range 0 1_000_000)
+    ~count:50 Testkit.seed_arb
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let h, cls, _ = make_heap ~eden:8192 ~survivor:4096 ~old:32768 () in

@@ -10,70 +10,13 @@ let cm = Cost_model.firefly
 
 (* A replicated-eden heap with a fake class object, as the paper's MS
    configuration would hand the scavenger. *)
-let make_heap ?(processors = 4) ?(eden = 8192) ?(survivor = 4096)
-    ?(old = 32768) ?(tenure_age = 4) () =
-  let h =
-    Heap.create ~policy:Heap.Replicated_eden ~processors ~tenure_age
-      ~old_words:old ~eden_words:eden ~survivor_words:survivor ()
-  in
-  let cls = Heap.alloc_old h ~slots:0 ~raw:false ~cls:Oop.sentinel () in
-  let nil = Heap.alloc_old h ~slots:0 ~raw:false ~cls () in
-  Heap.set_nil h nil;
-  (h, cls, nil)
+let make_heap = Testkit.make_replicated_heap
 
-(* Build a deterministic random graph: [n] new objects spread across the
-   per-processor eden slices, fields pointing at earlier objects or small
-   ints, plus a few old-space objects holding new references so the entry
-   table has entries to shard. *)
-let build_graph h cls rng ~n ~processors =
-  let objs = Array.make n Oop.sentinel in
-  for i = 0 to n - 1 do
-    let slots = 1 + Random.State.int rng 4 in
-    let vp = Random.State.int rng processors in
-    objs.(i) <- Heap.alloc_new h ~vp ~slots ~raw:false ~cls ();
-    for f = 0 to slots - 1 do
-      if i > 0 && Random.State.bool rng then
-        ignore (Heap.store_ptr h objs.(i) f objs.(Random.State.int rng i))
-      else
-        ignore
-          (Heap.store_ptr h objs.(i) f
-             (Oop.of_small (Random.State.int rng 1000)))
-    done
-  done;
-  let olds =
-    Array.init 6 (fun _ -> Heap.alloc_old h ~slots:2 ~raw:false ~cls ())
-  in
-  Array.iter
-    (fun o -> ignore (Heap.store_ptr h o 0 objs.(Random.State.int rng n)))
-    olds;
-  Heap.add_array_root h objs;
-  objs
-
-(* Structural fingerprint: DFS with visit order, identical to the serial
-   scavenge property's. *)
-let fingerprint h nil root =
-  let seen = Hashtbl.create 32 in
-  let acc = ref [] in
-  let counter = ref 0 in
-  let rec go o =
-    if Oop.is_small o then
-      acc := ("i" ^ string_of_int (Oop.small_val o)) :: !acc
-    else if Oop.equal o nil then acc := "nil" :: !acc
-    else
-      match Hashtbl.find_opt seen o with
-      | Some id -> acc := ("ref" ^ string_of_int id) :: !acc
-      | None ->
-          let id = !counter in
-          incr counter;
-          Hashtbl.add seen o id;
-          let slots = Heap.slots h (Oop.addr o) in
-          acc := Printf.sprintf "obj%d/%d" id slots :: !acc;
-          for f = 0 to slots - 1 do
-            go (Heap.get h o f)
-          done
-  in
-  go root;
-  String.concat "," (List.rev !acc)
+(* Random graphs spread across the per-processor eden slices, with a few
+   old-space holders so the entry table has entries to shard; the whole
+   array is rooted.  Fingerprints are the shared structural DFS. *)
+let build_graph = Testkit.build_graph ~old_holders:6 ~root_objs:true
+let fingerprint = Testkit.fingerprint
 
 (* --- properties --- *)
 
@@ -82,8 +25,7 @@ let parallel_survival_prop =
     ~name:
       "random graphs survive parallel scavenging for any worker count, \
        strict-sanitizer clean"
-    ~count:40
-    QCheck.(triple (int_range 1 60) (int_range 0 1_000_000) (int_range 1 5))
+    ~count:40 Testkit.graph_workers_arb
     (fun (n, seed, workers) ->
       let rng = Random.State.make [| seed |] in
       let processors = 4 in
@@ -105,8 +47,7 @@ let parallel_survival_prop =
 let parallel_matches_serial_prop =
   QCheck.Test.make
     ~name:"parallel and serial scavenges preserve the same structure"
-    ~count:40
-    QCheck.(pair (int_range 1 60) (int_range 0 1_000_000))
+    ~count:40 Testkit.graph_arb
     (fun (n, seed) ->
       let run ~parallel =
         let rng = Random.State.make [| seed |] in

@@ -157,9 +157,7 @@ let test_scavenge_phase_off_is_silent () =
 
 (* --- injected violations inside a real VM --- *)
 
-let strict_vm ?(processors = 2) () =
-  Vm.create
-    { (Config.testing ~processors ()) with Config.sanitize = Sanitizer.Strict }
+let strict_vm = Testkit.strict_vm
 
 (* An entry-table insert without the entry-table lock: exactly the class
    of bug the deferred-remember discipline exists to prevent. *)
@@ -210,9 +208,7 @@ let test_injected_scheduler_corruption () =
 
 (* --- clean strict runs --- *)
 
-let busy_eval_source =
-  "| s | s := 0. 1 to: 120 do: [:i | s := s + i printString size. \
-   Transcript show: 'x']. s"
+let busy_eval_source = Testkit.busy_eval_source
 
 let test_strict_clean_uniprocessor () =
   let vm = strict_vm ~processors:1 () in

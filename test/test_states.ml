@@ -57,6 +57,30 @@ let test_normalization () =
       Alcotest.(check (float 1e-9)) "baseline normalizes to 1" 1.0 r)
     baseline
 
+(* The same invariant as a property: for any benchmark and any (small)
+   repetition count, a quick harness run preserves the E3 ordering
+   baseline <= MS <= +idle <= +busy.  The simulation is deterministic, so
+   each case either always holds or is a real ordering bug. *)
+let e3_ordering_prop =
+  QCheck.Test.make ~count:5
+    ~name:"E3 ordering holds on quick runs of any benchmark and rep count"
+    QCheck.(pair (int_range 0 2) (int_range 5 10))
+    (fun (bench, reps) ->
+      let key = List.nth [ "definition"; "inspector"; "compile" ] bench in
+      let b =
+        { (List.find (fun b -> b.Macro.key = key) Macro.benchmarks) with
+          Macro.reps = reps }
+      in
+      let seconds state =
+        let vm = Macro.prepare_vm state in
+        (Macro.run_on vm b).Macro.seconds
+      in
+      let base = seconds Macro.Baseline in
+      let ms = seconds Macro.Ms_uni in
+      let idle = seconds Macro.Ms_idle in
+      let busy = seconds Macro.Ms_busy in
+      base <= ms && ms < idle *. 1.03 && idle < busy)
+
 (* --- ablations (direction checks; magnitudes in the bench harness) --- *)
 
 let busy_seconds ~config_tweak bench reps =
@@ -115,7 +139,8 @@ let () =
     [ ("table2",
        [ Alcotest.test_case "ordering" `Slow test_states_ordering;
          Alcotest.test_case "static overhead" `Slow test_static_overhead_modest;
-         Alcotest.test_case "normalization" `Slow test_normalization ]);
+         Alcotest.test_case "normalization" `Slow test_normalization;
+         QCheck_alcotest.to_alcotest e3_ordering_prop ]);
       ("ablations",
        [ Alcotest.test_case "free contexts" `Slow test_ablation_free_contexts;
          Alcotest.test_case "method cache" `Slow test_ablation_method_cache;

@@ -192,6 +192,97 @@ let test_input_order () =
   Alcotest.(check (option int)) "earlier event first" (Some 1) ev1;
   Alcotest.(check (option int)) "later event second" (Some 2) ev2
 
+(* --- the trace ring --- *)
+
+(* For any capacity and event count: [recorded] counts every event ever
+   recorded (monotone through wraparound), and [last] returns exactly the
+   newest [capacity] events, oldest first, even when asked for more. *)
+let prop_trace_ring =
+  QCheck.Test.make ~count:200
+    ~name:"trace ring keeps the newest events through wraparound"
+    QCheck.(pair (int_range 1 16) (int_range 0 100))
+    (fun (capacity, total) ->
+      let t = Trace.create ~capacity () in
+      for i = 0 to total - 1 do
+        Trace.record t ~vp:(i mod 3) ~time:i ~kind:Trace.Mutation ~resource:"r"
+          ~detail:""
+      done;
+      let expect n =
+        List.init (min n total) (fun i -> total - min n total + i)
+      in
+      Trace.recorded t = total
+      && List.map (fun e -> e.Trace.time) (Trace.last t capacity)
+         = expect capacity
+      && List.map (fun e -> e.Trace.time) (Trace.last t (capacity + 50))
+         = expect capacity)
+
+(* --- multi-vp queue ordering --- *)
+
+(* Three producers interleaving sends: the mailbox is a strict FIFO —
+   every message is delivered exactly once, in send order, regardless of
+   which vp sent it. *)
+let test_mailbox_multi_vp_order () =
+  let mb = Mailbox.make "ipc" in
+  (* (vp, send time): insertion order is the expected delivery order *)
+  let sends = [ (0, 10); (1, 10); (2, 11); (0, 12); (2, 12); (1, 15) ] in
+  List.iteri
+    (fun i (vp, time) -> Mailbox.send mb ~now:time (i, vp))
+    sends;
+  check "all sends counted" (List.length sends) (Mailbox.sends mb);
+  List.iteri
+    (fun i (vp, _) ->
+      match Mailbox.receive mb ~now:100 with
+      | Mailbox.Message (j, sender) ->
+          check (Printf.sprintf "message %d in send order" i) i j;
+          check (Printf.sprintf "message %d from the right vp" i) vp sender
+      | _ -> Alcotest.fail "expected a message")
+    sends;
+  check "drained exactly once each" 0 (Mailbox.length mb)
+
+(* Several vps hammering the display queue at the same instant: the lock
+   serializes them, so completion times are strictly increasing and every
+   command lands. *)
+let test_display_multi_vp_contention () =
+  let d = Devices.make_display ~enabled_locks:true ~cost:cm in
+  let finishes =
+    List.map (fun vp -> Devices.display_enqueue ~vp d ~now:0) [ 0; 1; 2; 3 ]
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  check_bool "lock serializes simultaneous enqueues" true
+    (strictly_increasing finishes);
+  check "every command enqueued" 4 (Devices.display_commands d);
+  check "every enqueue took the lock" 4
+    (Spinlock.acquisitions (Devices.display_lock d));
+  check_bool "the later vps contended" true
+    (Spinlock.contended (Devices.display_lock d) > 0)
+
+(* Several vps polling the input queue at the same instant: each event is
+   delivered exactly once, in time order, across the competing pollers. *)
+let test_input_multi_vp_contention () =
+  let q = Devices.make_input_queue ~enabled_locks:true ~cost:cm in
+  List.iter
+    (fun (time, payload) -> Devices.inject q ~time ~payload)
+    [ (30, 3); (10, 1); (20, 2) ];
+  let delivered = ref [] in
+  for round = 0 to 1 do
+    List.iter
+      (fun vp ->
+        ignore round;
+        match Devices.poll ~vp q ~now:100 ~op_cycles:5 with
+        | _, Some p -> delivered := p :: !delivered
+        | _, None -> ())
+      [ 0; 1; 2 ]
+  done;
+  Alcotest.(check (list int)) "each event once, in time order" [ 1; 2; 3 ]
+    (List.rev !delivered);
+  check "deliveries counted" 3 (Devices.input_delivered q);
+  check "nothing left pending" 0 (Devices.input_pending q);
+  check "every poll took the lock" 6
+    (Spinlock.acquisitions (Devices.input_lock q))
+
 (* --- machine --- *)
 
 (* Clock ties must resolve deterministically: the engine steps the vp with
@@ -264,14 +355,21 @@ let () =
        [ QCheck_alcotest.to_alcotest prop_locked_op_model;
          QCheck_alcotest.to_alcotest prop_locked_op_disabled;
          QCheck_alcotest.to_alcotest prop_min_runnable_deterministic ]);
+      ("trace", [ QCheck_alcotest.to_alcotest prop_trace_ring ]);
       ("mailbox",
        [ Alcotest.test_case "timing" `Quick test_mailbox;
-         Alcotest.test_case "fifo" `Quick test_mailbox_fifo_order ]);
+         Alcotest.test_case "fifo" `Quick test_mailbox_fifo_order;
+         Alcotest.test_case "multi-vp order" `Quick
+           test_mailbox_multi_vp_order ]);
       ("devices",
        [ Alcotest.test_case "display drains" `Quick test_display_drains;
          Alcotest.test_case "display backpressure" `Quick test_display_backpressure;
+         Alcotest.test_case "display multi-vp contention" `Quick
+           test_display_multi_vp_contention;
          Alcotest.test_case "input queue" `Quick test_input_queue;
-         Alcotest.test_case "input order" `Quick test_input_order ]);
+         Alcotest.test_case "input order" `Quick test_input_order;
+         Alcotest.test_case "input multi-vp contention" `Quick
+           test_input_multi_vp_contention ]);
       ("machine",
        [ Alcotest.test_case "min runnable" `Quick test_machine_min_runnable;
          Alcotest.test_case "bus factor" `Quick test_machine_bus_factor;
