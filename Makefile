@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke bench clean
 
 all: build
 
@@ -27,11 +27,24 @@ explore-smoke:
 	dune exec bin/mst.exe -- explore --config=ctx-unbracketed --seeds=4 --quick \
 	  --expect-violation --dump /tmp/mst-explore-ctx
 
+# Seeded fault campaigns with the strict sanitizer: every crash must be
+# survived by failover, every degraded collection must verify, the
+# deadlock hunt must detect a crashed lock holder via the watchdog and
+# shrink its fault plan to a file that replays to the identical report.
+fault-smoke:
+	dune exec bin/mst.exe -- faults --campaign=crash --seeds=4 --quick
+	dune exec bin/mst.exe -- faults --campaign=gc --seeds=4 --quick
+	dune exec bin/mst.exe -- faults --deadlock --quick --seeds=12 \
+	  --dump /tmp/mst-deadlock.plan
+	dune exec bin/mst.exe -- faults --replay=/tmp/mst-deadlock.plan \
+	  --expect-deadlock --quick
+
 check:
 	dune build
 	dune runtest
 	$(MAKE) smoke-parallel-scavenge
 	$(MAKE) explore-smoke
+	$(MAKE) fault-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

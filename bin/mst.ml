@@ -4,6 +4,9 @@
      mst eval -p 5 --state busy EXPR      with background competition
      mst run FILE.st                      load classes, then evaluate Main
      mst explore --seeds=50               fuzz the schedule, shrink failures
+     mst faults --campaign=crash          seeded fault campaign over benchmarks
+     mst faults --deadlock --dump=F       hunt + shrink a watchdog deadlock
+     mst faults --replay=F                replay a saved fault plan
      mst disasm CLASS SELECTOR            disassemble a kernel method
      mst decompile CLASS SELECTOR         decompile a kernel method
      mst browse CLASS                     definition, hierarchy, selectors
@@ -61,20 +64,36 @@ let report_sanitizer vm ~trace_dump =
     Trace.dump Format.std_formatter (Sanitizer.trace san) ~n:trace_dump;
   if Sanitizer.violation_count san > 0 then exit 1
 
+(* Structured engine failures: print the processor and clock, dump the
+   trace-ring tail when asked, and fail the invocation.  (The ring only
+   records while the sanitizer is active, so pair `--trace-dump` with
+   `--sanitize=report` or `strict`.) *)
+let catching_faults vm ~trace_dump f =
+  try f () with
+  | Fault.Fatal info ->
+      Printf.eprintf "fatal: %s\n" (Fault.describe_fatal info);
+      report_sanitizer vm ~trace_dump;
+      exit 1
+  | Fault.Deadlock_suspected r ->
+      Printf.eprintf "deadlock: %s\n" (Fault.describe_deadlock r);
+      report_sanitizer vm ~trace_dump;
+      exit 1
+
 (* --- eval --- *)
 
 let eval_cmd =
   let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
   let run processors state sanitize trace_dump expr =
     let vm = make_vm ~sanitize processors state in
-    (try print_endline (Vm.eval_to_string vm expr) with
-     | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
-     | Interp.Does_not_understand msg ->
-         Printf.eprintf "doesNotUnderstand: %s\n" msg
-     | Sanitizer.Violation msg ->
-         Printf.eprintf "sanitizer: %s\n" msg;
-         report_sanitizer vm ~trace_dump;
-         exit 1);
+    catching_faults vm ~trace_dump (fun () ->
+        try print_endline (Vm.eval_to_string vm expr) with
+        | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
+        | Interp.Does_not_understand msg ->
+            Printf.eprintf "doesNotUnderstand: %s\n" msg
+        | Sanitizer.Violation msg ->
+            Printf.eprintf "sanitizer: %s\n" msg;
+            report_sanitizer vm ~trace_dump;
+            exit 1);
     let tr = Vm.transcript vm in
     if tr <> "" then Printf.printf "--- transcript ---\n%s\n" tr;
     report_time vm;
@@ -93,11 +112,12 @@ let run_cmd =
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
      | Some _ ->
-         (try print_endline (Vm.eval_to_string vm "Main new main")
-          with Sanitizer.Violation msg ->
-            Printf.eprintf "sanitizer: %s\n" msg;
-            report_sanitizer vm ~trace_dump;
-            exit 1)
+         catching_faults vm ~trace_dump (fun () ->
+             try print_endline (Vm.eval_to_string vm "Main new main")
+             with Sanitizer.Violation msg ->
+               Printf.eprintf "sanitizer: %s\n" msg;
+               report_sanitizer vm ~trace_dump;
+               exit 1)
      | None -> print_endline "(no Main class; classes loaded)");
     let tr = Vm.transcript vm in
     if tr <> "" then print_string tr;
@@ -245,6 +265,185 @@ let explore_cmd =
       const run $ e_processors $ config_name $ seeds $ first_seed $ quick
       $ replay $ expect_violation $ shrink_budget $ dump_prefix)
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let campaign_conv =
+    Arg.conv
+      ( (fun s ->
+          match Fault.campaign_of_name s with
+          | Some c -> Ok c
+          | None -> Error (`Msg (Printf.sprintf "unknown campaign %S" s))),
+        fun fmt c -> Format.pp_print_string fmt (Fault.campaign_name c) )
+  in
+  let campaign =
+    let doc =
+      "Fault family to sample: $(b,crash), $(b,stall), $(b,lock), \
+       $(b,device), $(b,gc) or $(b,mixed).  Defaults to $(b,mixed) for \
+       campaigns and $(b,lock) for $(b,--deadlock) hunts."
+    in
+    Arg.(value & opt (some campaign_conv) None & info [ "campaign" ] ~doc)
+  in
+  let seeds =
+    let doc = "Number of seeded runs." in
+    Arg.(value & opt int 8 & info [ "seeds" ] ~doc)
+  in
+  let first_seed =
+    let doc = "First seed (seeds run from $(docv) upward)." in
+    Arg.(value & opt int 0 & info [ "first-seed" ] ~docv:"N" ~doc)
+  in
+  let quick =
+    let doc = "Shorter workload (for smoke tests)." in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let watchdog =
+    let doc =
+      "Spin-watchdog bound in Delay quanta (0 disables the watchdog)."
+    in
+    Arg.(value & opt int Fault_study.default_watchdog
+         & info [ "watchdog" ] ~docv:"QUANTA" ~doc)
+  in
+  let backoff =
+    let doc =
+      "Retries before a contended spin starts exponential backoff \
+       (0 disables backoff)."
+    in
+    Arg.(value & opt int Fault_study.default_backoff
+         & info [ "backoff" ] ~docv:"RETRIES" ~doc)
+  in
+  let deadlock =
+    let doc =
+      "Hunt for a watchdog-detected deadlock (a crashed lock holder), \
+       shrink its fault plan to a minimal reproducer and confirm the \
+       replay."
+    in
+    Arg.(value & flag & info [ "deadlock" ] ~doc)
+  in
+  let dump =
+    let doc = "With $(b,--deadlock): save the shrunk fault plan to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  let replay =
+    let doc = "Replay a saved fault plan instead of sampling." in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let expect_deadlock =
+    let doc =
+      "Succeed only when the replayed plan still trips the watchdog."
+    in
+    Arg.(value & flag & info [ "expect-deadlock" ] ~doc)
+  in
+  let shrink_budget =
+    let doc = "Replays allowed for shrinking a deadlock's fault plan." in
+    Arg.(value & opt int 120 & info [ "shrink-budget" ] ~doc)
+  in
+  let setup_for ~quick ~watchdog ~backoff =
+    let quick = if quick then Some true else None in
+    Explorer.fault_setup ?quick ~watchdog_quanta:watchdog
+      ~backoff_quanta:backoff ()
+  in
+  let run_replay ~file ~quick ~watchdog ~backoff ~expect_deadlock =
+    let plan = Fault.load file in
+    Printf.printf "replaying %d fault(s) from %s\n%!" (List.length plan) file;
+    let setup = setup_for ~quick ~watchdog ~backoff in
+    let o = Explorer.run_faults setup (Fault.replay plan) in
+    match o.Explorer.deadlock with
+    | Some r ->
+        Printf.printf "deadlock reproduced: %s\n" (Fault.describe_deadlock r);
+        exit (if expect_deadlock then 0 else 1)
+    | None ->
+        (match o.Explorer.error with
+         | Some e ->
+             Printf.printf "replay failed without a deadlock: %s\n" e;
+             exit 1
+         | None ->
+             Printf.printf "replay completed without a deadlock\n";
+             if expect_deadlock then begin
+               Printf.printf "FAIL: expected the watchdog to trip\n";
+               exit 1
+             end;
+             exit 0)
+  in
+  let run_hunt ~campaign ~seeds ~first_seed ~quick ~watchdog ~backoff
+      ~shrink_budget ~dump =
+    if watchdog <= 0 then begin
+      Printf.eprintf "error: --deadlock needs the watchdog (--watchdog > 0)\n";
+      exit 2
+    end;
+    let campaign = Option.value campaign ~default:Fault.Lock in
+    Printf.printf
+      "hunting a deadlock: campaign %s, %d seed(s) from %d, watchdog %d \
+       quanta\n%!"
+      (Fault.campaign_name campaign) seeds first_seed watchdog;
+    let setup = setup_for ~quick ~watchdog ~backoff in
+    let h =
+      Explorer.hunt_deadlock ~params:(Fault.params_of_campaign campaign)
+        ~shrink_budget ~first_seed setup ~seeds
+        ~log:(fun line -> Printf.printf "%s\n%!" line)
+    in
+    match (h.Explorer.found_seed, h.Explorer.report) with
+    | None, _ | _, None ->
+        Printf.printf "no deadlock in %d seed(s)\n" h.Explorer.hunt_seeds;
+        exit 1
+    | Some seed, Some r ->
+        Printf.printf "seed %d: %s\n" seed (Fault.describe_deadlock r);
+        Printf.printf
+          "shrunk %d fault(s) to %d in %d replay(s); independent replays %s\n"
+          (List.length h.Explorer.original_plan)
+          (List.length h.Explorer.shrunk_plan)
+          h.Explorer.hunt_probes
+          (if h.Explorer.replay_matches then "match" else "DIVERGE");
+        (match dump with
+         | None -> ()
+         | Some file ->
+             Fault.save file h.Explorer.shrunk_plan;
+             (* Prove the file is a faithful reproducer, as explore does
+                for its decision traces. *)
+             let o = Explorer.run_faults setup (Fault.replay (Fault.load file)) in
+             (match o.Explorer.deadlock with
+              | Some r' when r' = r ->
+                  Printf.printf "saved %s (replays to the same report)\n" file
+              | Some r' ->
+                  Printf.printf "saved %s, but the replay differs: %s\n" file
+                    (Fault.describe_deadlock r');
+                  exit 1
+              | None ->
+                  Printf.printf "saved %s, but the replay DOES NOT reproduce\n"
+                    file;
+                  exit 1));
+        exit (if h.Explorer.replay_matches then 0 else 1)
+  in
+  let run_campaign ~campaign ~seeds ~first_seed ~quick ~watchdog ~backoff =
+    let campaign = Option.value campaign ~default:Fault.Mixed in
+    let summary =
+      Fault_study.run_campaign ~campaign ~seeds ~first_seed ~quick
+        ~watchdog_quanta:watchdog ~backoff_quanta:backoff
+        ~log:(fun line -> Printf.printf "%s\n%!" line) ()
+    in
+    Fault_study.print Format.std_formatter summary;
+    if summary.Fault_study.failed > 0 then exit 1
+  in
+  let run campaign seeds first_seed quick watchdog backoff deadlock dump
+      replay expect_deadlock shrink_budget =
+    match replay with
+    | Some file -> run_replay ~file ~quick ~watchdog ~backoff ~expect_deadlock
+    | None ->
+        if deadlock then
+          run_hunt ~campaign ~seeds ~first_seed ~quick ~watchdog ~backoff
+            ~shrink_budget ~dump
+        else
+          run_campaign ~campaign ~seeds ~first_seed ~quick ~watchdog ~backoff
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Seeded fault-injection campaigns (processor crashes, lock-holder \
+          failures, device timeouts, scavenge-worker deaths) over the macro \
+          benchmarks, with watchdog-deadlock hunting and fault-plan replay")
+    Term.(
+      const run $ campaign $ seeds $ first_seed $ quick $ watchdog $ backoff
+      $ deadlock $ dump $ replay $ expect_deadlock $ shrink_budget)
+
 (* --- disasm / decompile / browse --- *)
 
 let find_method vm cls_name sel_name =
@@ -302,6 +501,7 @@ let main_cmd =
   Cmd.group ~default
     (Cmd.info "mst" ~version:"1.0"
        ~doc:"Multiprocessor Smalltalk on a simulated Firefly")
-    [ eval_cmd; run_cmd; explore_cmd; disasm_cmd; decompile_cmd; browse_cmd ]
+    [ eval_cmd; run_cmd; explore_cmd; faults_cmd; disasm_cmd; decompile_cmd;
+      browse_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,198 @@
+(* Fault-injection campaigns over the macro benchmarks (the robustness
+   study).  One row = one seeded run of a reduced macro benchmark in the
+   busy system state — five processors, four busy background Processes —
+   with the strict sanitizer armed, the spin watchdog on and a seeded
+   fault injector installed.  The verdict compares the benchmark's
+   result against a fault-free reference on the identical configuration:
+
+     Survived   correct result; the overhead column is the extra virtual
+                time recovery cost, in permil of the reference run
+     Deadlock   the spin watchdog detected an unrecoverable wait (a
+                crashed lock holder) and raised a structured report
+     Failed     wrong result, a sanitizer violation or a fatal error —
+                a recovery bug, never acceptable
+
+   The reference is computed once per benchmark from an injector-free
+   run: with no faults the simulation is bit-identical to the seed, so
+   survival is measured against exactly the behaviour the benchmark
+   tables report elsewhere. *)
+
+type verdict =
+  | Survived of int  (* recovery overhead, permil of reference cycles *)
+  | Deadlock_detected of Fault.deadlock_report
+  | Failed of string
+
+type row = {
+  seed : int;
+  bench_key : string;
+  plan : Fault.plan;
+  verdict : verdict;
+}
+
+type summary = {
+  campaign : Fault.campaign;
+  watchdog_quanta : int;
+  rows : row list;
+  survived : int;
+  deadlocks : int;
+  failed : int;
+  faults_injected : int;
+  mean_overhead_permil : int;  (* across survived rows *)
+}
+
+let default_watchdog = 64
+let default_backoff = 4
+
+(* The campaign configuration: MS busy with strict checking.  GC and
+   mixed campaigns run the parallel scavenger, or the Gc_barrier
+   injection point would never be queried. *)
+let campaign_config ~campaign ~watchdog_quanta ~backoff_quanta =
+  let c = Macro.config_of_state Macro.Ms_busy in
+  let scavenge_workers =
+    match campaign with
+    | Fault.Gc | Fault.Mixed -> 3
+    | Fault.Crash | Fault.Stall | Fault.Lock | Fault.Device ->
+        c.Config.scavenge_workers
+  in
+  { c with
+    Config.sanitize = Sanitizer.Strict;
+    Config.watchdog_quanta;
+    Config.backoff_quanta;
+    Config.scavenge_workers;
+    (* a crashed processor leaves the survivors running longer, so the
+       faulted run tenures more than the fault-free reference; double
+       old space so that headroom is never the verdict *)
+    Config.old_words = 2 * c.Config.old_words }
+
+let reduced_bench ~quick key =
+  let b = List.find (fun b -> b.Macro.key = key) Macro.benchmarks in
+  { b with Macro.reps = (if quick then 3 else 8) }
+
+(* Accumulate the per-iteration results so the final value checks every
+   repetition, not just that the loop terminated. *)
+let source (b : Macro.benchmark) =
+  Printf.sprintf
+    "| bench t |\n\
+     bench := MacroBenchmarks new.\n\
+     bench setUp.\n\
+     t := 0.\n\
+     %d timesRepeat: [t := t + (%s)].\n\
+     t"
+    b.Macro.reps b.Macro.body
+
+let prepare ~campaign ~watchdog_quanta ~backoff_quanta =
+  let vm =
+    Vm.create (campaign_config ~campaign ~watchdog_quanta ~backoff_quanta)
+  in
+  Vm.load_classes vm Macro.benchmark_classes;
+  ignore (Workloads.spawn_busy vm 4);
+  vm
+
+(* Evaluate and describe immediately (the oop dies at the next run). *)
+let run_one vm src =
+  let before = Vm.cycles vm in
+  let v = Vm.eval vm src in
+  (Vm.describe vm v, Vm.cycles vm - before)
+
+let describe_verdict = function
+  | Survived o -> Printf.sprintf "survived (%+d permil)" o
+  | Deadlock_detected r ->
+      "deadlock detected: " ^ Fault.describe_deadlock r
+  | Failed msg -> "FAILED: " ^ msg
+
+let run_campaign ?(campaign = Fault.Mixed) ?(seeds = 8) ?(first_seed = 0)
+    ?(quick = false) ?(bench_keys = [ "definition"; "inspector" ])
+    ?(watchdog_quanta = default_watchdog)
+    ?(backoff_quanta = default_backoff) ?(log = fun _ -> ()) () =
+  let params = Fault.params_of_campaign campaign in
+  let benches = List.map (reduced_bench ~quick) bench_keys in
+  let refs = Hashtbl.create 4 in
+  let reference (b : Macro.benchmark) =
+    match Hashtbl.find_opt refs b.Macro.key with
+    | Some r -> r
+    | None ->
+        let vm = prepare ~campaign ~watchdog_quanta ~backoff_quanta in
+        let r = run_one vm (source b) in
+        Hashtbl.replace refs b.Macro.key r;
+        r
+  in
+  let rows =
+    List.init seeds (fun i ->
+        let seed = first_seed + i in
+        let b = List.nth benches (i mod List.length benches) in
+        let ref_result, ref_cycles = reference b in
+        let vm = prepare ~campaign ~watchdog_quanta ~backoff_quanta in
+        let inj = Fault.seeded ~params ~seed () in
+        Vm.set_fault_injector vm (Some inj);
+        let verdict =
+          match run_one vm (source b) with
+          | result, cycles ->
+              if result = ref_result then
+                Survived ((cycles - ref_cycles) * 1000 / ref_cycles)
+              else
+                Failed
+                  (Printf.sprintf "result %s, reference %s" result ref_result)
+          | exception Fault.Deadlock_suspected r -> Deadlock_detected r
+          | exception Fault.Fatal info -> Failed (Fault.describe_fatal info)
+          | exception Sanitizer.Violation msg -> Failed msg
+          | exception Vm.Error msg -> Failed ("vm: " ^ msg)
+          | exception Heap.Image_full msg -> Failed ("heap: " ^ msg)
+        in
+        let plan = Fault.injected inj in
+        log
+          (Printf.sprintf "seed %d on %s: %d fault(s), %s" seed b.Macro.key
+             (List.length plan) (describe_verdict verdict));
+        { seed; bench_key = b.Macro.key; plan; verdict })
+  in
+  let survived =
+    List.length (List.filter (fun r -> match r.verdict with Survived _ -> true | _ -> false) rows)
+  in
+  let deadlocks =
+    List.length
+      (List.filter
+         (fun r -> match r.verdict with Deadlock_detected _ -> true | _ -> false)
+         rows)
+  in
+  let failed = List.length rows - survived - deadlocks in
+  let overheads =
+    List.filter_map
+      (fun r -> match r.verdict with Survived o -> Some o | _ -> None)
+      rows
+  in
+  { campaign;
+    watchdog_quanta;
+    rows;
+    survived;
+    deadlocks;
+    failed;
+    faults_injected =
+      List.fold_left (fun n r -> n + List.length r.plan) 0 rows;
+    mean_overhead_permil =
+      (match overheads with
+       | [] -> 0
+       | os -> List.fold_left ( + ) 0 os / List.length os) }
+
+let print fmt s =
+  Format.fprintf fmt
+    "Fault campaign '%s' (watchdog %d quanta): %d run(s), %d fault(s) \
+     injected@."
+    (Fault.campaign_name s.campaign)
+    s.watchdog_quanta (List.length s.rows) s.faults_injected;
+  Format.fprintf fmt "  %-5s %-14s %7s  %s@." "seed" "benchmark" "faults"
+    "verdict";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-5d %-14s %7d  %s@." r.seed r.bench_key
+        (List.length r.plan)
+        (describe_verdict r.verdict))
+    s.rows;
+  let runs = List.length s.rows in
+  Format.fprintf fmt
+    "  survival %d/%d (%.1f%%), deadlocks detected %d, failures %d" s.survived
+    runs
+    (if runs = 0 then 0.0 else 100.0 *. float_of_int s.survived /. float_of_int runs)
+    s.deadlocks s.failed;
+  if s.survived > 0 then
+    Format.fprintf fmt "; mean recovery overhead %+d permil@."
+      s.mean_overhead_permil
+  else Format.fprintf fmt "@."

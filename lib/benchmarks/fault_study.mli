@@ -1,0 +1,58 @@
+(** Fault-injection campaigns over the macro benchmarks.
+
+    Each seeded run drives one reduced macro benchmark in the busy
+    system state (five processors, four busy background Processes) with
+    the strict sanitizer armed, the spin watchdog on and a seeded fault
+    injector installed, then compares the result against a fault-free
+    reference on the identical configuration.  Survival means the
+    benchmark still computed the right answer; the overhead column is
+    what the recovery cost in virtual time. *)
+
+type verdict =
+  | Survived of int
+      (** correct result; recovery overhead in permil of the reference *)
+  | Deadlock_detected of Fault.deadlock_report
+      (** the spin watchdog ended the run with a structured report *)
+  | Failed of string
+      (** wrong result, sanitizer violation or fatal error — a recovery
+          bug, never acceptable *)
+
+type row = {
+  seed : int;
+  bench_key : string;
+  plan : Fault.plan;  (** the faults actually honoured *)
+  verdict : verdict;
+}
+
+type summary = {
+  campaign : Fault.campaign;
+  watchdog_quanta : int;
+  rows : row list;
+  survived : int;
+  deadlocks : int;
+  failed : int;
+  faults_injected : int;
+  mean_overhead_permil : int;  (** across survived rows *)
+}
+
+val default_watchdog : int
+val default_backoff : int
+
+val describe_verdict : verdict -> string
+
+(** Run one campaign: [seeds] seeded runs starting at [first_seed],
+    cycling through [bench_keys] (reduced-repetition benchmarks; [quick]
+    reduces further for smoke tests).  [log] receives one line per row. *)
+val run_campaign :
+  ?campaign:Fault.campaign ->
+  ?seeds:int ->
+  ?first_seed:int ->
+  ?quick:bool ->
+  ?bench_keys:string list ->
+  ?watchdog_quanta:int ->
+  ?backoff_quanta:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  summary
+
+val print : Format.formatter -> summary -> unit

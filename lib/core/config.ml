@@ -43,6 +43,14 @@ type t = {
      free-context list whose take/give skip the lock bracket — the
      guarded-mutation bug the sanitizer must catch *)
   debug_skip_ctx_lock : bool;
+  (* spin watchdog, in Delay quanta: a contended acquire that would wait
+     more than [watchdog_quanta] quanta raises Fault.Deadlock_suspected
+     instead of spinning forever; 0 (the default everywhere) disables it
+     and leaves the lock timeline bit-identical to the seed.
+     [backoff_quanta] is the number of fixed-interval retries before the
+     retry interval starts doubling; 0 keeps the fixed spin. *)
+  watchdog_quanta : int;
+  backoff_quanta : int;
 }
 
 (* 80 KB eden as in the paper (section 3.1), expressed in 8-byte words. *)
@@ -64,6 +72,8 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
   debug_skip_ctx_lock = false;
+  watchdog_quanta = 0;
+  backoff_quanta = 0;
 }
 
 (* Multiprocessor Smalltalk as published: serialization for allocation,
@@ -85,6 +95,8 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
   debug_skip_ctx_lock = false;
+  watchdog_quanta = 0;
+  backoff_quanta = 0;
 }
 
 (* A fast uniform-cost configuration for unit tests. *)

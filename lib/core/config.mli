@@ -49,6 +49,14 @@ type t = {
           free-context take/give skip their lock bracket, so the
           sanitizer sees unguarded mutations.  Never set in a legitimate
           configuration. *)
+  watchdog_quanta : int;
+      (** spin watchdog, in Delay quanta: a contended acquire that would
+          wait longer raises {!Fault.Deadlock_suspected} instead of
+          spinning forever; 0 (the default) disables it and keeps the
+          lock timelines bit-identical to the seed *)
+  backoff_quanta : int;
+      (** fixed-interval retries before the spin interval starts
+          doubling (exponential backoff); 0 keeps the fixed spin *)
 }
 
 val default_eden_words : int

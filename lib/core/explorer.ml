@@ -56,6 +56,15 @@ let broken_ctx_setup ?processors ?quick () =
         Config.free_contexts = Config.Ctx_shared_locked;
         Config.debug_skip_ctx_lock = true })
 
+(* MS with the spin watchdog armed, for fault campaigns.  The default
+   bound (64 Delay quanta = 9600 firefly cycles) sits far above any
+   legitimate contention wait and above the injected transient-stall
+   bounds, so only a lock held by a dead processor trips it. *)
+let fault_setup ?processors ?quick ?(watchdog_quanta = 64)
+    ?(backoff_quanta = 4) () =
+  make_setup ?processors ?quick (fun c ->
+      { c with Config.watchdog_quanta; Config.backoff_quanta })
+
 type observables = {
   result : string;
   transcript : string;
@@ -68,6 +77,8 @@ type outcome = {
   violations : int;
   schedule : Explore.schedule;
   queries : int;
+  deadlock : Fault.deadlock_report option;
+  fault_plan : Fault.plan;
 }
 
 (* Roots that exist at stable identities across runs of one program:
@@ -100,14 +111,17 @@ let schedule_dependent vm =
    [None]) and collect the outcome.  Every run gets a fresh VM: the
    simulation has no other state, so identical inputs give identical
    runs. *)
-let run_driver setup driver =
+let run_driver ?faults setup driver =
   let vm = Vm.create setup.config in
   let san = Vm.sanitizer vm in
   (match driver with
    | Some d -> Machine.set_policy vm.Vm.machine (Some (Explore.policy d))
    | None -> ());
+  (match faults with
+   | Some inj -> Vm.set_fault_injector vm (Some inj)
+   | None -> ());
   ignore (Workloads.spawn_busy vm setup.busy);
-  let finish error obs =
+  let finish ?deadlock error obs =
     (* the run may have died mid-violation; disarm before post-mortem *)
     Sanitizer.set_armed san false;
     { obs;
@@ -115,7 +129,10 @@ let run_driver setup driver =
       violations = Sanitizer.violation_count san;
       schedule =
         (match driver with Some d -> Explore.recorded d | None -> []);
-      queries = (match driver with Some d -> Explore.queries d | None -> 0) }
+      queries = (match driver with Some d -> Explore.queries d | None -> 0);
+      deadlock;
+      fault_plan =
+        (match faults with Some inj -> Fault.injected inj | None -> []) }
   in
   match Vm.eval vm setup.source with
   | result ->
@@ -145,6 +162,11 @@ let run_driver setup driver =
   | exception Sanitizer.Violation msg -> finish (Some msg) None
   | exception Vm.Error msg -> finish (Some ("vm: " ^ msg)) None
   | exception State.Vm_error msg -> finish (Some ("vm: " ^ msg)) None
+  | exception Fault.Deadlock_suspected r ->
+      finish ~deadlock:r
+        (Some ("deadlock suspected: " ^ Fault.describe_deadlock r))
+        None
+  | exception Fault.Fatal info -> finish (Some (Fault.describe_fatal info)) None
 
 let reference setup = run_driver setup None
 
@@ -241,3 +263,79 @@ let explore ?params ?(shrink_budget = 120) ?(first_seed = 0)
     queries = !queries;
     perturbations = !perturbations;
     counterexamples = List.rev !counterexamples }
+
+(* --- fault campaigns --------------------------------------------------- *)
+
+(* Run the default schedule under a fault injector (no scheduling
+   policy installed; fault queries are counted independently, so a
+   policy could be composed on top without renumbering either trace). *)
+let run_faults setup inj = run_driver ~faults:inj setup None
+
+type deadlock_hunt = {
+  hunt_seeds : int;  (* seeds actually run *)
+  found_seed : int option;
+  report : Fault.deadlock_report option;
+  original_plan : Fault.plan;
+  shrunk_plan : Fault.plan;
+  hunt_probes : int;  (* replays spent shrinking *)
+  replay_matches : bool;
+}
+
+(* Hunt for a watchdog-detected deadlock: run lock-campaign seeds until
+   one trips the spin watchdog, delta-debug its honoured fault plan down
+   to a minimal plan that still produces a deadlock on the same lock
+   with the same holder, then replay the minimal plan twice more — the
+   refreshed report and the confirming replay must agree exactly, which
+   is what makes a dumped plan file a faithful reproducer. *)
+let hunt_deadlock ?(params = Fault.params_of_campaign Fault.Lock)
+    ?(shrink_budget = 120) ?(first_seed = 0) ?(log = fun _ -> ()) setup
+    ~seeds =
+  let none ~tried =
+    { hunt_seeds = tried; found_seed = None; report = None;
+      original_plan = []; shrunk_plan = []; hunt_probes = 0;
+      replay_matches = false }
+  in
+  let rec search seed =
+    if seed >= first_seed + seeds then None
+    else begin
+      let o = run_faults setup (Fault.seeded ~params ~seed ()) in
+      match o.deadlock with
+      | Some r -> Some (seed, r, o.fault_plan)
+      | None -> search (seed + 1)
+    end
+  in
+  match search first_seed with
+  | None -> none ~tried:seeds
+  | Some (seed, r0, plan) ->
+      log
+        (Printf.sprintf "seed %d (%d fault(s)): %s" seed (List.length plan)
+           (Fault.describe_deadlock r0));
+      let same_deadlock p =
+        match (run_faults setup (Fault.replay p)).deadlock with
+        | Some r ->
+            r.Fault.lock = r0.Fault.lock && r.Fault.holder = r0.Fault.holder
+        | None -> false
+      in
+      let shrunk, probes =
+        Fault.shrink ~run:same_deadlock ~budget:shrink_budget plan
+      in
+      (* refresh the report from the minimal plan, then confirm that an
+         independent replay reproduces it bit for bit *)
+      let refreshed = (run_faults setup (Fault.replay shrunk)).deadlock in
+      let confirmed = (run_faults setup (Fault.replay shrunk)).deadlock in
+      let matches =
+        match (refreshed, confirmed) with
+        | Some a, Some b -> a = b
+        | _ -> false
+      in
+      log
+        (Printf.sprintf "  shrunk to %d fault(s) in %d replay(s); replay %s"
+           (List.length shrunk) probes
+           (if matches then "reproduces the report exactly" else "DIVERGED"));
+      { hunt_seeds = seed - first_seed + 1;
+        found_seed = Some seed;
+        report = (match refreshed with Some _ -> refreshed | None -> Some r0);
+        original_plan = plan;
+        shrunk_plan = shrunk;
+        hunt_probes = probes;
+        replay_matches = matches }

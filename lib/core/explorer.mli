@@ -32,6 +32,13 @@ val broken_unlocked_setup : ?processors:int -> ?quick:bool -> unit -> setup
     surface a guarded-mutation violation. *)
 val broken_ctx_setup : ?processors:int -> ?quick:bool -> unit -> setup
 
+(** MS with the spin watchdog armed (default 64 Delay quanta, backoff
+    after 4 retries), for fault campaigns: far above any legitimate
+    contention wait, so only a lock held by a dead processor trips it. *)
+val fault_setup :
+  ?processors:int -> ?quick:bool -> ?watchdog_quanta:int ->
+  ?backoff_quanta:int -> unit -> setup
+
 (** What a schedule may not change. *)
 type observables = {
   result : string;
@@ -45,6 +52,9 @@ type outcome = {
   violations : int;
   schedule : Explore.schedule;  (** perturbations applied (empty on replay) *)
   queries : int;  (** preemption-point queries answered *)
+  deadlock : Fault.deadlock_report option;
+      (** the spin watchdog's verdict, when it ended the run *)
+  fault_plan : Fault.plan;  (** faults honoured (empty without an injector) *)
 }
 
 (** Run the unperturbed schedule (no policy installed). *)
@@ -84,3 +94,26 @@ type report = {
 val explore :
   ?params:Explore.params -> ?shrink_budget:int -> ?first_seed:int ->
   ?log:(string -> unit) -> setup -> seeds:int -> report
+
+(** Run the default schedule under a fault injector (no scheduling
+    policy). *)
+val run_faults : setup -> Fault.t -> outcome
+
+type deadlock_hunt = {
+  hunt_seeds : int;  (** seeds actually run *)
+  found_seed : int option;
+  report : Fault.deadlock_report option;
+  original_plan : Fault.plan;
+  shrunk_plan : Fault.plan;
+  hunt_probes : int;  (** replays spent shrinking *)
+  replay_matches : bool;
+      (** two independent replays of [shrunk_plan] reproduce the same
+          deadlock report bit for bit *)
+}
+
+(** Hunt for a watchdog-detected deadlock over lock-campaign seeds (the
+    setup should arm the watchdog — see {!fault_setup}), shrink the
+    first hit's fault plan to a minimal reproducer, and confirm it. *)
+val hunt_deadlock :
+  ?params:Fault.params -> ?shrink_budget:int -> ?first_seed:int ->
+  ?log:(string -> unit) -> setup -> seeds:int -> deadlock_hunt

@@ -57,6 +57,18 @@ type report = {
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;
   violations : string list;
+  (* fault recovery — all zero except under fault campaigns.  The lock
+     table above deliberately excludes these cycles: [spin_cycles] there
+     is genuine contention only, so the E-series numbers stay clean. *)
+  crashes_delivered : int;
+  failovers : int;
+  ctx_abandons : int;
+  degraded_scavenges : int;
+  vp_fault_cycles : int;      (* injected transient-stall time, summed *)
+  lock_fault_spin : int;      (* waiter spin caused by holder faults *)
+  lock_backoff : int;         (* extra delay from exponential backoff *)
+  lock_fault_stall : int;     (* injected holder-stall time *)
+  device_fault_stall : int;   (* injected device-timeout time *)
 }
 
 let lock_row l = {
@@ -122,7 +134,28 @@ let gather (vm : Vm.t) =
     total_cycles = Vm.cycles vm;
     sanitizer_mode = Sanitizer.mode sh.State.sanitizer;
     violation_count = Sanitizer.violation_count sh.State.sanitizer;
-    violations = Sanitizer.violations sh.State.sanitizer }
+    violations = Sanitizer.violations sh.State.sanitizer;
+    crashes_delivered = vm.Vm.crashes_delivered;
+    failovers = Scheduler.failovers sh.State.sched;
+    ctx_abandons =
+      Array.fold_left
+        (fun n st -> n + Free_contexts.abandons st.State.free_ctxs)
+        0 vm.Vm.states;
+    degraded_scavenges = vm.Vm.degraded_scavenges;
+    vp_fault_cycles =
+      (let n = ref 0 in
+       for i = 0 to Machine.processors vm.Vm.machine - 1 do
+         n := !n + (Machine.vp vm.Vm.machine i).Machine.fault_cycles
+       done;
+       !n);
+    lock_fault_spin =
+      List.fold_left (fun n l -> n + Spinlock.fault_spin_cycles l) 0 vm.Vm.locks;
+    lock_backoff =
+      List.fold_left (fun n l -> n + Spinlock.backoff_cycles l) 0 vm.Vm.locks;
+    lock_fault_stall =
+      List.fold_left (fun n l -> n + Spinlock.fault_stall_cycles l) 0
+        vm.Vm.locks;
+    device_fault_stall = Devices.display_fault_stall_cycles sh.State.display }
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
 
@@ -172,6 +205,23 @@ let print fmt r =
           w.copied_objects w.copied_words w.busy_cycles w.idle_cycles
           (pct w.idle_cycles (w.busy_cycles + w.idle_cycles)))
       r.scavenge_workers
+  end;
+  if
+    r.crashes_delivered + r.failovers + r.ctx_abandons + r.degraded_scavenges
+    + r.vp_fault_cycles + r.lock_fault_spin + r.lock_backoff
+    + r.lock_fault_stall + r.device_fault_stall
+    > 0
+  then begin
+    Format.fprintf fmt "@.Fault recovery:@.";
+    Format.fprintf fmt
+      "  %d crash(es) delivered, %d failover(s), %d replicated-state \
+       abandon(s), %d degraded scavenge(s)@."
+      r.crashes_delivered r.failovers r.ctx_abandons r.degraded_scavenges;
+    Format.fprintf fmt
+      "  injected stalls: %d vp, %d lock-holder, %d device cycles; waiter \
+       fault-spin %d, backoff %d cycles@."
+      r.vp_fault_cycles r.lock_fault_stall r.device_fault_stall
+      r.lock_fault_spin r.lock_backoff
   end;
   Format.fprintf fmt "Devices:@.";
   Format.fprintf fmt

@@ -58,6 +58,17 @@ type report = {
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;
   violations : string list;  (** accumulated messages, oldest first *)
+  crashes_delivered : int;
+      (** fault recovery, all zero outside fault campaigns; the lock
+          table's [spin_cycles] stays genuine contention only *)
+  failovers : int;
+  ctx_abandons : int;
+  degraded_scavenges : int;
+  vp_fault_cycles : int;  (** injected transient-stall time, summed *)
+  lock_fault_spin : int;  (** waiter spin caused by holder faults *)
+  lock_backoff : int;  (** extra delay from exponential backoff *)
+  lock_fault_stall : int;  (** injected holder-stall time *)
+  device_fault_stall : int;  (** injected device-timeout time *)
 }
 
 val gather : Vm.t -> report

@@ -29,6 +29,9 @@ type t = {
   par_copied_words : int array;
   par_busy_cycles : int array;
   par_idle_cycles : int array;
+  (* fault-recovery accounting *)
+  mutable crashes_delivered : int;   (* processors halted by injected crashes *)
+  mutable degraded_scavenges : int;  (* collections finished by survivors *)
 }
 
 let sanitizer vm = vm.shared.State.sanitizer
@@ -182,18 +185,37 @@ let create (config : Config.t) =
   (* installing or replacing a method invalidates cached lookups *)
   shared.State.on_method_install <-
     (fun () -> Array.iter (fun st -> Method_cache.flush st.State.mcache) states);
+  (* the spin watchdog: off by default (bound 0 keeps every lock timeline
+     bit-identical to the seed); fault campaigns turn it on so a crashed
+     lock holder is detected instead of spun on forever *)
+  if config.Config.watchdog_quanta > 0 then begin
+    let bound = config.Config.watchdog_quanta * cm.Cost_model.delay_quantum in
+    List.iter
+      (fun l ->
+        Spinlock.set_watchdog l ~bound
+          ~backoff_after:config.Config.backoff_quanta)
+      all_locks
+  end;
   { config; machine; heap; u; shared; states; interps; locks = all_locks;
     gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0;
     par_scavenges = 0; par_rounds = 0; par_coord_cycles = 0;
     par_copied_objects = Array.make processors 0;
     par_copied_words = Array.make processors 0;
     par_busy_cycles = Array.make processors 0;
-    par_idle_cycles = Array.make processors 0 }
+    par_idle_cycles = Array.make processors 0;
+    crashes_delivered = 0; degraded_scavenges = 0 }
+
+(* Install (or clear) the fault injector for this VM's machine: the
+   interpreters, locks, devices and the parallel scavenger all consult
+   it at their injection points. *)
+let set_fault_injector vm inj = Machine.set_injector vm.machine inj
+
+let fault_injector vm = Machine.injector vm.machine
 
 (* --- spawning Smalltalk Processes from OCaml --- *)
 
 let do_scavenge_fwd : (t -> unit) ref =
-  ref (fun _ -> failwith "scavenge hook not yet installed")
+  ref (fun _ -> Fault.fatal ~vp:(-1) ~clock:0 "scavenge hook not yet installed")
 
 (* Allocate in new space; between engine runs every interpreter is at a
    step boundary, so a scavenge may run right here when eden is full. *)
@@ -284,7 +306,8 @@ let do_scavenge vm =
     end
     else begin
       let _stats, pr =
-        Scavenger.scavenge_parallel vm.heap vm.shared.State.cm ~workers
+        Scavenger.scavenge_parallel vm.heap vm.shared.State.cm
+          ?injector:(Machine.injector m) ~workers ()
       in
       vm.par_scavenges <- vm.par_scavenges + 1;
       vm.par_rounds <- vm.par_rounds + pr.Scavenger.rounds;
@@ -302,16 +325,29 @@ let do_scavenge vm =
           vm.par_idle_cycles.(i) <-
             vm.par_idle_cycles.(i) + ws.Scavenger.idle_cycles)
         pr.Scavenger.worker_stats;
+      if pr.Scavenger.degraded then
+        vm.degraded_scavenges <- vm.degraded_scavenges + 1;
       (* the parallel scavenger reorders copies, so machine-check the heap
          after every collection whenever the sanitizer is on: any claim or
-         tiling mistake surfaces as a violation (fatal under Strict) *)
-      if Sanitizer.active san then
-        List.iter
-          (fun p ->
+         tiling mistake surfaces as a violation (fatal under Strict).  A
+         degraded collection (a worker died mid-scavenge) is verified
+         unconditionally — survivors finishing the copy is only a recovery
+         if the heap they leave behind is sound. *)
+      let problems =
+        if pr.Scavenger.degraded || Sanitizer.active san then
+          Verify.check vm.heap
+        else []
+      in
+      List.iter
+        (fun p ->
+          let msg = Format.asprintf "heap check: %a" Verify.pp_problem p in
+          if Sanitizer.active san then
             Sanitizer.report_violation san ~vp:(-1) ~now:t0
-              ~resource:"parallel scavenge"
-              (Format.asprintf "heap check: %a" Verify.pp_problem p))
-          (Verify.check vm.heap);
+              ~resource:"parallel scavenge" msg
+          else
+            Fault.fatal ~vp:(-1) ~clock:t0
+              "degraded scavenge failed verification: %s" msg)
+        problems;
       pr.Scavenger.pause_cycles
     end
   in
@@ -364,6 +400,44 @@ let nothing_runnable vm =
   && Devices.input_pending vm.shared.State.input = 0
   && vm.shared.State.timers = []
 
+(* Deliver an injected processor crash: the victim halts permanently
+   (its per-processor state is gone with it), the Process it was running
+   fails over to the serialized ready queue, and the replicated caches —
+   method cache, free-context list, cached context decode — are
+   abandoned.  The kernel notices the death by IPC timeout, charged as a
+   few Delay quanta of detection latency before recovery begins. *)
+let crash_vp vm id =
+  let m = vm.machine in
+  let vp = Machine.vp m id in
+  let st = vm.states.(id) in
+  let detect = 4 * vm.shared.State.cm.Cost_model.delay_quantum in
+  let now = vp.Machine.clock + detect in
+  Sanitizer.fault_event (sanitizer vm) ~vp:id ~now ~resource:"processor"
+    (Printf.sprintf "vp %d halted; failover after %d-cycle detection" id
+       detect);
+  Machine.set_state m vp Machine.Halted;
+  vm.crashes_delivered <- vm.crashes_delivered + 1;
+  let proc = !(st.State.active_process) in
+  if not (Oop.equal proc Oop.sentinel) then
+    ignore
+      (Scheduler.failover vm.shared.State.sched ~now ~dead:id proc
+         !(st.State.active_ctx));
+  Method_cache.flush st.State.mcache;
+  Free_contexts.abandon st.State.free_ctxs;
+  st.State.active_process := Oop.sentinel;
+  st.State.active_ctx := Oop.sentinel;
+  st.State.cost <- 0;
+  State.invalidate_cache st
+
+(* Drain crashes flagged during the last step (lock-holder crashes flag
+   the holder; scheduling-check crashes flag the stepping vp). *)
+let rec deliver_crashes vm =
+  match Machine.take_crash vm.machine with
+  | None -> ()
+  | Some id ->
+      crash_vp vm id;
+      deliver_crashes vm
+
 type run_outcome =
   | Finished of Oop.t      (* the watched Process returned this value *)
   | Deadlock               (* nothing left to run *)
@@ -410,9 +484,14 @@ let run ?(max_cycles = 100_000_000_000) ?watch vm =
            | exception e ->
                (* a VM-level error killed the running Process; take it off
                   the machine so later evaluations start clean, then let
-                  the error propagate *)
-               if not (Oop.equal !(st.State.active_process) Oop.sentinel)
-               then Primitives.finish_process st ~result:vm.u.Universe.nil;
+                  the error propagate.  The cleanup itself takes the
+                  scheduler lock, so under fault injection it can hit the
+                  same wedged lock that raised [e] — swallow the secondary
+                  failure rather than mask the original report *)
+               (try
+                  if not (Oop.equal !(st.State.active_process) Oop.sentinel)
+                  then Primitives.finish_process st ~result:vm.u.Universe.nil
+                with _ -> ());
                raise e
            | Interp.Ran ->
                if vp.Machine.state <> Machine.Running then
@@ -432,7 +511,13 @@ let run ?(max_cycles = 100_000_000_000) ?watch vm =
                  Machine.charge vm.machine vp
                    (10 * vm.shared.State.cm.Cost_model.delay_quantum)
                end
-           | Interp.Need_gc -> vm.gc_requested <- true)
+           | Interp.Need_gc -> vm.gc_requested <- true);
+          (* crashes flagged during the step are delivered here, at the
+             step boundary: the victim's shared-state work has completed,
+             so what a crash leaves behind is exactly what a dead
+             processor leaves — an unreleased lock, a Process with no
+             executor — not a half-mutated structure *)
+          if Machine.injector vm.machine <> None then deliver_crashes vm
     end
   done;
   Option.get !outcome

@@ -34,6 +34,11 @@ type t = {
   par_copied_words : int array;
   par_busy_cycles : int array;
   par_idle_cycles : int array;
+  mutable crashes_delivered : int;
+      (** processors halted by injected crashes (fault campaigns only) *)
+  mutable degraded_scavenges : int;
+      (** parallel collections a worker crash forced the survivors to
+          finish; each one is heap-verified unconditionally *)
 }
 
 exception Stuck of string
@@ -97,3 +102,24 @@ val seconds : t -> float
 val do_scavenge : t -> unit
 
 val nothing_runnable : t -> bool
+
+(** {2 Fault injection}
+
+    With an injector installed, {!run} becomes a fault campaign: the
+    interpreters may crash or stall at scheduling checks, lock holders
+    may stall or die inside critical sections, the display controller
+    may time out, and parallel scavenge workers may die at round
+    barriers.  Recovery — failover of the dead processor's Process,
+    abandonment of its replicated state, degraded-mode collection — is
+    exercised by the same run.  Without an injector every injection
+    site is a no-op and the simulation is bit-identical to the seed. *)
+
+(** Install (or clear) the fault injector on this VM's machine. *)
+val set_fault_injector : t -> Fault.t option -> unit
+
+val fault_injector : t -> Fault.t option
+
+(** Deliver an injected crash to a processor: halt it permanently, fail
+    its Process over to the ready queue and abandon its replicated
+    state.  Exposed for tests; {!run} delivers flagged crashes itself. *)
+val crash_vp : t -> int -> unit

@@ -32,6 +32,7 @@ type t = {
   mutable reuses : int;
   mutable fresh : int;
   mutable returns : int;     (* contexts handed back *)
+  mutable abandons : int;    (* flushes forced by processor failure *)
 }
 
 let empty_lists () = { small = Oop.sentinel; large = Oop.sentinel }
@@ -40,7 +41,7 @@ let create_replicated ?(owner = -1) ?entry_lock ?(remember_cost = 0)
     ?sanitizer () =
   { mode = Replicated; lists = empty_lists (); owner; entry_lock;
     remember_cost; skip_bracket = false; sanitizer;
-    reuses = 0; fresh = 0; returns = 0 }
+    reuses = 0; fresh = 0; returns = 0; abandons = 0 }
 
 (* [skip_bracket] injects the bug the lock exists to prevent: take/give
    mutate the shared list without entering the critical section, so the
@@ -49,12 +50,12 @@ let create_replicated ?(owner = -1) ?entry_lock ?(remember_cost = 0)
 let create_shared ?entry_lock ?(remember_cost = 0) ?sanitizer
     ?(skip_bracket = false) ~lock ~lists () =
   { mode = Shared_locked lock; lists; owner = -1; entry_lock; remember_cost;
-    skip_bracket; sanitizer; reuses = 0; fresh = 0; returns = 0 }
+    skip_bracket; sanitizer; reuses = 0; fresh = 0; returns = 0; abandons = 0 }
 
 let create_disabled () =
   { mode = Disabled; lists = empty_lists (); owner = -1; entry_lock = None;
     remember_cost = 0; skip_bracket = false; sanitizer = None;
-    reuses = 0; fresh = 0; returns = 0 }
+    reuses = 0; fresh = 0; returns = 0; abandons = 0 }
 
 let flush t =
   t.lists.small <- Oop.sentinel;
@@ -169,5 +170,14 @@ let give ?(vp = -1) t heap ~now size ctx =
             now
       else now
 
+(* Abandon the list wholesale: the owning processor crashed, so its
+   recycled contexts are unreachable garbage (replicated lists) or
+   possibly mid-mutation (shared list with a dead holder) — either way
+   the next scavenge reclaims them by not copying. *)
+let abandon t =
+  t.abandons <- t.abandons + 1;
+  flush t
+
 let reuses t = t.reuses
 let fresh_allocations t = t.fresh
+let abandons t = t.abandons

@@ -47,6 +47,14 @@ val take : ?vp:int -> t -> Heap.t -> now:int -> size_class -> int * Oop.t
 (** [give t heap ~now size ctx] hands a dead context back for reuse. *)
 val give : ?vp:int -> t -> Heap.t -> now:int -> size_class -> Oop.t -> int
 
+(** Abandon the list wholesale after a processor failure: the dead vp's
+    recycled contexts are unreachable garbage the next scavenge reclaims
+    by not copying them.  Counted separately from scavenge flushes. *)
+val abandon : t -> unit
+
 val reuses : t -> int
 
 val fresh_allocations : t -> int
+
+(** Number of failure-forced {!abandon} flushes. *)
+val abandons : t -> int

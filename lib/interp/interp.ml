@@ -288,8 +288,42 @@ let do_event_poll st =
    else to do); the engine calls this between ready-queue polls. *)
 let idle_poll t = do_event_poll t.st
 
+(* The processor-fault injection point.  Each scheduling check asks the
+   injector whether this vp crashes (flagged here, delivered by the
+   engine at the end of the step, so the step's shared-state work
+   completes first) or stalls (a transient wedge: the clock jumps by [n]
+   directly — not through [st.cost], which would inflate the bus
+   multiplier for what is idle time).  The last live processor is never
+   crashed: with nobody left to fail over to, the "system" is gone and
+   there is no recovery story to exercise. *)
+let check_faults st =
+  let m = st.sh.machine in
+  match Machine.injector m with
+  | None -> ()
+  | Some inj -> (
+      match Fault.at inj Fault.Sched_check with
+      | Some Fault.Vp_crash
+        when Machine.active_count m > 1 && not (Machine.crash_pending m st.id)
+        ->
+          Fault.applied inj ~vp:st.id ~now:(now st) ~resource:"processor"
+            Fault.Vp_crash;
+          Sanitizer.fault_event st.sh.sanitizer ~vp:st.id ~now:(now st)
+            ~resource:"processor" "crash flagged at scheduling check";
+          Machine.flag_crash m st.id
+      | Some (Fault.Vp_stall n) ->
+          Fault.applied inj ~vp:st.id ~now:(now st) ~resource:"processor"
+            (Fault.Vp_stall n);
+          Sanitizer.fault_event st.sh.sanitizer ~vp:st.id ~now:(now st)
+            ~resource:"processor"
+            (Printf.sprintf "transient stall %d cycles" n);
+          let vp = Machine.vp m st.id in
+          vp.Machine.clock <- vp.Machine.clock + n;
+          vp.Machine.fault_cycles <- vp.Machine.fault_cycles + n
+      | Some _ | None -> ())
+
 (* Periodic duty: look at the scheduler for preemption or state changes. *)
 let do_sched_check st =
+  check_faults st;
   let cm = st.sh.cm in
   let sched = st.sh.sched in
   let finish =

@@ -38,6 +38,7 @@ type t = {
   mutable wakes : int;
   mutable picks : int;
   mutable preemptions : int;
+  mutable failovers : int;  (* processes recovered from crashed processors *)
 }
 
 let create ~u ~lock ~entry_lock ~op_cycles ~remember_cost
@@ -48,7 +49,7 @@ let create ~u ~lock ~entry_lock ~op_cycles ~remember_cost
     preempt = Array.make processors false;
     sanitizer = None;
     pending_remembers = [];
-    wakes = 0; picks = 0; preemptions = 0 }
+    wakes = 0; picks = 0; preemptions = 0; failovers = 0 }
 
 let set_sanitizer t san = t.sanitizer <- Some san
 
@@ -363,6 +364,34 @@ let relinquish t ~now ~vp ~requeue proc =
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
   now
+
+(* Recover the Process that was running on a crashed processor.  The
+   engine (not any vp) takes the scheduler lock, stores the Process's
+   current context back into [suspended_context] — coherent even
+   mid-method, because pc and sp write through to the heap at every
+   step — detaches it from the dead processor and returns it to the
+   ready queue, where any surviving processor can pick it up.  If the
+   dead processor crashed while *holding* the scheduler lock, this
+   acquire is exactly what the spin watchdog catches. *)
+let failover t ~now ~dead proc ctx =
+  let now, () =
+    Spinlock.critical ~vp:(-1) t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+        t.failovers <- t.failovers + 1;
+        store t ~vp:(-1) proc Layout.Process.suspended_context ctx;
+        set_running_on_u t ~vp:(-1) proc None;
+        t.running.(dead) <- Oop.sentinel;
+        if not (is_in_ready_queue t proc) then
+          append_unlocked t ~vp:(-1) (ready_list t (priority_of t proc)) proc;
+        (* as [wake] does: without this, a recovered Process of higher
+           priority would sit in the queue forever while the survivors
+           run background work that never yields *)
+        request_preemption t ~priority:(priority_of t proc))
+  in
+  let now = flush_remembers t ~now ~vp:(-1) in
+  check_invariants t ~now ~vp:(-1);
+  now
+
+let failovers t = t.failovers
 
 (* Move the current Process to the back of its priority list. *)
 let yield t ~now ~vp proc =

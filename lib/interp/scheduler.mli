@@ -34,6 +34,8 @@ type t = {
   mutable wakes : int;
   mutable picks : int;
   mutable preemptions : int;
+  mutable failovers : int;
+      (** processes recovered from crashed processors *)
 }
 
 val create :
@@ -95,6 +97,19 @@ val relinquish : t -> now:int -> vp:int -> requeue:bool -> Oop.t -> int
 
 (** Move the current Process to the back of its priority list. *)
 val yield : t -> now:int -> vp:int -> Oop.t -> int
+
+(** [failover t ~now ~dead proc ctx] recovers the Process that was
+    running on crashed processor [dead]: the engine takes the scheduler
+    lock, stores [ctx] back into the Process's [suspended_context] slot
+    (coherent even mid-method — pc and sp write through to the heap at
+    every step), detaches it from the dead processor and returns it to
+    the serialized ready queue for any survivor to pick up.  If the dead
+    processor crashed {e holding} the scheduler lock, this acquire is
+    what the spin watchdog catches.  Returns the completion time. *)
+val failover : t -> now:int -> dead:int -> Oop.t -> Oop.t -> int
+
+(** Number of {!failover} recoveries performed. *)
+val failovers : t -> int
 
 (** Flag one specific processor for rescheduling regardless of
     priorities — the schedule explorer's forced-preemption decision. *)

@@ -235,6 +235,8 @@ type parallel_result = {
   barrier_cycles : int;
   coordination_cycles : int;   (* claims + chunks + steals + barriers *)
   worker_stats : worker_stat array;
+  degraded : bool;             (* a worker died; survivors finished *)
+  failed_workers : int list;   (* in order of death *)
 }
 
 (* Coordination costs, derived from the cost model: claiming an object is
@@ -385,7 +387,7 @@ let rec split_at n l =
         let taken, left = split_at (n - 1) rest in
         (x :: taken, left)
 
-let scavenge_parallel h (cm : Cost_model.t) ~workers =
+let scavenge_parallel h (cm : Cost_model.t) ?injector ~workers () =
   let workers = max 1 workers in
   List.iter (fun hook -> hook ()) h.on_scavenge;
   let san = h.sanitizer in
@@ -401,6 +403,63 @@ let scavenge_parallel h (cm : Cost_model.t) ~workers =
    | Some s -> Sanitizer.scavenge_begin s ~workers
    | None -> ());
   let ws = Array.init workers make_wstate in
+  (* Worker-failure bookkeeping.  A worker can only die at a round
+     barrier (that is where failure is detected anyway: a dead worker is
+     one that never arrives), and only while at least one other worker
+     survives.  Its allocation buffers are sealed — the heap stays tiled,
+     no matter where the worker was — and its grey backlog is handed to
+     the lowest-id survivor, so the collection degrades toward the serial
+     algorithm instead of losing reachable objects. *)
+  let dead = Array.make workers false in
+  let failed = ref [] in
+  let recovery_barrier_cycles = ref 0 in
+  let live_ids () =
+    let ids = ref [] in
+    for i = workers - 1 downto 0 do
+      if not dead.(i) then ids := i :: !ids
+    done;
+    !ids
+  in
+  let maybe_kill_worker ~round =
+    match injector with
+    | None -> ()
+    | Some inj -> (
+        match Fault.at inj Fault.Gc_barrier with
+        | Some (Fault.Worker_crash k as f) ->
+            let live = live_ids () in
+            let n = List.length live in
+            if n > 1 then begin
+              let victim = List.nth live (k mod n) in
+              Fault.applied inj ~vp:victim ~now:(-1)
+                ~resource:"parallel scavenge" f;
+              (match san with
+               | Some s ->
+                   Sanitizer.fault_event s ~vp:victim ~now:(-1)
+                     ~resource:"parallel scavenge"
+                     (Printf.sprintf
+                        "worker %d died at the round-%d barrier; %d survive"
+                        victim round (n - 1))
+               | None -> ());
+              dead.(victim) <- true;
+              failed := victim :: !failed;
+              let v = ws.(victim) in
+              seal h v.to_buf;
+              seal h v.old_buf;
+              let heir =
+                List.hd (List.filter (fun i -> not dead.(i)) live)
+              in
+              ws.(heir).grey <- ws.(heir).grey @ v.grey;
+              v.grey <- [];
+              (* adopting the orphaned backlog is queue surgery, like a
+                 steal; the survivors also pay one extra barrier noticing
+                 the missing arrival before declaring it dead *)
+              ws.(heir).st.coord_cycles <-
+                ws.(heir).st.coord_cycles + steal_cost cm;
+              recovery_barrier_cycles :=
+                !recovery_barrier_cycles + barrier_cost cm ~workers
+            end
+        | Some _ | None -> ())
+  in
   (* Round 0: deterministic sharding.  Root item [i] and entry-table
      entry [i] both go to worker [i mod workers]; each worker processes
      its whole shard (so the claim interleaving is fixed by worker id). *)
@@ -461,16 +520,20 @@ let scavenge_parallel h (cm : Cost_model.t) ~workers =
   while !live do
     incr rounds;
     barrier_cycles := !barrier_cycles + barrier_cost cm ~workers;
+    maybe_kill_worker ~round:!rounds;
     Array.iter
       (fun thief ->
-        if thief.grey = [] then begin
+        if (not dead.(thief.st.worker)) && thief.grey = [] then begin
           let victim = ref None in
           Array.iter
             (fun v ->
-              let n = List.length v.grey in
-              match !victim with
-              | Some (_, best) when best >= n -> ()
-              | _ -> if n >= 2 then victim := Some (v, n))
+              if dead.(v.st.worker) then ()
+              else begin
+                let n = List.length v.grey in
+                match !victim with
+                | Some (_, best) when best >= n -> ()
+                | _ -> if n >= 2 then victim := Some (v, n)
+              end)
             ws;
           match !victim with
           | Some (v, n) ->
@@ -484,7 +547,8 @@ let scavenge_parallel h (cm : Cost_model.t) ~workers =
       ws;
     Array.iter
       (fun w ->
-        let batch = List.rev w.grey in
+        (* a dead worker's backlog was funnelled to a survivor on death *)
+        let batch = if dead.(w.st.worker) then [] else List.rev w.grey in
         w.grey <- [];
         List.iter
           (fun a ->
@@ -498,7 +562,8 @@ let scavenge_parallel h (cm : Cost_model.t) ~workers =
               ignore (update_fields_par h san cm stats ~in_from to_region w a))
           batch)
       ws;
-    live := Array.exists (fun w -> w.grey <> []) ws
+    live :=
+      Array.exists (fun w -> (not dead.(w.st.worker)) && w.grey <> []) ws
   done;
   (* Seal every worker's open buffer so to-space and old space tile. *)
   Array.iter
@@ -523,13 +588,16 @@ let scavenge_parallel h (cm : Cost_model.t) ~workers =
     ws;
   let max_busy = Array.fold_left (fun m w -> max m w.st.busy_cycles) 0 ws in
   Array.iter (fun w -> w.st.idle_cycles <- max_busy - w.st.busy_cycles) ws;
+  let barrier_cycles = !barrier_cycles + !recovery_barrier_cycles in
   let coordination_cycles =
-    Array.fold_left (fun n w -> n + w.st.coord_cycles) !barrier_cycles ws
+    Array.fold_left (fun n w -> n + w.st.coord_cycles) barrier_cycles ws
   in
   ( stats,
     { workers;
       rounds = !rounds;
-      pause_cycles = cm.Cost_model.scavenge_base + max_busy + !barrier_cycles;
-      barrier_cycles = !barrier_cycles;
+      pause_cycles = cm.Cost_model.scavenge_base + max_busy + barrier_cycles;
+      barrier_cycles;
       coordination_cycles;
-      worker_stats = Array.map (fun w -> w.st) ws } )
+      worker_stats = Array.map (fun w -> w.st) ws;
+      degraded = !failed <> [];
+      failed_workers = List.rev !failed } )

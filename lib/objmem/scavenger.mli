@@ -62,6 +62,10 @@ type parallel_result = {
   coordination_cycles : int;
       (** claims + chunk claims + steals across all workers + barriers *)
   worker_stats : worker_stat array;
+  degraded : bool;
+      (** an injected worker crash forced the survivors to finish the
+          collection (degraded mode); the caller must run {!Verify.check} *)
+  failed_workers : int list;  (** ids of crashed workers, in death order *)
 }
 
 (** Run one scavenge simulated across [workers] virtual workers: roots and
@@ -75,6 +79,17 @@ type parallel_result = {
     state as {!scavenge} (same reachable objects, possibly different
     placement); speedup, imbalance and coordination overhead emerge from
     the per-worker timelines rather than a closed-form divide.
+
+    With [injector], each round barrier is a {!Fault.Gc_barrier} injection
+    point: a [Worker_crash] kills one surviving worker (never the last),
+    whose allocation buffers are sealed and whose grey backlog is funnelled
+    to a survivor; the collection then completes in degraded mode and the
+    result is flagged [degraded] so the caller can verify the heap.
     @raise Heap.Image_full when promotion exhausts old space. *)
 val scavenge_parallel :
-  Heap.t -> Cost_model.t -> workers:int -> Heap.scavenge_stats * parallel_result
+  Heap.t ->
+  Cost_model.t ->
+  ?injector:Fault.t ->
+  workers:int ->
+  unit ->
+  Heap.scavenge_stats * parallel_result

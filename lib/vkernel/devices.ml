@@ -17,6 +17,7 @@ type display = {
   mutable free_at : int;      (* when the controller finishes its backlog *)
   mutable commands : int;     (* total commands ever enqueued *)
   mutable producer_wait : int;(* cycles producers spent waiting for space *)
+  mutable fault_stall_cycles : int; (* injected controller wedge time *)
 }
 
 let make_display ~enabled_locks ~cost =
@@ -25,12 +26,39 @@ let make_display ~enabled_locks ~cost =
     capacity = cost.Cost_model.display_capacity;
     free_at = 0;
     commands = 0;
-    producer_wait = 0 }
+    producer_wait = 0;
+    fault_stall_cycles = 0 }
+
+(* The device-fault injection point: the controller wedges for [n] cycles
+   (a DMA timeout), pushing its whole backlog out by [n].  Producers feel
+   it as longer space waits; the injected cycles are accounted here, not
+   in [producer_wait], so device campaigns do not pollute the contention
+   numbers.  The input queue is deliberately not a timeout target: polls
+   are non-blocking, so a wedged poll has no backlog to model. *)
+let inject_device_fault d ~vp ~now =
+  if vp >= 0 then
+    match Spinlock.injector d.lock with
+    | None -> ()
+    | Some inj -> (
+        match Fault.at inj Fault.Device_op with
+        | Some (Fault.Device_timeout n) ->
+            Fault.applied inj ~vp ~now ~resource:"display output queue"
+              (Fault.Device_timeout n);
+            (match Spinlock.sanitizer d.lock with
+             | Some san ->
+                 Sanitizer.fault_event san ~vp ~now
+                   ~resource:"display output queue"
+                   (Printf.sprintf "device timeout %d" n)
+             | None -> ());
+            d.free_at <- max d.free_at now + n;
+            d.fault_stall_cycles <- d.fault_stall_cycles + n
+        | Some _ | None -> ())
 
 (* Enqueue one draw command at [now]; returns the completion time for the
    enqueueing processor (it does not wait for the paint, only for queue
    space and the queue lock). *)
 let display_enqueue ?(vp = -1) d ~now =
+  inject_device_fault d ~vp ~now;
   (* Backlog length at [now], inferred from when the controller will drain. *)
   let backlog =
     if d.free_at <= now then 0
@@ -59,6 +87,7 @@ let display_enqueue ?(vp = -1) d ~now =
 
 let display_commands d = d.commands
 let display_producer_wait d = d.producer_wait
+let display_fault_stall_cycles d = d.fault_stall_cycles
 let display_lock d = d.lock
 
 (* The shared input event queue.  Events are injected by a script (tests,

@@ -21,6 +21,10 @@ val display_commands : display -> int
 (** Total cycles producers spent waiting for queue space. *)
 val display_producer_wait : display -> int
 
+(** Injected controller wedge cycles (device-timeout faults), accounted
+    separately from {!display_producer_wait}. *)
+val display_fault_stall_cycles : display -> int
+
 val display_lock : display -> Spinlock.t
 
 (** {2 The input event queue} *)

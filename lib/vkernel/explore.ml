@@ -31,28 +31,18 @@ let default_params =
   { tie_permil = 300; jitter_permil = 100; preempt_permil = 40;
     jitter_bound = 64 }
 
-(* --- a self-contained splitmix64-style PRNG ---
+(* --- the PRNG ---
 
-   Stdlib.Random's stream is not guaranteed stable across compiler
-   releases, and seeded runs must reproduce forever; this is the classic
-   splitmix64 finalizer on a Weyl sequence, on OCaml's 63-bit ints. *)
+   The splitmix64-style generator lives in {!Fault.Rng} so fault
+   injection and schedule exploration sample from the same stable
+   stream implementation; these aliases keep this module's historical
+   names. *)
 
-type rng = { mutable state : int }
+type rng = Fault.Rng.t
 
-let rng_make seed = { state = seed * 0x9E3779B9 + 0x1F123BB5 }
-
-(* The 64-bit splitmix constants, truncated to OCaml's boxed-free int
-   width; mixing quality is ample for sampling perturbations. *)
-let rng_next r =
-  r.state <- r.state + 0x1E3779B97F4A7C15;
-  let z = r.state in
-  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
-  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
-  (z lxor (z lsr 31)) land max_int
-
-let rng_below r n = if n <= 1 then 0 else rng_next r mod n
-
-let chance r permil = rng_below r 1000 < permil
+let rng_make = Fault.Rng.make
+let rng_below = Fault.Rng.below
+let chance = Fault.Rng.chance
 
 (* --- drivers --- *)
 
@@ -64,6 +54,7 @@ type driver = {
   mode : mode;
   trace : Trace.t option;
   mutable queries : int;
+  mutable last_index : int;  (* pre-increment index of the last query *)
   mutable rev_recorded : step list;
 }
 
@@ -71,6 +62,7 @@ let seeded ?(params = default_params) ?trace ~seed () =
   { mode = Seeded (rng_make seed, params);
     trace;
     queries = 0;
+    last_index = -1;
     rev_recorded = [] }
 
 let replay ?trace sched =
@@ -78,7 +70,8 @@ let replay ?trace sched =
     Array.of_list
       (List.sort (fun a b -> compare a.index b.index) sched)
   in
-  { mode = Replay (steps, ref 0); trace; queries = 0; rev_recorded = [] }
+  { mode = Replay (steps, ref 0); trace; queries = 0; last_index = -1;
+    rev_recorded = [] }
 
 let recorded d = List.rev d.rev_recorded
 let queries d = d.queries
@@ -88,8 +81,13 @@ let describe = function
   | Lock_jitter j -> Printf.sprintf "jitter %d" j
   | Force_preempt -> "force preempt"
 
+(* Record an applied decision at the index of the query that produced
+   it.  [last_index] is the *pre-increment* query number stashed by
+   {!decide} — recording the post-increment count here would shift every
+   decision one query late on replay, where {!decide} matches the
+   pre-increment number. *)
 let applied d ~vp ~now ~resource decision =
-  let index = d.queries in
+  let index = d.last_index in
   d.rev_recorded <- { index; decision } :: d.rev_recorded;
   match d.trace with
   | None -> ()
@@ -106,6 +104,7 @@ let applied d ~vp ~now ~resource decision =
 let decide d ~accept ~gen =
   let q = d.queries in
   d.queries <- q + 1;
+  d.last_index <- q;
   match d.mode with
   | Seeded (rng, params) -> gen rng params
   | Replay (steps, cursor) ->

@@ -1,0 +1,451 @@
+(* Seeded fault injection: processor crashes, stalls, lock-holder
+   failures, device timeouts and scavenge-worker deaths, sampled at the
+   same instrumentation points the schedule explorer already drives.
+
+   The design deliberately mirrors {!Explore}.  A run answers a stream of
+   injection queries — one per instrumentation point reached — and a
+   seeded injector samples a fault at a few of them.  The faults actually
+   applied are recorded as a sparse *fault plan* [(query index, fault)],
+   which can be replayed bit for bit and shrunk with the same delta
+   debugging the decision traces use.  Because fault queries are counted
+   separately from scheduling-policy queries, a fault plan composes with
+   an {!Explore} schedule: the two drivers perturb the same run without
+   renumbering each other's indices.
+
+   A recorded plan only contains faults that were *honoured*: an applier
+   may decline a sampled fault (the last live processor refuses to crash,
+   a scavenge with one live worker refuses to lose it), and declined
+   samples never enter the plan, so a replay re-applies exactly the
+   faults the seeded run committed. *)
+
+(* --- the shared PRNG ---
+
+   The same splitmix64-style generator {!Explore} uses (it now aliases
+   this one): Stdlib.Random's stream is not guaranteed stable across
+   compiler releases, and seeded runs must reproduce forever. *)
+module Rng = struct
+  type t = { mutable state : int }
+
+  let make seed = { state = (seed * 0x9E3779B9) + 0x1F123BB5 }
+
+  (* The 64-bit splitmix constants, truncated to OCaml's boxed-free int
+     width; mixing quality is ample for sampling perturbations. *)
+  let next r =
+    r.state <- r.state + 0x1E3779B97F4A7C15;
+    let z = r.state in
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+    (z lxor (z lsr 31)) land max_int
+
+  let below r n = if n <= 1 then 0 else next r mod n
+  let chance r permil = below r 1000 < permil
+end
+
+(* A release time far enough in the future that no simulated clock ever
+   reaches it: the timeline encoding of "held by a dead processor". *)
+let never = max_int / 4
+
+type fault =
+  | Vp_crash                  (* processor fails at its next sched check *)
+  | Vp_stall of int           (* processor loses N cycles (e.g. ECC stutter) *)
+  | Holder_stall of int       (* lock holder keeps the lock N extra cycles *)
+  | Holder_crash              (* lock holder dies inside the section *)
+  | Device_timeout of int     (* device wedges for N cycles *)
+  | Worker_crash of int       (* scavenge worker K dies at a barrier *)
+
+type step = { index : int; fault : fault }
+
+type plan = step list
+
+(* Which instrumentation point is asking.  Each fault kind belongs to one
+   point; a replayed fault of the wrong kind for its query is dropped
+   rather than derailing the run, exactly like {!Explore.decide}. *)
+type point = Sched_check | Lock_acquire | Device_op | Gc_barrier
+
+let matches_point point fault =
+  match (point, fault) with
+  | Sched_check, (Vp_crash | Vp_stall _) -> true
+  | Lock_acquire, (Holder_stall _ | Holder_crash) -> true
+  | Device_op, Device_timeout _ -> true
+  | Gc_barrier, Worker_crash _ -> true
+  | (Sched_check | Lock_acquire | Device_op | Gc_barrier), _ -> false
+
+type params = {
+  crash_permil : int;
+  stall_permil : int;
+  stall_bound : int;
+  holder_stall_permil : int;
+  holder_stall_bound : int;
+  holder_crash_permil : int;
+  device_permil : int;
+  device_bound : int;
+  worker_crash_permil : int;
+  max_faults : int;  (* cap on honoured faults per run *)
+}
+
+let no_faults =
+  { crash_permil = 0; stall_permil = 0; stall_bound = 0;
+    holder_stall_permil = 0; holder_stall_bound = 0;
+    holder_crash_permil = 0; device_permil = 0; device_bound = 0;
+    worker_crash_permil = 0; max_faults = 0 }
+
+(* Campaigns: which family of faults a study run samples.  Per-point
+   rates are chosen against very different query frequencies — sched
+   checks fire thousands of times per benchmark, GC barriers a handful —
+   so the permil values are not comparable across kinds. *)
+type campaign = Crash | Stall | Lock | Device | Gc | Mixed
+
+let campaign_name = function
+  | Crash -> "crash"
+  | Stall -> "stall"
+  | Lock -> "lock"
+  | Device -> "device"
+  | Gc -> "gc"
+  | Mixed -> "mixed"
+
+let campaign_of_name = function
+  | "crash" -> Some Crash
+  | "stall" -> Some Stall
+  | "lock" -> Some Lock
+  | "device" -> Some Device
+  | "gc" -> Some Gc
+  | "mixed" -> Some Mixed
+  | _ -> None
+
+let params_of_campaign = function
+  | Crash -> { no_faults with crash_permil = 3; max_faults = 1 }
+  | Stall ->
+      { no_faults with stall_permil = 40; stall_bound = 5000; max_faults = 6 }
+  | Lock ->
+      { no_faults with
+        holder_stall_permil = 25; holder_stall_bound = 4000;
+        holder_crash_permil = 6; max_faults = 4 }
+  | Device ->
+      { no_faults with device_permil = 60; device_bound = 6000; max_faults = 8 }
+  | Gc -> { no_faults with worker_crash_permil = 400; max_faults = 4 }
+  | Mixed ->
+      { crash_permil = 1; stall_permil = 20; stall_bound = 3000;
+        holder_stall_permil = 8; holder_stall_bound = 3000;
+        holder_crash_permil = 2; device_permil = 15; device_bound = 4000;
+        worker_crash_permil = 150; max_faults = 8 }
+
+let default_params = params_of_campaign Mixed
+
+(* --- injectors --- *)
+
+type mode =
+  | Seeded of Rng.t * params
+  | Replay of step array * int ref  (* cursor into the sorted steps *)
+
+type t = {
+  mode : mode;
+  trace : Trace.t option;
+  mutable queries : int;
+  mutable last_index : int;     (* pre-increment index of the last query *)
+  mutable injected_count : int;
+  mutable rev_injected : step list;
+  (* per-kind counts of honoured faults, for campaign reports *)
+  mutable crashes : int;
+  mutable stalls : int;
+  mutable holder_stalls : int;
+  mutable holder_crashes : int;
+  mutable device_timeouts : int;
+  mutable worker_crashes : int;
+}
+
+let injector mode trace =
+  { mode; trace; queries = 0; last_index = -1; injected_count = 0;
+    rev_injected = []; crashes = 0; stalls = 0; holder_stalls = 0;
+    holder_crashes = 0; device_timeouts = 0; worker_crashes = 0 }
+
+let seeded ?(params = default_params) ?trace ~seed () =
+  injector (Seeded (Rng.make seed, params)) trace
+
+let replay ?trace plan =
+  let steps =
+    Array.of_list (List.sort (fun a b -> compare a.index b.index) plan)
+  in
+  injector (Replay (steps, ref 0)) trace
+
+let injected t = List.rev t.rev_injected
+let injected_count t = t.injected_count
+let queries t = t.queries
+let crashes t = t.crashes
+let stalls t = t.stalls
+let holder_stalls t = t.holder_stalls
+let holder_crashes t = t.holder_crashes
+let device_timeouts t = t.device_timeouts
+let worker_crashes t = t.worker_crashes
+
+let describe = function
+  | Vp_crash -> "vp crash"
+  | Vp_stall n -> Printf.sprintf "vp stall %d" n
+  | Holder_stall n -> Printf.sprintf "holder stall %d" n
+  | Holder_crash -> "holder crash"
+  | Device_timeout n -> Printf.sprintf "device timeout %d" n
+  | Worker_crash k -> Printf.sprintf "worker %d crash" k
+
+(* Sample a fault for one query of [point] from the seed. *)
+let gen_at point rng p =
+  match point with
+  | Sched_check ->
+      if Rng.chance rng p.crash_permil then Some Vp_crash
+      else if Rng.chance rng p.stall_permil then
+        Some (Vp_stall (1 + Rng.below rng (max 1 p.stall_bound)))
+      else None
+  | Lock_acquire ->
+      if Rng.chance rng p.holder_crash_permil then Some Holder_crash
+      else if Rng.chance rng p.holder_stall_permil then
+        Some (Holder_stall (1 + Rng.below rng (max 1 p.holder_stall_bound)))
+      else None
+  | Device_op ->
+      if Rng.chance rng p.device_permil then
+        Some (Device_timeout (1 + Rng.below rng (max 1 p.device_bound)))
+      else None
+  | Gc_barrier ->
+      if Rng.chance rng p.worker_crash_permil then
+        (* worker index resolved modulo the live workers by the applier *)
+        Some (Worker_crash (Rng.below rng 64))
+      else None
+
+(* Answer one injection query.  Returns a *candidate* fault: the caller
+   applies it only if its local guards allow (and then must call
+   {!applied} so the plan records it). *)
+let at t point =
+  let q = t.queries in
+  t.queries <- q + 1;
+  t.last_index <- q;
+  match t.mode with
+  | Seeded (rng, p) ->
+      if t.injected_count >= p.max_faults then None else gen_at point rng p
+  | Replay (steps, cursor) ->
+      let n = Array.length steps in
+      while !cursor < n && steps.(!cursor).index < q do incr cursor done;
+      if !cursor < n && steps.(!cursor).index = q then begin
+        let s = steps.(!cursor) in
+        incr cursor;
+        if matches_point point s.fault then Some s.fault else None
+      end
+      else None
+
+(* Record a fault the caller actually honoured, at the query index of the
+   query that produced it. *)
+let applied t ~vp ~now ~resource fault =
+  t.rev_injected <- { index = t.last_index; fault } :: t.rev_injected;
+  t.injected_count <- t.injected_count + 1;
+  (match fault with
+   | Vp_crash -> t.crashes <- t.crashes + 1
+   | Vp_stall _ -> t.stalls <- t.stalls + 1
+   | Holder_stall _ -> t.holder_stalls <- t.holder_stalls + 1
+   | Holder_crash -> t.holder_crashes <- t.holder_crashes + 1
+   | Device_timeout _ -> t.device_timeouts <- t.device_timeouts + 1
+   | Worker_crash _ -> t.worker_crashes <- t.worker_crashes + 1);
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+      Trace.record tr ~vp ~time:now ~kind:Trace.Fault_event ~resource
+        ~detail:(Printf.sprintf "#%d %s" t.last_index (describe fault))
+
+(* --- structured failure reports --- *)
+
+(* The spin watchdog's verdict: who has been holding the lock, who gave
+   up waiting, and when.  [waited] is the wait that tripped the bound, so
+   a replayed report is comparable field for field. *)
+type deadlock_report = {
+  lock : string;
+  holder : int;       (* vp id, or -1 for an engine-side section *)
+  waiter : int;
+  clock : int;        (* the waiter's clock when it gave up *)
+  held_since : int;
+  waited : int;
+}
+
+exception Deadlock_suspected of deadlock_report
+
+let describe_deadlock r =
+  (* a wait against [never] means the holder died with the lock *)
+  let waited =
+    if r.waited >= never / 2 then "forever"
+    else Printf.sprintf "%d cycles" r.waited
+  in
+  Printf.sprintf
+    "deadlock suspected on lock '%s': vp %d waited %s at clock %d \
+     (holder vp %d, held since %d)"
+    r.lock r.waiter waited r.clock r.holder r.held_since
+
+let pp_deadlock fmt r =
+  Format.pp_print_string fmt (describe_deadlock r)
+
+(* A structured fatal error: what went wrong and where the simulation
+   was.  Replaces bare [failwith]/[assert false] exits in the engine so a
+   dying run can name the processor and clock, and the CLI can dump the
+   trace-ring tail. *)
+type fatal_info = { what : string; fatal_vp : int; fatal_clock : int }
+
+exception Fatal of fatal_info
+
+let fatal ~vp ~clock fmt =
+  Printf.ksprintf
+    (fun what -> raise (Fatal { what; fatal_vp = vp; fatal_clock = clock }))
+    fmt
+
+let describe_fatal i =
+  Printf.sprintf "fatal: %s (vp %d, clock %d)" i.what i.fatal_vp i.fatal_clock
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock_suspected r -> Some (describe_deadlock r)
+    | Fatal i -> Some (describe_fatal i)
+    | _ -> None)
+
+(* --- plan utilities --- *)
+
+let fingerprint plan =
+  List.fold_left
+    (fun h { index; fault } ->
+      let d =
+        match fault with
+        | Vp_crash -> 1
+        | Vp_stall n -> (n lsl 3) lor 2
+        | Holder_stall n -> (n lsl 3) lor 3
+        | Holder_crash -> 4
+        | Device_timeout n -> (n lsl 3) lor 5
+        | Worker_crash k -> (k lsl 3) lor 6
+      in
+      let h = (h * 0x01000193) lxor index in
+      ((h * 0x01000193) lxor d) land max_int)
+    0x811C9DC5 plan
+
+(* Delta-debug a failing plan to a minimal one, exactly as
+   {!Explore.shrink} does for decision traces: drop chunks, halving the
+   chunk size, then halve the surviving durations.  [run] replays a
+   candidate plan and reports whether it still fails. *)
+let shrink ~run ?(budget = 200) plan =
+  let spent = ref 0 in
+  let try_run s =
+    if !spent >= budget then false
+    else begin
+      incr spent;
+      run s
+    end
+  in
+  let drop_chunks current =
+    let current = ref current in
+    let chunk = ref (max 1 (List.length !current / 2)) in
+    let progress = ref true in
+    while !chunk >= 1 && !spent < budget do
+      progress := false;
+      let arr = Array.of_list !current in
+      let n = Array.length arr in
+      let pos = ref 0 in
+      while !pos < n && !spent < budget do
+        let keep = ref [] in
+        Array.iteri
+          (fun i s -> if i < !pos || i >= !pos + !chunk then keep := s :: !keep)
+          arr;
+        let candidate = List.rev !keep in
+        if List.length candidate < n && try_run candidate then begin
+          current := candidate;
+          progress := true;
+          pos := n
+        end
+        else pos := !pos + !chunk
+      done;
+      if !progress then chunk := max 1 (min !chunk (List.length !current))
+      else if !chunk = 1 then chunk := 0
+      else chunk := !chunk / 2
+    done;
+    !current
+  in
+  let shrink_values current =
+    let smaller = function
+      | Vp_stall n when n > 1 -> Some (Vp_stall (n / 2))
+      | Holder_stall n when n > 1 -> Some (Holder_stall (n / 2))
+      | Device_timeout n when n > 1 -> Some (Device_timeout (n / 2))
+      | _ -> None
+    in
+    let current = ref current in
+    let again = ref true in
+    while !again && !spent < budget do
+      again := false;
+      List.iteri
+        (fun i s ->
+          match smaller s.fault with
+          | None -> ()
+          | Some f ->
+              let candidate =
+                List.mapi
+                  (fun j s' -> if j = i then { s' with fault = f } else s')
+                  !current
+              in
+              if try_run candidate then begin
+                current := candidate;
+                again := true
+              end)
+        !current
+    done;
+    !current
+  in
+  let result = shrink_values (drop_chunks plan) in
+  (result, !spent)
+
+(* --- fault-plan files --- *)
+
+let pp fmt plan =
+  List.iter
+    (fun { index; fault } ->
+      match fault with
+      | Vp_crash -> Format.fprintf fmt "crash %d@." index
+      | Vp_stall n -> Format.fprintf fmt "stall %d %d@." index n
+      | Holder_stall n -> Format.fprintf fmt "holdstall %d %d@." index n
+      | Holder_crash -> Format.fprintf fmt "holdcrash %d@." index
+      | Device_timeout n -> Format.fprintf fmt "timeout %d %d@." index n
+      | Worker_crash k -> Format.fprintf fmt "workercrash %d %d@." index k)
+    plan
+
+let save path plan =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "# mst fault plan v1\n";
+      output_string oc
+        (Printf.sprintf "# %d fault(s); index = injection-point number\n"
+           (List.length plan));
+      let fmt = Format.formatter_of_out_channel oc in
+      pp fmt plan;
+      Format.pp_print_flush fmt ())
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let steps = ref [] in
+      let lineno = ref 0 in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           incr lineno;
+           if line <> "" && line.[0] <> '#' then begin
+             let bad () =
+               failwith
+                 (Printf.sprintf "%s:%d: malformed fault %S" path !lineno line)
+             in
+             let nat s = match int_of_string_opt s with
+               | Some n when n >= 0 -> n
+               | _ -> bad ()
+             in
+             let add index fault = steps := { index; fault } :: !steps in
+             match String.split_on_char ' ' line with
+             | [ "crash"; i ] -> add (nat i) Vp_crash
+             | [ "stall"; i; n ] -> add (nat i) (Vp_stall (nat n))
+             | [ "holdstall"; i; n ] -> add (nat i) (Holder_stall (nat n))
+             | [ "holdcrash"; i ] -> add (nat i) Holder_crash
+             | [ "timeout"; i; n ] -> add (nat i) (Device_timeout (nat n))
+             | [ "workercrash"; i; k ] -> add (nat i) (Worker_crash (nat k))
+             | _ -> bad ()
+           end
+         done
+       with End_of_file -> ());
+      List.sort (fun a b -> compare a.index b.index) !steps)

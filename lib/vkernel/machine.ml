@@ -23,6 +23,7 @@ type vp = {
   mutable steps : int;            (* bytecodes executed, for reports *)
   mutable spin_cycles : int;      (* cycles lost waiting for locks *)
   mutable gc_wait_cycles : int;   (* cycles lost parked for scavenges *)
+  mutable fault_cycles : int;     (* cycles lost to injected faults *)
 }
 
 (* A scheduling policy perturbs the engine's decisions at its three
@@ -51,6 +52,8 @@ type t = {
   mutable bus_factor_num : int;   (* fixed-point bus multiplier, /1024 *)
   mutable policy : scheduling_policy option;
   forced_preempts : bool array;   (* per-vp: policy asked for a reschedule *)
+  mutable injector : Fault.t option;
+  pending_crashes : bool array;   (* per-vp: an injected crash to deliver *)
 }
 
 let active_count m =
@@ -71,15 +74,18 @@ let refresh_bus m =
   m.bus_factor_num <- 1024 + int_of_float (beta *. float_of_int extra *. 1024.)
 
 let make ~processors cost =
-  if processors < 1 then invalid_arg "Machine.make: need at least 1 processor";
+  if processors < 1 then
+    Fault.fatal ~vp:(-1) ~clock:0 "Machine.make: need at least 1 processor";
   let vps =
     Array.init processors (fun id ->
         { id; clock = 0; state = Running; steps = 0;
-          spin_cycles = 0; gc_wait_cycles = 0 })
+          spin_cycles = 0; gc_wait_cycles = 0; fault_cycles = 0 })
   in
   let m =
     { vps; cost; bus_factor_num = 1024; policy = None;
-      forced_preempts = Array.make processors false }
+      forced_preempts = Array.make processors false;
+      injector = None;
+      pending_crashes = Array.make processors false }
   in
   refresh_bus m;
   m
@@ -103,7 +109,42 @@ let take_forced_preempt m id =
   end
   else false
 
+(* Install (or clear) the fault injector.  Orthogonal to the scheduling
+   policy: a run may perturb schedules, inject faults, or both. *)
+let set_injector m inj = m.injector <- inj
+let injector m = m.injector
+
+(* An injected crash is flagged here and delivered by the engine at the
+   end of the victim's current step, mirroring [flag_preempt]: the
+   injection sites (scheduler checks, lock sections) cannot unwind the
+   interpreter themselves. *)
+let flag_crash m id =
+  if id >= 0 && id < Array.length m.pending_crashes then
+    m.pending_crashes.(id) <- true
+
+let crash_pending m id =
+  id >= 0 && id < Array.length m.pending_crashes && m.pending_crashes.(id)
+
+(* Consume the lowest-id pending crash, if any. *)
+let take_crash m =
+  let n = Array.length m.pending_crashes in
+  let rec scan i =
+    if i >= n then None
+    else if m.pending_crashes.(i) then begin
+      m.pending_crashes.(i) <- false;
+      Some i
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
 let set_state m vp state =
+  (* A halted processor is dead for good: resurrecting it would let a
+     crashed vp's replicated state (method cache, free contexts) leak
+     back into the run after failover abandoned it. *)
+  if vp.state = Halted && state <> Halted then
+    Fault.fatal ~vp:vp.id ~clock:vp.clock
+      "Machine.set_state: vp %d is halted and cannot be resumed" vp.id;
   vp.state <- state;
   refresh_bus m
 

@@ -20,6 +20,7 @@ type vp = {
   mutable steps : int;  (** bytecodes executed *)
   mutable spin_cycles : int;  (** cycles lost waiting for locks *)
   mutable gc_wait_cycles : int;  (** cycles lost to scavenge pauses *)
+  mutable fault_cycles : int;  (** cycles lost to injected faults *)
 }
 
 (** A scheduling policy perturbs the engine's decisions at its preemption
@@ -58,6 +59,21 @@ val flag_preempt : t -> int -> unit
 (** Consume a pending forced preemption, returning whether one was set. *)
 val take_forced_preempt : t -> int -> bool
 
+(** Install (or clear) the fault injector; orthogonal to the scheduling
+    policy.  [None] — the default — makes every injection site a no-op. *)
+val set_injector : t -> Fault.t option -> unit
+
+val injector : t -> Fault.t option
+
+(** Flag an injected crash for a processor; the engine delivers it at
+    the end of the victim's current step with {!take_crash}. *)
+val flag_crash : t -> int -> unit
+
+val crash_pending : t -> int -> bool
+
+(** Consume the lowest-id pending crash, if any. *)
+val take_crash : t -> int option
+
 val processors : t -> int
 
 val vp : t -> int -> vp
@@ -68,7 +84,10 @@ val active_count : t -> int
 (** Processors actually executing bytecodes; idle ones stay off the bus. *)
 val running_count : t -> int
 
-(** Change a processor's state, refreshing the bus multiplier. *)
+(** Change a processor's state, refreshing the bus multiplier.  A halted
+    processor cannot be resumed: raises {!Fault.Fatal} on a transition
+    out of [Halted] (failover abandons the dead vp's replicated state,
+    so resurrecting it would be unsound). *)
 val set_state : t -> vp -> vp_state -> unit
 
 (** Charge CPU-local cycles. *)

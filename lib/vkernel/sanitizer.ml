@@ -161,6 +161,15 @@ let check_owner t ~resource ~owner ~vp ~now =
       Trace.record t.trace ~vp ~time:now ~kind:Trace.Owner_touch ~resource
         ~detail:(Printf.sprintf "owner=%d" owner)
 
+(* Record an injected fault or a recovery action in the trace ring.
+   Faults are simulation events, not invariant violations — they are
+   recorded whenever the sanitizer is on at all, so a post-mortem dump
+   shows the fault that preceded the failure it caused. *)
+let fault_event t ~vp ~now ~resource detail =
+  if active t then
+    Trace.record t.trace ~vp ~time:now ~kind:Trace.Fault_event ~resource
+      ~detail
+
 (* --- the parallel-scavenge phase --- *)
 
 let scav_resource = "parallel scavenge"

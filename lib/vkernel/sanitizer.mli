@@ -83,6 +83,12 @@ val check_guarded :
 val check_owner :
   t -> resource:string -> owner:int -> vp:int -> now:int -> unit
 
+(** Record an injected fault or a recovery action in the trace ring.
+    Faults are simulation events, not violations: recorded whenever the
+    sanitizer is active, armed or not, so a post-mortem dump shows the
+    fault that preceded the failure it caused. *)
+val fault_event : t -> vp:int -> now:int -> resource:string -> string -> unit
+
 (** {2 The parallel-scavenge phase}
 
     The engine disarms the lock checker around the stop-the-world

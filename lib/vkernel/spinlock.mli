@@ -44,6 +44,22 @@ val attach_machine : t -> Machine.t -> unit
     exclusion as overlapping timelines. *)
 val set_report_unlocked : t -> bool -> unit
 
+(** Configure the spin watchdog.  A contended acquire that would wait
+    more than [bound] cycles raises {!Fault.Deadlock_suspected} naming
+    the holder vp, the lock and the clock, instead of spinning forever;
+    [bound = 0] (the default) disables it.  [backoff_after] is the
+    number of fixed-quantum retries before the retry interval starts
+    doubling (exponential backoff); 0 keeps the fixed-interval spin.
+    Backoff never rewinds the timeline: it can only delay the winning
+    probe, and the extra delay is accounted as {!backoff_cycles}. *)
+val set_watchdog : t -> bound:int -> backoff_after:int -> unit
+
+(** The vp of the most recent acquirer ([-1] before any acquire). *)
+val holder : t -> int
+
+(** The attached machine's fault injector, if any. *)
+val injector : t -> Fault.t option
+
 (** [locked_op t ~now ~op_cycles] performs a critical section of
     [op_cycles] starting no earlier than [now] and returns its completion
     time.  Calls must be made in nondecreasing [now] order.  [vp] is the
@@ -70,8 +86,21 @@ val acquisitions : t -> int
 (** Number of acquisitions that found the lock held. *)
 val contended : t -> int
 
-(** Total cycles spent spinning (in Delay-quantum steps). *)
+(** Total cycles spent spinning against genuine contention (in
+    Delay-quantum steps).  Spin caused by injected holder faults or by
+    backoff coarsening is accounted separately below, so fault campaigns
+    do not pollute the contention numbers the E-series experiments
+    report. *)
 val spin_cycles : t -> int
+
+(** Waiter spin attributable to an injected holder stall or crash. *)
+val fault_spin_cycles : t -> int
+
+(** Extra waiter delay from exponential backoff's coarsened probes. *)
+val backoff_cycles : t -> int
+
+(** Injected holder-stall cycles charged on this lock. *)
+val fault_stall_cycles : t -> int
 
 (** Reset the counters.  Does not touch the lock's timeline. *)
 val reset_stats : t -> unit

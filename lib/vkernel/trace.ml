@@ -12,6 +12,7 @@ type kind =
   | Owner_touch
   | Violation
   | Sched_decision
+  | Fault_event
 
 type event = {
   vp : int;
@@ -68,6 +69,7 @@ let kind_name = function
   | Owner_touch -> "touch"
   | Violation -> "VIOLATION"
   | Sched_decision -> "decide"
+  | Fault_event -> "FAULT"
 
 let pp_event fmt e =
   let vp = if e.vp < 0 then "--" else string_of_int e.vp in

@@ -17,6 +17,7 @@ type kind =
   | Owner_touch  (** a replicated resource was touched by a vp *)
   | Violation  (** a sanitizer invariant failed *)
   | Sched_decision  (** the schedule explorer perturbed a decision *)
+  | Fault_event  (** an injected fault or a recovery action *)
 
 type event = {
   vp : int;  (** virtual processor id, or -1 for the engine *)

@@ -252,6 +252,25 @@ let test_broken_ctx_found () =
   expect_counterexample "ctx-unbracketed"
     (Explorer.broken_ctx_setup ~quick:true ())
 
+(* --- fault plumbing --- *)
+
+(* The fault setup arms the watchdog, but an injector that never fires
+   must leave the run matching the fault-free reference: both the empty
+   plan and a canonical plan (shared with test_faults) whose index lies
+   past every query the run makes. *)
+let test_fault_setup_no_faults_is_reference () =
+  let setup = Explorer.fault_setup ~quick:true () in
+  let r = Explorer.reference setup in
+  List.iter
+    (fun plan ->
+      let o = Explorer.run_faults setup (Fault.replay plan) in
+      Alcotest.(check (option string)) "a fault-free run passes the oracle"
+        None
+        (Explorer.check ~reference:r o);
+      check_bool "no deadlock was suspected" true (o.Explorer.deadlock = None);
+      check_bool "no faults were honoured" true (o.Explorer.fault_plan = []))
+    [ []; Testkit.crash_plan 1_000_000 ]
+
 let () =
   let qtests =
     List.map QCheck_alcotest.to_alcotest [ save_load_roundtrip_prop ]
@@ -280,4 +299,6 @@ let () =
          Alcotest.test_case "unlocked config caught" `Quick
            test_broken_unlocked_found;
          Alcotest.test_case "unbracketed ctx caught" `Quick
-           test_broken_ctx_found ]) ]
+           test_broken_ctx_found;
+         Alcotest.test_case "fault setup without faults is the reference"
+           `Quick test_fault_setup_no_faults_is_reference ]) ]

@@ -36,11 +36,11 @@ let parallel_survival_prop =
       let root = ref objs.(n - 1) in
       Heap.add_root h root;
       let before = fingerprint h nil !root in
-      ignore (Scavenger.scavenge_parallel h cm ~workers);
+      ignore (Scavenger.scavenge_parallel h cm ~workers ());
       let mid = fingerprint h nil !root in
       (* a second collection crosses the survivor flip, so past-space
          fillers and copied objects are both exercised as from-space *)
-      ignore (Scavenger.scavenge_parallel h cm ~workers);
+      ignore (Scavenger.scavenge_parallel h cm ~workers ());
       let after = fingerprint h nil !root in
       before = mid && mid = after && Verify.check h = [])
 
@@ -56,7 +56,7 @@ let parallel_matches_serial_prop =
         let objs = build_graph h cls rng ~n ~processors in
         let root = ref objs.(n - 1) in
         Heap.add_root h root;
-        if parallel then ignore (Scavenger.scavenge_parallel h cm ~workers:3)
+        if parallel then ignore (Scavenger.scavenge_parallel h cm ~workers:3 ())
         else ignore (Scavenger.scavenge h);
         (fingerprint h nil !root, Verify.check h = [])
       in
@@ -73,7 +73,7 @@ let build_and_collect seed workers =
   let objs = build_graph h cls rng ~n:50 ~processors in
   let root = ref objs.(49) in
   Heap.add_root h root;
-  let stats, pr = Scavenger.scavenge_parallel h cm ~workers in
+  let stats, pr = Scavenger.scavenge_parallel h cm ~workers () in
   (h, stats, pr)
 
 let test_determinism () =
@@ -164,7 +164,7 @@ let test_zero_copy_scavenge () =
   for vp = 0 to 3 do
     ignore (Heap.alloc_new h ~vp ~slots:4 ~raw:false ~cls ())
   done;
-  let stats, pr = Scavenger.scavenge_parallel h cm ~workers:3 in
+  let stats, pr = Scavenger.scavenge_parallel h cm ~workers:3 () in
   check "nothing copied" 0
     (stats.Heap.survivor_words + stats.Heap.tenured_words);
   check "no grey rounds" 0 pr.Scavenger.rounds;

@@ -223,6 +223,29 @@ let test_strict_clean_multiprocessor () =
   check "no violations under MS with busy competition" 0
     (Sanitizer.violation_count (Vm.sanitizer vm))
 
+(* --- fault events in the trace --- *)
+
+(* Injected faults and recovery actions are trace events, not
+   violations: an injected holder stall must land a Fault_event in the
+   ring while the violation count stays zero.  (The stall plan is the
+   canonical fixture shared with test_faults.) *)
+let test_fault_events_traced_not_violations () =
+  let san = Sanitizer.create Sanitizer.Report in
+  Sanitizer.set_armed san true;
+  let m = Machine.make ~processors:2 cm in
+  Machine.set_injector m
+    (Some (Fault.replay (Testkit.holder_stall_plan 0 120)));
+  let l = Spinlock.make ~enabled:true ~cost:cm "l" in
+  Spinlock.attach l san;
+  Spinlock.attach_machine l m;
+  ignore (Spinlock.locked_op ~vp:0 l ~now:0 ~op_cycles:50);
+  check "the stall is an event, not a violation" 0
+    (Sanitizer.violation_count san);
+  check_bool "a Fault_event names the stalled lock" true
+    (List.exists
+       (fun e -> e.Trace.kind = Trace.Fault_event && e.Trace.resource = "l")
+       (Trace.last (Sanitizer.trace san) 16))
+
 (* --- satellite fixes --- *)
 
 let test_free_contexts_disabled_counts_fresh () =
@@ -279,6 +302,9 @@ let () =
            test_strict_clean_uniprocessor;
          Alcotest.test_case "multiprocessor busy" `Quick
            test_strict_clean_multiprocessor ]);
+      ("fault_trace",
+       [ Alcotest.test_case "faults are events, not violations" `Quick
+           test_fault_events_traced_not_violations ]);
       ("satellites",
        [ Alcotest.test_case "disabled free list counts fresh" `Quick
            test_free_contexts_disabled_counts_fresh;

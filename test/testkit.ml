@@ -108,3 +108,63 @@ let strict_vm ?processors () = Vm.create (strict_config ?processors ())
 let busy_eval_source =
   "| s | s := 0. 1 to: 120 do: [:i | s := s + i printString size. \
    Transcript show: 'x']. s"
+
+(* --- fault schedules --- *)
+
+(* Canonical single-fault plans shared by the explore, sanitizer and
+   fault suites.  The index is the injection-point query number: small
+   indices fire early in any busy run, and an index past the run's query
+   count injects nothing at all (a legal, empty-effect plan). *)
+let crash_plan index = [ { Fault.index; fault = Fault.Vp_crash } ]
+let holder_crash_plan index = [ { Fault.index; fault = Fault.Holder_crash } ]
+
+let holder_stall_plan index cycles =
+  [ { Fault.index; fault = Fault.Holder_stall cycles } ]
+
+(* Generator of well-formed plans — strictly ascending indices, every
+   fault kind — for the round-trip and shrinking properties. *)
+let fault_plan_arb =
+  let open QCheck in
+  let fault =
+    Gen.oneof
+      [ Gen.return Fault.Vp_crash;
+        Gen.map (fun n -> Fault.Vp_stall n) (Gen.int_range 1 5000);
+        Gen.map (fun n -> Fault.Holder_stall n) (Gen.int_range 1 5000);
+        Gen.return Fault.Holder_crash;
+        Gen.map (fun n -> Fault.Device_timeout n) (Gen.int_range 1 5000);
+        Gen.map (fun k -> Fault.Worker_crash k) (Gen.int_range 0 7) ]
+  in
+  let gen =
+    Gen.map
+      (fun gaps ->
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (ix, acc) (gap, fault) ->
+                  let ix = ix + gap in
+                  (ix, { Fault.index = ix; fault } :: acc))
+                (0, []) gaps)))
+      (Gen.list_size (Gen.int_range 0 10) (Gen.pair (Gen.int_range 1 50) fault))
+  in
+  make ~print:(Format.asprintf "%a" Fault.pp) gen
+
+(* --- fault VMs --- *)
+
+(* Strict VM with the spin watchdog armed, for the fault suites.  The
+   testing configurations use the uniform cost model (Delay quantum 4),
+   so the default bound of 2000 quanta = 8000 cycles sits above every
+   injected stall bound: only a lock held by a dead processor trips it. *)
+let fault_config ?(processors = 4) ?(watchdog_quanta = 2000)
+    ?(backoff_quanta = 4) () =
+  { (strict_config ~processors ()) with
+    Config.watchdog_quanta;
+    Config.backoff_quanta }
+
+(* [fault_vm injector] is a strict watchdog VM with [injector] installed
+   (pass [None] for a fault-free control on the identical config). *)
+let fault_vm ?processors ?watchdog_quanta ?backoff_quanta injector =
+  let vm =
+    Vm.create (fault_config ?processors ?watchdog_quanta ?backoff_quanta ())
+  in
+  Vm.set_fault_injector vm injector;
+  vm
