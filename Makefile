@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke bench clean
 
 all: build
 
@@ -39,12 +39,25 @@ fault-smoke:
 	dune exec bin/mst.exe -- faults --replay=/tmp/mst-deadlock.plan \
 	  --expect-deadlock --quick
 
+# E16 work stealing: a strict-sanitized stealing run on a busy workload,
+# a 50-seed differential exploration against the locked scheduler's
+# observables, and the deliberately unguarded steal protocol that the
+# sanitizer must catch on every seed.
+steal-smoke:
+	dune exec bin/mst.exe -- eval -p 4 --state busy --scheduler=stealing \
+	  --sanitize=strict \
+	  "| s | s := 0. 1 to: 200 do: [:i | s := s + i]. s"
+	dune exec bin/mst.exe -- explore --config=stealing --seeds=50 --quick
+	dune exec bin/mst.exe -- explore --config=steal-unlocked --seeds=4 --quick \
+	  --expect-violation --dump /tmp/mst-explore-steal
+
 check:
 	dune build
 	dune runtest
 	$(MAKE) smoke-parallel-scavenge
 	$(MAKE) explore-smoke
 	$(MAKE) fault-smoke
+	$(MAKE) steal-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

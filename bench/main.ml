@@ -98,6 +98,40 @@ let run_ablation_sched ~quick () =
   let reps = if quick then 4 else 12 in
   Ablations.print_result fmt (Ablations.scheduler_reorganization ~reps ())
 
+(* --- E16: work stealing --- *)
+
+let steal_json_file = "BENCH_e16_steal.json"
+
+let write_steal_json ~workers rows =
+  let oc = open_out steal_json_file in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"e16_work_stealing\",\n  \"workers\": %d,\n\
+     \  \"rows\": [\n"
+    workers;
+  List.iteri
+    (fun i (r : Ablations.steal_row) ->
+      Printf.fprintf oc
+        "    {\"vps\": %d, \"locked_seconds\": %.6f, \"locked_sched_spin\": \
+         %d, \"stealing_seconds\": %.6f, \"deque_spin\": %d, \"steals\": %d, \
+         \"migrations\": %d, \"speedup\": %.3f}%s\n"
+        r.Ablations.vps r.Ablations.locked_seconds
+        r.Ablations.locked_sched_spin r.Ablations.stealing_seconds
+        r.Ablations.deque_spin r.Ablations.steals r.Ablations.migrations
+        (r.Ablations.locked_seconds /. r.Ablations.stealing_seconds)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_e16_steal ~quick () =
+  section "E16: work-stealing scheduler, processor sweep";
+  let workers = if quick then 24 else 64 in
+  let vps = if quick then [ 5; 8; 16 ] else [ 5; 8; 16; 32; 64 ] in
+  let rows = Ablations.work_stealing_sweep ~workers ~vps () in
+  Ablations.print_steal_rows fmt ~workers rows;
+  write_steal_json ~workers rows;
+  Format.fprintf fmt "@.(rows written to %s)@." steal_json_file
+
 (* --- E8/E10: scavenge economics --- *)
 
 let run_scavenge ~quick () =
@@ -231,6 +265,7 @@ let all_sections ~quick =
     ("ablation-cache", fun () -> run_ablation_cache ~quick ());
     ("ablation-eden", fun () -> run_ablation_eden ~quick ());
     ("ablation-sched", fun () -> run_ablation_sched ~quick ());
+    ("e16-steal", fun () -> run_e16_steal ~quick ());
     ("scavenge", fun () -> run_scavenge ~quick ());
     ("instrumentation", fun () -> run_instrumentation ~quick ());
     ("parallel-scavenge", fun () -> run_parallel_scavenge ~quick ());

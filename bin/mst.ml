@@ -33,16 +33,30 @@ let sanitize =
   in
   Arg.(value & opt (enum modes) Sanitizer.Off & info [ "sanitize" ] ~doc)
 
+let scheduler =
+  let doc =
+    "Ready-queue discipline: $(b,locked) (one global queue under the \
+     scheduler lock) or $(b,stealing) (per-processor deques with work \
+     stealing, E16)."
+  in
+  let strategies =
+    [ ("locked", Config.Sched_locked); ("stealing", Config.Sched_stealing) ]
+  in
+  Arg.(value & opt (enum strategies) Config.Sched_locked
+       & info [ "scheduler" ] ~doc)
+
 let trace_dump =
   let doc = "After the run, print the last $(docv) sanitizer trace events." in
   Arg.(value & opt int 0 & info [ "trace-dump" ] ~docv:"N" ~doc)
 
-let make_vm ?(sanitize = Sanitizer.Off) processors state =
+let make_vm ?(sanitize = Sanitizer.Off) ?(scheduler = Config.Sched_locked)
+    processors state =
   let config =
-    if processors <= 1 && state = "none" then Config.baseline_bs ()
+    if processors <= 1 && state = "none" && scheduler = Config.Sched_locked
+    then Config.baseline_bs ()
     else Config.ms ~processors:(max processors 1) ()
   in
-  let config = { config with Config.sanitize } in
+  let config = { config with Config.sanitize; Config.scheduler } in
   let vm = Vm.create config in
   (match state with
    | "idle" -> ignore (Workloads.spawn_idle vm 4)
@@ -83,8 +97,8 @@ let catching_faults vm ~trace_dump f =
 
 let eval_cmd =
   let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
-  let run processors state sanitize trace_dump expr =
-    let vm = make_vm ~sanitize processors state in
+  let run processors state sanitize scheduler trace_dump expr =
+    let vm = make_vm ~sanitize ~scheduler processors state in
     catching_faults vm ~trace_dump (fun () ->
         try print_endline (Vm.eval_to_string vm expr) with
         | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
@@ -100,14 +114,15 @@ let eval_cmd =
     report_sanitizer vm ~trace_dump
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Smalltalk expression")
-    Term.(const run $ processors $ state $ sanitize $ trace_dump $ expr)
+    Term.(const run $ processors $ state $ sanitize $ scheduler $ trace_dump
+          $ expr)
 
 (* --- run --- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run processors state sanitize trace_dump file =
-    let vm = make_vm ~sanitize processors state in
+  let run processors state sanitize scheduler trace_dump file =
+    let vm = make_vm ~sanitize ~scheduler processors state in
     let source = In_channel.with_open_text file In_channel.input_all in
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
@@ -127,7 +142,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Load a class file (image-definition format) and run Main new main")
-    Term.(const run $ processors $ state $ sanitize $ trace_dump $ file)
+    Term.(const run $ processors $ state $ sanitize $ scheduler $ trace_dump
+          $ file)
 
 (* --- explore --- *)
 
@@ -147,12 +163,16 @@ let explore_cmd =
   let config_name =
     let doc =
       "Configuration to explore: $(b,ms) (published MS, must stay clean), \
-       $(b,bs-unlocked) (locking disabled on several processors — broken \
-       on purpose) or $(b,ctx-unbracketed) (shared free-context list with \
-       its lock bracket skipped — broken on purpose)."
+       $(b,stealing) (work-stealing scheduler checked differentially \
+       against the locked queue — must stay clean), $(b,bs-unlocked) \
+       (locking disabled on several processors — broken on purpose), \
+       $(b,ctx-unbracketed) (shared free-context list with its lock \
+       bracket skipped — broken on purpose) or $(b,steal-unlocked) (deque \
+       lock brackets skipped — broken on purpose)."
     in
     let configs =
-      [ ("ms", `Ms); ("bs-unlocked", `Unlocked); ("ctx-unbracketed", `Ctx) ]
+      [ ("ms", `Ms); ("stealing", `Stealing); ("bs-unlocked", `Unlocked);
+        ("ctx-unbracketed", `Ctx); ("steal-unlocked", `StealUnlocked) ]
     in
     Arg.(value & opt (enum configs) `Ms & info [ "config" ] ~doc)
   in
@@ -181,13 +201,27 @@ let explore_cmd =
   in
   let run processors config_name seeds first_seed quick replay
       expect_violation shrink_budget dump_prefix =
-    let setup, config_label =
+    (* [reference_setup] makes the stealing oracle differential: the
+       reference observables come from an unperturbed run on the locked
+       scheduler, so any steal-protocol divergence fails even on seeds
+       the sanitizer alone would pass. *)
+    let setup, config_label, reference_setup =
       let quick = if quick then Some true else None in
       match config_name with
-      | `Ms -> (Explorer.ms_setup ~processors ?quick (), "ms")
+      | `Ms -> (Explorer.ms_setup ~processors ?quick (), "ms", None)
+      | `Stealing ->
+          ( Explorer.stealing_setup ~processors ?quick (),
+            "stealing (vs locked reference)",
+            Some (Explorer.ms_setup ~processors ?quick ()) )
       | `Unlocked ->
-          (Explorer.broken_unlocked_setup ~processors ?quick (), "bs-unlocked")
-      | `Ctx -> (Explorer.broken_ctx_setup ~processors ?quick (), "ctx-unbracketed")
+          (Explorer.broken_unlocked_setup ~processors ?quick (), "bs-unlocked",
+           None)
+      | `Ctx ->
+          (Explorer.broken_ctx_setup ~processors ?quick (), "ctx-unbracketed",
+           None)
+      | `StealUnlocked ->
+          (Explorer.broken_steal_setup ~processors ?quick (), "steal-unlocked",
+           None)
     in
     let finish_with ~failed =
       if expect_violation && not failed then begin
@@ -199,10 +233,17 @@ let explore_cmd =
     in
     match replay with
     | Some file ->
-        let sched = Explore.load file in
+        let sched =
+          try Explore.load_replay file
+          with Failure msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 2
+        in
         Printf.printf "replaying %d decision(s) from %s on %s\n"
           (List.length sched) file config_label;
-        let reference = Explorer.reference setup in
+        let reference =
+          Explorer.reference (Option.value reference_setup ~default:setup)
+        in
         let o = Explorer.run_schedule setup sched in
         (match Explorer.check ~reference o with
          | Some what ->
@@ -217,8 +258,8 @@ let explore_cmd =
            background Process(es)\n%!"
           config_label seeds first_seed setup.Explorer.busy;
         let report =
-          Explorer.explore ~shrink_budget ~first_seed setup ~seeds
-            ~log:(fun line -> Printf.printf "%s\n%!" line)
+          Explorer.explore ~shrink_budget ~first_seed ?reference_setup setup
+            ~seeds ~log:(fun line -> Printf.printf "%s\n%!" line)
         in
         Printf.printf
           "%d seed(s), %d distinct schedule(s), %d preemption-point \
@@ -236,7 +277,9 @@ let explore_cmd =
             let from_file =
               Explorer.run_schedule setup (Explore.load file)
             in
-            let reference = Explorer.reference setup in
+            let reference =
+              Explorer.reference (Option.value reference_setup ~default:setup)
+            in
             let file_fails =
               Explorer.check ~reference from_file <> None
             in
@@ -343,7 +386,12 @@ let faults_cmd =
       ~backoff_quanta:backoff ()
   in
   let run_replay ~file ~quick ~watchdog ~backoff ~expect_deadlock =
-    let plan = Fault.load file in
+    let plan =
+      try Fault.load_replay file
+      with Failure msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
     Printf.printf "replaying %d fault(s) from %s\n%!" (List.length plan) file;
     let setup = setup_for ~quick ~watchdog ~backoff in
     let o = Explorer.run_faults setup (Fault.replay plan) in

@@ -167,6 +167,101 @@ let scheduler_reorganization ?(reps = 12) () =
     ~name_b:"keep running Processes in the queue (MS)"
     ~tweak_b:(fun c -> { c with Config.keep_running_in_queue = true })
 
+(* E16: the ready-queue representation under load.  A fork/join burst of
+   many short workers hammers the scheduler: with the single locked
+   queue every pick serializes on one lock, so adding processors mostly
+   adds spin; per-processor deques partition the idle polling and let
+   hungry processors steal, so the same burst scales. *)
+
+type steal_row = {
+  vps : int;
+  locked_seconds : float;
+  locked_sched_spin : int;  (** spin cycles on the global scheduler lock *)
+  stealing_seconds : float;
+  deque_spin : int;  (** spin cycles across every deque lock *)
+  steals : int;
+  migrations : int;
+}
+
+let steal_classes = {st|
+CLASS StealWork SUPER Object
+METHODS StealWork
+spawn: k into: results done: sem
+    [ | s |
+      s := 0.
+      1 to: 400 do: [:i | s := s + i].
+      results at: k put: s.
+      sem signal ] fork
+!
+|st}
+
+let steal_source workers =
+  Printf.sprintf
+    "| results sem kit count | results := Array new: %d. sem := Semaphore \
+     new. kit := StealWork new. 1 to: %d do: [:k | kit spawn: k into: \
+     results done: sem]. 1 to: %d do: [:k | sem wait]. count := 0. results \
+     do: [:r | r notNil ifTrue: [count := count + 1]]. count"
+    workers workers workers
+
+let steal_burst ~processors ~workers ~scheduler =
+  let config =
+    let c = Config.ms ~processors () in
+    (* the paper's k*s proposal: keep each processor's eden slice at a
+       workable size as the sweep scales past the Firefly's five *)
+    { c with
+      Config.scheduler;
+      Config.eden_words = c.Config.eden_words * max 1 (processors / 5) }
+  in
+  let vm = Vm.create config in
+  Vm.load_classes vm steal_classes;
+  let t0 = Vm.seconds vm in
+  let got = Vm.eval_to_string vm (steal_source workers) in
+  if got <> string_of_int workers then
+    failwith
+      (Printf.sprintf "steal burst lost workers: %s of %d finished" got
+         workers);
+  (Vm.seconds vm -. t0, vm)
+
+let work_stealing_sweep ?(workers = 64) ?(vps = [ 5; 8; 16; 32; 64 ]) () =
+  List.map
+    (fun processors ->
+      let locked_seconds, locked_vm =
+        steal_burst ~processors ~workers ~scheduler:Config.Sched_locked
+      in
+      let stealing_seconds, stealing_vm =
+        steal_burst ~processors ~workers ~scheduler:Config.Sched_stealing
+      in
+      let sched vm = vm.Vm.shared.State.sched in
+      let deque_spin =
+        Array.fold_left
+          (fun n l -> n + Spinlock.spin_cycles l)
+          0 (sched stealing_vm).Scheduler.deque_locks
+      in
+      { vps = processors;
+        locked_seconds;
+        locked_sched_spin =
+          Spinlock.spin_cycles (sched locked_vm).Scheduler.lock;
+        stealing_seconds;
+        deque_spin;
+        steals = Scheduler.steals (sched stealing_vm);
+        migrations = Scheduler.migrations (sched stealing_vm) })
+    vps
+
+let print_steal_rows fmt ~workers rows =
+  Format.fprintf fmt
+    "%d forked workers, locked queue vs work-stealing deques:@." workers;
+  Format.fprintf fmt
+    "  %4s  %10s %12s  %10s %12s  %7s %7s  %7s@." "vps" "locked s"
+    "sched spin" "steal s" "deque spin" "steals" "migr" "speedup";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  %4d  %10.3f %12d  %10.3f %12d  %7d %7d  %6.2fx@." r.vps
+        r.locked_seconds r.locked_sched_spin r.stealing_seconds r.deque_spin
+        r.steals r.migrations
+        (r.locked_seconds /. r.stealing_seconds))
+    rows
+
 let print_result fmt r =
   Format.fprintf fmt "%s@." r.label;
   Format.fprintf fmt "  %-42s %7.2f s  (overhead %+.0f%%)@." r.variant_a

@@ -36,3 +36,26 @@ val replicated_eden : ?reps:int -> unit -> result list
 val scheduler_reorganization : ?reps:int -> unit -> result
 
 val print_result : Format.formatter -> result -> unit
+
+(** {2 E16: the ready-queue representation under load} *)
+
+type steal_row = {
+  vps : int;
+  locked_seconds : float;
+  locked_sched_spin : int;  (** spin cycles on the global scheduler lock *)
+  stealing_seconds : float;
+  deque_spin : int;  (** spin cycles across every deque lock *)
+  steals : int;
+  migrations : int;
+}
+
+(** Run a fork/join burst of [workers] short Processes at each processor
+    count in [vps] (default 5 -> 64), once on the locked queue and once
+    on the stealing deques, with each processor's eden slice scaled so
+    allocation does not become the bottleneck.  The run fails loudly if
+    any worker's result goes missing. *)
+val work_stealing_sweep :
+  ?workers:int -> ?vps:int list -> unit -> steal_row list
+
+val print_steal_rows :
+  Format.formatter -> workers:int -> steal_row list -> unit

@@ -19,12 +19,18 @@ type cache_strategy = Cache_replicated | Cache_shared_locked
 type context_strategy = Ctx_replicated | Ctx_shared_locked | Ctx_disabled
 type alloc_strategy = Alloc_serialized | Alloc_replicated_eden
 
+(* E16: the ready queue serialized behind the single scheduler lock
+   (published MS) versus replicated into per-processor deques with work
+   stealing. *)
+type scheduler_strategy = Sched_locked | Sched_stealing
+
 type t = {
   processors : int;
   locks_enabled : bool;          (* false: baseline BS, no synchronization *)
   method_cache : cache_strategy;
   free_contexts : context_strategy;
   allocation : alloc_strategy;
+  scheduler : scheduler_strategy;  (* E16: locked queue vs work stealing *)
   keep_running_in_queue : bool;  (* the MS reorganization *)
   old_words : int;
   eden_words : int;              (* the paper's s: 80 KB by default *)
@@ -43,6 +49,9 @@ type t = {
      free-context list whose take/give skip the lock bracket — the
      guarded-mutation bug the sanitizer must catch *)
   debug_skip_ctx_lock : bool;
+  (* the same self-check idea for E16: deque operations run outside their
+     lock brackets, so the sanitizer sees unguarded steal-path mutations *)
+  debug_unlocked_steal : bool;
   (* spin watchdog, in Delay quanta: a contended acquire that would wait
      more than [watchdog_quanta] quanta raises Fault.Deadlock_suspected
      instead of spinning forever; 0 (the default everywhere) disables it
@@ -62,6 +71,7 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   method_cache = Cache_shared_locked;   (* one interpreter, lock disabled *)
   free_contexts = Ctx_shared_locked;
   allocation = Alloc_serialized;
+  scheduler = Sched_locked;
   keep_running_in_queue = false;        (* BS removes the running Process *)
   old_words = 2 * 1024 * 1024;
   eden_words = default_eden_words;
@@ -72,6 +82,7 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
   debug_skip_ctx_lock = false;
+  debug_unlocked_steal = false;
   watchdog_quanta = 0;
   backoff_quanta = 0;
 }
@@ -85,6 +96,7 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   method_cache = Cache_replicated;
   free_contexts = Ctx_replicated;
   allocation = Alloc_serialized;
+  scheduler = Sched_locked;
   keep_running_in_queue = true;
   old_words = 2 * 1024 * 1024;
   eden_words = default_eden_words;
@@ -95,6 +107,7 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   sanitize = Sanitizer.Off;
   trace_capacity = 4096;
   debug_skip_ctx_lock = false;
+  debug_unlocked_steal = false;
   watchdog_quanta = 0;
   backoff_quanta = 0;
 }

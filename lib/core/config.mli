@@ -22,12 +22,20 @@ type alloc_strategy =
       (** per-processor eden regions — the improvement the paper proposes
           in section 4 *)
 
+type scheduler_strategy =
+  | Sched_locked  (** one ready queue behind the scheduler lock (MS) *)
+  | Sched_stealing
+      (** per-processor ready deques with work stealing (E16) *)
+
 type t = {
   processors : int;
   locks_enabled : bool;  (** [false]: baseline BS, no synchronization *)
   method_cache : cache_strategy;
   free_contexts : context_strategy;
   allocation : alloc_strategy;
+  scheduler : scheduler_strategy;
+      (** E16: the serialized ready queue, or per-processor deques with
+          work stealing *)
   keep_running_in_queue : bool;
       (** the MS reorganization: running Processes stay in the ready
           queue; [false] restores BS semantics *)
@@ -49,6 +57,10 @@ type t = {
           free-context take/give skip their lock bracket, so the
           sanitizer sees unguarded mutations.  Never set in a legitimate
           configuration. *)
+  debug_unlocked_steal : bool;
+      (** the same self-check idea for E16: deque operations skip their
+          lock brackets, so the sanitizer sees unguarded steal-path
+          mutations.  Never set in a legitimate configuration. *)
   watchdog_quanta : int;
       (** spin watchdog, in Delay quanta: a contended acquire that would
           wait longer raises {!Fault.Deadlock_suspected} instead of

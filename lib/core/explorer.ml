@@ -56,6 +56,23 @@ let broken_ctx_setup ?processors ?quick () =
         Config.free_contexts = Config.Ctx_shared_locked;
         Config.debug_skip_ctx_lock = true })
 
+(* MS on the work-stealing scheduler (E16).  Explored against a locked
+   reference, the oracle is differential: any stealing run that computes
+   a different result, transcript or census than the serialized queue is
+   a steal-protocol bug. *)
+let stealing_setup ?processors ?quick () =
+  make_setup ?processors ?quick (fun c ->
+      { c with Config.scheduler = Config.Sched_stealing })
+
+(* The stealing scheduler with its deque-lock brackets removed: every
+   deque mutation is unguarded, which the strict sanitizer must catch on
+   the very first pick of any seed. *)
+let broken_steal_setup ?processors ?quick () =
+  make_setup ?processors ?quick (fun c ->
+      { c with
+        Config.scheduler = Config.Sched_stealing;
+        Config.debug_unlocked_steal = true })
+
 (* MS with the spin watchdog armed, for fault campaigns.  The default
    bound (64 Delay quanta = 9600 firefly cycles) sits far above any
    legitimate contention wait and above the injected transient-stall
@@ -220,8 +237,14 @@ type report = {
 }
 
 let explore ?params ?(shrink_budget = 120) ?(first_seed = 0)
-    ?(log = fun _ -> ()) setup ~seeds =
-  let ref_outcome = reference setup in
+    ?(log = fun _ -> ()) ?reference_setup setup ~seeds =
+  (* the observables are compared against [reference_setup] when given —
+     e.g. stealing seeds checked against the locked scheduler's run — so
+     the oracle can be differential across configurations, not just
+     across schedules *)
+  let ref_outcome =
+    reference (Option.value reference_setup ~default:setup)
+  in
   let fingerprints = Hashtbl.create 64 in
   let queries = ref 0 and perturbations = ref 0 in
   let counterexamples = ref [] in

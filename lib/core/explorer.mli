@@ -32,6 +32,18 @@ val broken_unlocked_setup : ?processors:int -> ?quick:bool -> unit -> setup
     surface a guarded-mutation violation. *)
 val broken_ctx_setup : ?processors:int -> ?quick:bool -> unit -> setup
 
+(** MS on the work-stealing scheduler (E16).  Explored with a locked
+    {!ms_setup} as [reference_setup], the oracle is differential: any
+    stealing run computing different observables than the serialized
+    queue is a steal-protocol bug. *)
+val stealing_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** Deliberately broken: the stealing scheduler with its deque-lock
+    brackets removed ([Config.debug_unlocked_steal]).  The strict
+    sanitizer must catch the first unguarded deque mutation of any
+    seed. *)
+val broken_steal_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
 (** MS with the spin watchdog armed (default 64 Delay quanta, backoff
     after 4 retries), for fault campaigns: far above any legitimate
     contention wait, so only a lock held by a dead processor trips it. *)
@@ -90,10 +102,15 @@ type report = {
 
 (** Explore [seeds] seeds starting at [first_seed] (default 0).  Each
     failing seed is shrunk (bounded by [shrink_budget] replays, default
-    120) and confirmed.  [log] receives one progress line per failure. *)
+    120) and confirmed.  [log] receives one progress line per failure.
+    When [reference_setup] is given, the reference observables come from
+    an unperturbed run of {e that} setup instead of [setup] — a
+    differential oracle across configurations (e.g. stealing vs
+    locked). *)
 val explore :
   ?params:Explore.params -> ?shrink_budget:int -> ?first_seed:int ->
-  ?log:(string -> unit) -> setup -> seeds:int -> report
+  ?log:(string -> unit) -> ?reference_setup:setup -> setup -> seeds:int ->
+  report
 
 (** Run the default schedule under a fault injector (no scheduling
     policy). *)

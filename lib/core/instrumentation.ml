@@ -37,6 +37,16 @@ type scavenge_worker_row = {
   idle_cycles : int;
 }
 
+(* Work-stealing traffic (E16) — all zero under the locked scheduler. *)
+type steal_stats = {
+  stealing : bool;           (* the stealing scheduler was configured *)
+  local_picks : int;         (* picks satisfied from the own deque *)
+  steals : int;              (* picks satisfied from a victim deque *)
+  failed_steals : int;
+  migrations : int;          (* stolen processes re-homed (MS mode) *)
+  stolen_from : int list;    (* per victim processor *)
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
@@ -54,6 +64,7 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  steal : steal_stats;
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;
   violations : string list;
@@ -132,6 +143,14 @@ let gather (vm : Vm.t) =
     display_wait = Devices.display_producer_wait sh.State.display;
     input_polls = Devices.input_polls sh.State.input;
     total_cycles = Vm.cycles vm;
+    steal =
+      (let sched = sh.State.sched in
+       { stealing = sched.Scheduler.strategy = Scheduler.Stealing;
+         local_picks = Scheduler.local_picks sched;
+         steals = Scheduler.steals sched;
+         failed_steals = Scheduler.failed_steals sched;
+         migrations = Scheduler.migrations sched;
+         stolen_from = Array.to_list (Scheduler.stolen_from sched) });
     sanitizer_mode = Sanitizer.mode sh.State.sanitizer;
     violation_count = Sanitizer.violation_count sh.State.sanitizer;
     violations = Sanitizer.violations sh.State.sanitizer;
@@ -205,6 +224,18 @@ let print fmt r =
           w.copied_objects w.copied_words w.busy_cycles w.idle_cycles
           (pct w.idle_cycles (w.busy_cycles + w.idle_cycles)))
       r.scavenge_workers
+  end;
+  if r.steal.stealing then begin
+    Format.fprintf fmt "@.Work stealing:@.";
+    Format.fprintf fmt
+      "  %d local pick(s), %d steal(s), %d failed steal(s), %d migration(s)@."
+      r.steal.local_picks r.steal.steals r.steal.failed_steals
+      r.steal.migrations;
+    Format.fprintf fmt "  stolen from:";
+    List.iteri
+      (fun i n -> Format.fprintf fmt " vp%d=%d" i n)
+      r.steal.stolen_from;
+    Format.fprintf fmt "@."
   end;
   if
     r.crashes_delivered + r.failovers + r.ctx_abandons + r.degraded_scavenges

@@ -37,6 +37,16 @@ type scavenge_worker_row = {
   idle_cycles : int;  (** gap to the slowest worker, per collection *)
 }
 
+(** Work-stealing traffic (E16) — all zero under the locked scheduler. *)
+type steal_stats = {
+  stealing : bool;  (** the stealing scheduler was configured *)
+  local_picks : int;  (** picks satisfied from the own deque *)
+  steals : int;  (** picks satisfied from a victim deque *)
+  failed_steals : int;
+  migrations : int;  (** stolen processes re-homed (MS mode) *)
+  stolen_from : int list;  (** per victim processor *)
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
@@ -55,6 +65,7 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  steal : steal_stats;
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;
   violations : string list;  (** accumulated messages, oldest first *)

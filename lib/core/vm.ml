@@ -75,12 +75,28 @@ let create (config : Config.t) =
   let sched_lock = Spinlock.make ~enabled:locks ~cost:cm "scheduler" in
   let display = Devices.make_display ~enabled_locks:locks ~cost:cm in
   let input = Devices.make_input_queue ~enabled_locks:locks ~cost:cm in
+  let sched_strategy =
+    match config.Config.scheduler with
+    | Config.Sched_locked -> Scheduler.Locked
+    | Config.Sched_stealing -> Scheduler.Stealing
+  in
+  let deque_locks =
+    match sched_strategy with
+    | Scheduler.Locked -> [||]
+    | Scheduler.Stealing ->
+        Array.init processors (fun i ->
+            Spinlock.make ~enabled:locks ~cost:cm
+              (Printf.sprintf "ready deque %d" i))
+  in
   let sched =
-    Scheduler.create ~u ~lock:sched_lock ~entry_lock
-      ~op_cycles:cm.Cost_model.sched_op
+    Scheduler.create ~strategy:sched_strategy ~deque_locks
+      ~unlocked_steal:config.Config.debug_unlocked_steal ~u ~lock:sched_lock
+      ~entry_lock ~op_cycles:cm.Cost_model.sched_op
       ~remember_cost:cm.Cost_model.remember_insert
       ~keep_running_in_queue:config.Config.keep_running_in_queue ~processors
+      ()
   in
+  Scheduler.set_machine sched machine;
   let san =
     Sanitizer.create ~trace_capacity:config.Config.trace_capacity
       config.Config.sanitize
@@ -142,6 +158,7 @@ let create (config : Config.t) =
   let all_locks =
     [ alloc_lock; entry_lock; sched_lock; Devices.display_lock display;
       Devices.input_lock input; shared_cache_lock; shared_ctx_lock ]
+    @ Array.to_list deque_locks
   in
   List.iter (fun l -> Spinlock.attach l san) all_locks;
   (* the machine's scheduling policy (when the explorer installs one)
@@ -161,6 +178,9 @@ let create (config : Config.t) =
   guard "entry table" entry_lock;
   guard "allocation" alloc_lock;
   guard "ready queue" sched_lock;
+  Array.iteri
+    (fun i l -> guard (Printf.sprintf "ready deque %d" i) l)
+    deque_locks;
   guard "display output queue" (Devices.display_lock display);
   guard "input event queue" (Devices.input_lock input);
   if config.Config.free_contexts = Config.Ctx_shared_locked then

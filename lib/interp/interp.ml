@@ -327,8 +327,9 @@ let do_sched_check st =
   let cm = st.sh.cm in
   let sched = st.sh.sched in
   let finish =
-    Spinlock.locked_op ~vp:st.id sched.Scheduler.lock ~now:(now st)
-      ~op_cycles:cm.Cost_model.sched_check_cost
+    Spinlock.locked_op ~vp:st.id
+      (Scheduler.sched_check_lock sched ~vp:st.id)
+      ~now:(now st) ~op_cycles:cm.Cost_model.sched_check_cost
   in
   sync_to st finish;
   let proc = !(st.active_process) in

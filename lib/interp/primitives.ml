@@ -431,9 +431,7 @@ let prim_suspend st ~nargs =
                 [relinquish], which would clear THIS processor's running
                 slot while it keeps executing the active Process.) *)
              let n =
-               Scheduler.ll_remove ~vp:st.id st.sh.sched ~now:(now st)
-                 (Scheduler.ready_list st.sh.sched
-                    (Scheduler.priority_of st.sh.sched proc))
+               Scheduler.remove_from_ready ~vp:st.id st.sh.sched ~now:(now st)
                  proc
              in
              sync_to st n);
@@ -507,9 +505,7 @@ let prim_set_priority st ~nargs =
       let was_ready = Scheduler.is_in_ready_queue sched proc in
       if was_ready then begin
         let n =
-          Scheduler.ll_remove ~vp:st.id sched ~now:(now st)
-            (Scheduler.ready_list sched (Scheduler.priority_of sched proc))
-            proc
+          Scheduler.remove_from_ready ~vp:st.id sched ~now:(now st) proc
         in
         sync_to st n
       end;
@@ -556,10 +552,8 @@ let prim_terminate st ~nargs =
          | None ->
              if Scheduler.is_in_ready_queue st.sh.sched proc then begin
                let n =
-                 Scheduler.ll_remove ~vp:st.id st.sh.sched ~now:(now st)
-                   (Scheduler.ready_list st.sh.sched
-                      (Scheduler.priority_of st.sh.sched proc))
-                   proc
+                 Scheduler.remove_from_ready ~vp:st.id st.sh.sched
+                   ~now:(now st) proc
                in
                sync_to st n
              end);

@@ -10,18 +10,33 @@
    [keep_running_in_queue] flag restores the uniprocessor BS behaviour for
    the reorganization ablation.
 
-   The ready queue itself is the ProcessorScheduler heap object: an Array
-   of LinkedLists, one per priority, with Processes chained through their
-   [next_link] slots — fully visible at the Smalltalk level, exactly the
-   exposure the paper worries about.
+   Two ready-queue representations are selectable (E16):
 
-   Lock discipline: every list operation runs inside the scheduler lock's
+   - [Locked] (the paper's design): the ready queue is the
+     ProcessorScheduler heap object — an Array of LinkedLists, one per
+     priority, with Processes chained through their [next_link] slots —
+     and every operation serializes on the single scheduler lock.
+
+   - [Stealing]: each virtual processor owns one deque per priority
+     (plain LinkedList heap objects in old space, guarded by that
+     processor's deque spinlock).  The owner pushes and pops at the
+     front (LIFO, for locality); a thief validates under the victim's
+     lock and takes the *last* eligible Process (FIFO — the oldest,
+     least cache-warm work).  Victim selection is priority-aware: every
+     deque at priority p is considered before any deque at p-1, which
+     preserves the Smalltalk-80 invariant that the highest-priority
+     ready Process runs.  The global scheduler lock survives for
+     Semaphore list surgery, which stays serialized as in the paper.
+
+   Lock discipline: every list operation runs inside the owning lock's
    critical section.  A store that would insert its receiver into the
-   entry table is deferred — the address is queued while the scheduler
-   lock is held and the insert is performed under the entry-table lock
-   right after the section closes, because MS holds one kernel lock at a
-   time.  The deferral is invisible to the scavenger: every public
-   operation flushes before returning. *)
+   entry table is deferred — the address is queued while the queue lock
+   is held and the insert is performed under the entry-table lock right
+   after the section closes, because MS holds one kernel lock at a time.
+   The deferral is invisible to the scavenger: every public operation
+   flushes before returning. *)
+
+type strategy = Locked | Stealing
 
 type t = {
   u : Universe.t;
@@ -31,39 +46,78 @@ type t = {
   remember_cost : int;          (* entry-table insert, under its lock *)
   keep_running_in_queue : bool;
   processors : int;
+  strategy : strategy;
+  deque_locks : Spinlock.t array; (* per processor; empty when Locked *)
+  deques : Oop.t array;     (* processors * priorities; empty when Locked *)
+  unlocked_steal : bool;    (* debug: deque ops skip the lock bracket *)
   running : Oop.t array;          (* per processor: process or sentinel *)
   preempt : bool array;           (* per processor: reschedule requested *)
   mutable sanitizer : Sanitizer.t option;
+  mutable machine : Machine.t option;  (* for live-processor wake routing *)
+  mutable next_home : int;     (* round-robin home for engine-side wakes *)
   mutable pending_remembers : int list;  (* deferred entry-table inserts *)
   mutable wakes : int;
   mutable picks : int;
   mutable preemptions : int;
   mutable failovers : int;  (* processes recovered from crashed processors *)
+  mutable local_picks : int;     (* picks satisfied from the own deque *)
+  mutable steals : int;          (* picks satisfied from a victim deque *)
+  mutable failed_steals : int;   (* steal validations that found nothing *)
+  mutable migrations : int;      (* stolen processes re-homed (MS mode) *)
+  stolen_from : int array;       (* per victim processor *)
 }
 
-let create ~u ~lock ~entry_lock ~op_cycles ~remember_cost
-    ~keep_running_in_queue ~processors =
+let create ?(strategy = Locked) ?(deque_locks = [||]) ?(unlocked_steal = false)
+    ~u ~lock ~entry_lock ~op_cycles ~remember_cost ~keep_running_in_queue
+    ~processors () =
+  let deques =
+    match strategy with
+    | Locked -> [||]
+    | Stealing ->
+        if Array.length deque_locks <> processors then
+          invalid_arg "Scheduler.create: one deque lock per processor";
+        let h = Universe.heap u in
+        Array.init
+          (processors * Layout.Scheduler.priorities)
+          (fun _ ->
+            let o =
+              Heap.alloc_old h ~slots:Layout.Linked_list.fixed_slots
+                ~raw:false ~cls:u.Universe.classes.Universe.linked_list ()
+            in
+            ignore (Heap.store_ptr h o Layout.Linked_list.first u.Universe.nil);
+            ignore (Heap.store_ptr h o Layout.Linked_list.last u.Universe.nil);
+            o)
+  in
   { u; lock; entry_lock; op_cycles; remember_cost; keep_running_in_queue;
-    processors;
+    processors; strategy; deque_locks; deques; unlocked_steal;
     running = Array.make processors Oop.sentinel;
     preempt = Array.make processors false;
     sanitizer = None;
+    machine = None;
+    next_home = 0;
     pending_remembers = [];
-    wakes = 0; picks = 0; preemptions = 0; failovers = 0 }
+    wakes = 0; picks = 0; preemptions = 0; failovers = 0;
+    local_picks = 0; steals = 0; failed_steals = 0; migrations = 0;
+    stolen_from = Array.make processors 0 }
 
 let set_sanitizer t san = t.sanitizer <- Some san
+let set_machine t m = t.machine <- Some m
 
 let heap t = Universe.heap t.u
 let nil t = t.u.Universe.nil
 
+let deque_resource owner = "ready deque " ^ string_of_int owner
+
 (* A pointer store into scheduler-guarded heap state.  Reports the mutation
-   to the sanitizer, defers any entry-table insert (we are inside the
-   scheduler lock; the entry-table lock is taken by [flush_remembers]). *)
-let store t ~vp obj i v =
+   to the sanitizer under [resource] — "ready queue" for the serialized
+   queue and Semaphore lists, "ready deque N" for processor N's deques —
+   and defers any entry-table insert (we are inside a queue lock; the
+   entry-table lock is taken by [flush_remembers]). *)
+let store t ~vp ~resource obj i v =
   let h = heap t in
   (match t.sanitizer with
    | Some san when Sanitizer.checking san ->
-       Sanitizer.check_guarded san ~resource:"ready queue" ~vp ~now:(-1)
+       Sanitizer.check_guarded san ~resource ~vp ~now:(-1)
          ~detail:(Printf.sprintf "%d[%d]" (Oop.addr obj) i)
    | _ -> ());
   if Heap.store_would_remember h obj v then
@@ -96,77 +150,90 @@ let flush_remembers t ~now ~vp =
 let ll_is_empty t list =
   Oop.equal (Heap.get (heap t) list Layout.Linked_list.first) (nil t)
 
-(* The unlocked bodies: callers hold the scheduler lock. *)
+(* The unlocked bodies: callers hold the lock that guards [resource]. *)
 
-let append_unlocked t ~vp list proc =
+let append_unlocked t ~vp ~resource list proc =
   let h = heap t in
   let n = nil t in
   let first = Heap.get h list Layout.Linked_list.first in
   if Oop.equal first n then begin
-    store t ~vp list Layout.Linked_list.first proc;
-    store t ~vp list Layout.Linked_list.last proc
+    store t ~vp ~resource list Layout.Linked_list.first proc;
+    store t ~vp ~resource list Layout.Linked_list.last proc
   end
   else begin
     let last = Heap.get h list Layout.Linked_list.last in
-    store t ~vp last Layout.Process.next_link proc;
-    store t ~vp list Layout.Linked_list.last proc
+    store t ~vp ~resource last Layout.Process.next_link proc;
+    store t ~vp ~resource list Layout.Linked_list.last proc
   end;
-  store t ~vp proc Layout.Process.next_link n;
-  store t ~vp proc Layout.Process.my_list list
+  store t ~vp ~resource proc Layout.Process.next_link n;
+  store t ~vp ~resource proc Layout.Process.my_list list
 
-let pop_first_unlocked t ~vp list =
+(* LIFO end of a deque: the owner pushes (and scans) at the front. *)
+let push_front_unlocked t ~vp ~resource list proc =
+  let n = nil t in
+  let first = Heap.get (heap t) list Layout.Linked_list.first in
+  store t ~vp ~resource proc Layout.Process.next_link first;
+  store t ~vp ~resource proc Layout.Process.my_list list;
+  store t ~vp ~resource list Layout.Linked_list.first proc;
+  if Oop.equal first n then
+    store t ~vp ~resource list Layout.Linked_list.last proc
+
+let pop_first_unlocked t ~vp ~resource list =
   let h = heap t in
   let n = nil t in
   let first = Heap.get h list Layout.Linked_list.first in
   if Oop.equal first n then None
   else begin
     let next = Heap.get h first Layout.Process.next_link in
-    store t ~vp list Layout.Linked_list.first next;
-    if Oop.equal next n then store t ~vp list Layout.Linked_list.last n;
-    store t ~vp first Layout.Process.next_link n;
-    store t ~vp first Layout.Process.my_list n;
+    store t ~vp ~resource list Layout.Linked_list.first next;
+    if Oop.equal next n then store t ~vp ~resource list Layout.Linked_list.last n;
+    store t ~vp ~resource first Layout.Process.next_link n;
+    store t ~vp ~resource first Layout.Process.my_list n;
     Some first
   end
 
-let remove_unlocked t ~vp list proc =
+let remove_unlocked t ~vp ~resource list proc =
   let h = heap t in
   let n = nil t in
   let rec unlink prev cur =
     if Oop.equal cur n then ()
     else if Oop.equal cur proc then begin
       let next = Heap.get h cur Layout.Process.next_link in
-      (if Oop.equal prev n then store t ~vp list Layout.Linked_list.first next
-       else store t ~vp prev Layout.Process.next_link next);
+      (if Oop.equal prev n then
+         store t ~vp ~resource list Layout.Linked_list.first next
+       else store t ~vp ~resource prev Layout.Process.next_link next);
       if Oop.equal next n then
-        store t ~vp list Layout.Linked_list.last
+        store t ~vp ~resource list Layout.Linked_list.last
           (if Oop.equal prev n then n else prev);
-      store t ~vp proc Layout.Process.next_link n;
-      store t ~vp proc Layout.Process.my_list n
+      store t ~vp ~resource proc Layout.Process.next_link n;
+      store t ~vp ~resource proc Layout.Process.my_list n
     end
     else unlink cur (Heap.get h cur Layout.Process.next_link)
   in
   unlink n (Heap.get h list Layout.Linked_list.first)
 
-(* Public list surgery: under the scheduler lock, then flush. *)
+(* Public list surgery: under the scheduler lock, then flush.  Semaphore
+   wait lists go through these in both strategies — Semaphores stay
+   serialized on the one scheduler lock, as in the paper. *)
 
 let ll_append ?(vp = -1) t ~now list proc =
   let now, () =
     Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
-        append_unlocked t ~vp list proc)
+        append_unlocked t ~vp ~resource:"ready queue" list proc)
   in
   flush_remembers t ~now ~vp
 
 let ll_pop_first ?(vp = -1) t ~now list =
   let now, popped =
     Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
-        pop_first_unlocked t ~vp list)
+        pop_first_unlocked t ~vp ~resource:"ready queue" list)
   in
   (flush_remembers t ~now ~vp, popped)
 
 let ll_remove ?(vp = -1) t ~now list proc =
   let now, () =
     Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
-        remove_unlocked t ~vp list proc)
+        remove_unlocked t ~vp ~resource:"ready queue" list proc)
   in
   flush_remembers t ~now ~vp
 
@@ -183,32 +250,127 @@ let priority_of t proc =
 let process_state t proc =
   Oop.small_val (Heap.get (heap t) proc Layout.Process.state)
 
-let set_running_on_u t ~vp proc vp_opt =
+let set_running_on_u t ~vp ~resource proc vp_opt =
   let v =
     match vp_opt with
     | Some p -> Oop.of_small p
     | None -> nil t
   in
-  store t ~vp proc Layout.Process.running_on v
+  store t ~vp ~resource proc Layout.Process.running_on v
 
-let set_running_on t proc vp_opt = set_running_on_u t ~vp:(-1) proc vp_opt
+let set_running_on t proc vp_opt =
+  set_running_on_u t ~vp:(-1) ~resource:"ready queue" proc vp_opt
 
 let running_on t proc =
   let v = Heap.get (heap t) proc Layout.Process.running_on in
   if Oop.is_small v then Some (Oop.small_val v) else None
 
+(* --- deques --- *)
+
+let deque t ~owner ~priority =
+  t.deques.(owner * Layout.Scheduler.priorities + priority - 1)
+
+(* Which deque (raw index) is this list, if any?  Used to find the lock
+   that guards the list a Process is chained into. *)
+let deque_index t list =
+  if Oop.equal list (nil t) then None
+  else begin
+    let n = Array.length t.deques in
+    let found = ref (-1) in
+    for i = 0 to n - 1 do
+      if !found < 0 && Oop.equal t.deques.(i) list then found := i
+    done;
+    if !found < 0 then None else Some !found
+  end
+
+let deque_owner_of_index i = i / Layout.Scheduler.priorities
+let deque_priority_of_index i = (i mod Layout.Scheduler.priorities) + 1
+
+(* Run [f resource] under [owner]'s deque lock — unless the deliberately
+   broken unlocked-steal configuration is active, in which case the
+   mutation runs in the open and the sanitizer's guard check fires. *)
+let deque_critical t ~vp ~owner ~now f =
+  let resource = deque_resource owner in
+  if t.unlocked_steal then (now, f resource)
+  else
+    Spinlock.critical ~vp t.deque_locks.(owner) ~now ~op_cycles:t.op_cycles
+      (fun () -> f resource)
+
+(* First runnable, not-running Process from the front (the LIFO end). *)
+let first_eligible t list =
+  let h = heap t in
+  let n = nil t in
+  let rec scan cur =
+    if Oop.equal cur n then None
+    else if
+      running_on t cur = None
+      && process_state t cur = Layout.Process_state.runnable
+    then Some cur
+    else scan (Heap.get h cur Layout.Process.next_link)
+  in
+  scan (Heap.get h list Layout.Linked_list.first)
+
+(* Last runnable, not-running Process — the FIFO end a thief takes from:
+   the oldest, least cache-warm work in the victim's deque. *)
+let last_eligible t list =
+  let h = heap t in
+  let n = nil t in
+  let best = ref None in
+  let rec scan cur =
+    if Oop.equal cur n then ()
+    else begin
+      if
+        running_on t cur = None
+        && process_state t cur = Layout.Process_state.runnable
+      then best := Some cur;
+      scan (Heap.get h cur Layout.Process.next_link)
+    end
+  in
+  scan (Heap.get h list Layout.Linked_list.first);
+  !best
+
+(* The home deque for a wake: the waking processor's own, or — for
+   engine-side wakes (timers, spawns, failover) — round-robin over the
+   processors that are still alive, so work is not parked on a corpse. *)
+let home_for ?(exclude = -1) t ~vp =
+  let live i =
+    i <> exclude
+    &&
+    match t.machine with
+    | None -> true
+    | Some m -> (Machine.vp m i).Machine.state <> Machine.Halted
+  in
+  if vp >= 0 && vp < t.processors && live vp then vp
+  else begin
+    let rec find tries i =
+      if tries >= t.processors then (i + 1) mod t.processors
+      else if live i then i
+      else find (tries + 1) ((i + 1) mod t.processors)
+    in
+    let h = find 0 (t.next_home mod t.processors) in
+    t.next_home <- (h + 1) mod t.processors;
+    h
+  end
+
 let is_in_ready_queue t proc =
   let list = Heap.get (heap t) proc Layout.Process.my_list in
-  not (Oop.equal list (nil t))
-  && Oop.equal list (ready_list t (priority_of t proc))
+  if Oop.equal list (nil t) then false
+  else
+    match t.strategy with
+    | Locked -> Oop.equal list (ready_list t (priority_of t proc))
+    | Stealing -> (
+        match deque_index t list with
+        | Some i -> deque_priority_of_index i = priority_of t proc
+        | None -> false)
 
 (* --- invariants ---------------------------------------------------------
 
    Checked after every wake/pick/yield/relinquish when a sanitizer is
    armed: the running table and the Processes' [running_on] slots must
    mirror each other, no Process may run on two processors, every Process
-   chained into a ready list must point back at it through [my_list], and
-   under the MS reorganization a running Process stays in the queue. *)
+   chained into a ready list or deque must point back at it through
+   [my_list] (and sit in a deque of its own priority), and under the MS
+   reorganization a running Process stays in the queue. *)
 
 let check_invariants t ~now ~vp =
   match t.sanitizer with
@@ -243,11 +405,11 @@ let check_invariants t ~now ~vp =
                    "running.(%d) process missing from the ready queue" i)
           end)
         t.running;
-      (* Bounded walk of every ready list: back-pointers and running_on
-         agreement.  The budget guards against a corrupted cyclic chain. *)
+      (* Bounded walk of every ready list and deque: back-pointers and
+         running_on agreement.  The budget guards against a corrupted
+         cyclic chain. *)
       let budget = ref 10_000 in
-      for priority = 1 to Layout.Scheduler.priorities do
-        let list = ready_list t priority in
+      let walk list describe check_extra =
         let rec scan cur =
           if Oop.equal cur n || !budget <= 0 then ()
           else begin
@@ -256,9 +418,9 @@ let check_invariants t ~now ~vp =
             if not (Oop.equal ml list) then
               report
                 (Printf.sprintf
-                   "process %d chained into ready list %d but my_list \
-                    disagrees"
-                   (Oop.addr cur) priority);
+                   "process %d chained into %s but my_list disagrees"
+                   (Oop.addr cur) describe);
+            check_extra cur;
             (match running_on t cur with
              | Some v ->
                  if v < 0 || v >= t.processors
@@ -274,11 +436,31 @@ let check_invariants t ~now ~vp =
           end
         in
         scan (Heap.get h list Layout.Linked_list.first)
-      done
+      in
+      for priority = 1 to Layout.Scheduler.priorities do
+        walk (ready_list t priority)
+          (Printf.sprintf "ready list %d" priority)
+          (fun _ -> ())
+      done;
+      Array.iteri
+        (fun i list ->
+          let priority = deque_priority_of_index i in
+          walk list
+            (Printf.sprintf "deque %d/%d" (deque_owner_of_index i) priority)
+            (fun cur ->
+              if priority_of t cur <> priority then
+                report
+                  (Printf.sprintf
+                     "process %d sits in a priority-%d deque but has \
+                      priority %d"
+                     (Oop.addr cur) priority (priority_of t cur))))
+        t.deques
   | _ -> ()
 
 (* Request a reschedule of the processor running the lowest-priority
-   process below [priority], if any. *)
+   process strictly below [priority], if any.  Equal priority never
+   preempts: the paper's rule is strictly-lower only, and flagging a
+   peer on a tie would make equal-priority Processes thrash. *)
 let request_preemption t ~priority =
   let victim = ref (-1) and worst = ref priority in
   Array.iteri
@@ -298,49 +480,171 @@ let request_preemption t ~priority =
 
 (* Make [proc] ready.  Idempotent when it is already in the ready queue. *)
 let wake ?(vp = -1) t ~now proc =
-  let now, () =
-    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+  let now =
+    match t.strategy with
+    | Locked ->
+        let now, () =
+          Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+              t.wakes <- t.wakes + 1;
+              if not (is_in_ready_queue t proc) then
+                append_unlocked t ~vp ~resource:"ready queue"
+                  (ready_list t (priority_of t proc))
+                  proc;
+              request_preemption t ~priority:(priority_of t proc))
+        in
+        now
+    | Stealing ->
         t.wakes <- t.wakes + 1;
-        if not (is_in_ready_queue t proc) then
-          append_unlocked t ~vp (ready_list t (priority_of t proc)) proc;
-        request_preemption t ~priority:(priority_of t proc))
+        let priority = priority_of t proc in
+        let home = home_for t ~vp in
+        let now, () =
+          deque_critical t ~vp ~owner:home ~now (fun resource ->
+              if not (is_in_ready_queue t proc) then
+                push_front_unlocked t ~vp ~resource
+                  (deque t ~owner:home ~priority)
+                  proc)
+        in
+        (* host-side flags only; needs no heap lock *)
+        request_preemption t ~priority;
+        now
   in
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
   now
 
 (* Choose the next Process for processor [vp]: the highest-priority ready
-   Process that no processor is currently executing. *)
+   Process that no processor is currently executing.
+
+   Locked: one scan of the serialized queue under the scheduler lock.
+
+   Stealing: an optimistic unlocked peek walks priorities top-down — own
+   deque first at each priority, then the other processors' — and the
+   winning deque is then revisited under its lock, where the candidate is
+   re-validated before being taken (the peek is advisory; only the locked
+   re-scan commits).  The owner takes the first eligible Process (LIFO);
+   a thief takes the last (FIFO) and re-homes it under its own lock. *)
 let pick t ~now ~vp =
   let now, picked =
-    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+    match t.strategy with
+    | Locked ->
+        Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+            t.picks <- t.picks + 1;
+            let h = heap t in
+            let n = nil t in
+            let found = ref Oop.sentinel in
+            let priority = ref Layout.Scheduler.priorities in
+            while Oop.equal !found Oop.sentinel && !priority >= 1 do
+              let list = ready_list t !priority in
+              let rec scan cur =
+                if Oop.equal cur n then ()
+                else if
+                  running_on t cur = None
+                  && process_state t cur = Layout.Process_state.runnable
+                then found := cur
+                else scan (Heap.get h cur Layout.Process.next_link)
+              in
+              scan (Heap.get h list Layout.Linked_list.first);
+              decr priority
+            done;
+            if Oop.equal !found Oop.sentinel then None
+            else begin
+              let proc = !found in
+              if not t.keep_running_in_queue then
+                remove_unlocked t ~vp ~resource:"ready queue"
+                  (ready_list t (priority_of t proc))
+                  proc;
+              set_running_on_u t ~vp ~resource:"ready queue" proc (Some vp);
+              t.running.(vp) <- proc;
+              Some proc
+            end)
+    | Stealing ->
         t.picks <- t.picks + 1;
-        let h = heap t in
-        let n = nil t in
-        let found = ref Oop.sentinel in
+        (* optimistic peek: priority-major, own deque first at each level *)
+        let candidate = ref None in
         let priority = ref Layout.Scheduler.priorities in
-        while Oop.equal !found Oop.sentinel && !priority >= 1 do
-          let list = ready_list t !priority in
-          let rec scan cur =
-            if Oop.equal cur n then ()
-            else if
-              running_on t cur = None
-              && process_state t cur = Layout.Process_state.runnable
-            then found := cur
-            else scan (Heap.get h cur Layout.Process.next_link)
+        while !candidate = None && !priority >= 1 do
+          let consider owner =
+            if
+              !candidate = None
+              && first_eligible t (deque t ~owner ~priority:!priority) <> None
+            then candidate := Some (owner, !priority)
           in
-          scan (Heap.get h list Layout.Linked_list.first);
+          consider vp;
+          for d = 1 to t.processors - 1 do
+            consider ((vp + d) mod t.processors)
+          done;
           decr priority
         done;
-        if Oop.equal !found Oop.sentinel then None
-        else begin
-          let proc = !found in
-          if not t.keep_running_in_queue then
-            remove_unlocked t ~vp (ready_list t (priority_of t proc)) proc;
-          set_running_on_u t ~vp proc (Some vp);
-          t.running.(vp) <- proc;
-          Some proc
-        end)
+        (match !candidate with
+         | None ->
+             (* nothing anywhere: one look at the own (empty) deque is
+                still charged, so idle polling has a cost — but on the
+                processor's own lock, not a shared one *)
+             let now =
+               if t.unlocked_steal then now
+               else
+                 Spinlock.locked_op ~vp t.deque_locks.(vp) ~now
+                   ~op_cycles:t.op_cycles
+             in
+             (now, None)
+         | Some (owner, priority) when owner = vp ->
+             let now, taken =
+               deque_critical t ~vp ~owner ~now (fun resource ->
+                   let list = deque t ~owner ~priority in
+                   match first_eligible t list with
+                   | None -> None
+                   | Some proc ->
+                       if not t.keep_running_in_queue then
+                         remove_unlocked t ~vp ~resource list proc;
+                       set_running_on_u t ~vp ~resource proc (Some vp);
+                       t.running.(vp) <- proc;
+                       Some proc)
+             in
+             (match taken with
+              | Some _ -> t.local_picks <- t.local_picks + 1
+              | None -> ());
+             (now, taken)
+         | Some (owner, priority) ->
+             (* steal: validate under the victim's lock, take the oldest *)
+             let now, stolen =
+               deque_critical t ~vp ~owner ~now (fun resource ->
+                   let list = deque t ~owner ~priority in
+                   match last_eligible t list with
+                   | None -> None
+                   | Some proc ->
+                       remove_unlocked t ~vp ~resource list proc;
+                       Some proc)
+             in
+             (match stolen with
+              | None ->
+                  t.failed_steals <- t.failed_steals + 1;
+                  (now, None)
+              | Some proc ->
+                  t.steals <- t.steals + 1;
+                  t.stolen_from.(owner) <- t.stolen_from.(owner) + 1;
+                  (match t.sanitizer with
+                   | Some san ->
+                       Sanitizer.steal_event san ~vp ~now
+                         ~resource:(deque_resource owner)
+                         ~detail:
+                           (Printf.sprintf
+                              "vp %d stole process %d from vp %d (priority \
+                               %d)"
+                              vp (Oop.addr proc) owner priority)
+                   | None -> ());
+                  (* re-home under the thief's own lock *)
+                  let now, () =
+                    deque_critical t ~vp ~owner:vp ~now (fun resource ->
+                        if t.keep_running_in_queue then begin
+                          t.migrations <- t.migrations + 1;
+                          push_front_unlocked t ~vp ~resource
+                            (deque t ~owner:vp ~priority)
+                            proc
+                        end;
+                        set_running_on_u t ~vp ~resource proc (Some vp);
+                        t.running.(vp) <- proc)
+                  in
+                  (now, Some proc)))
   in
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
@@ -350,42 +654,115 @@ let pick t ~now ~vp =
    (yield/preemption); otherwise it leaves the ready queue (wait, suspend,
    terminate). *)
 let relinquish t ~now ~vp ~requeue proc =
-  let now, () =
-    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
-        set_running_on_u t ~vp proc None;
+  let now =
+    match t.strategy with
+    | Locked ->
+        let now, () =
+          Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+              set_running_on_u t ~vp ~resource:"ready queue" proc None;
+              t.running.(vp) <- Oop.sentinel;
+              if requeue then begin
+                if not (is_in_ready_queue t proc) then
+                  append_unlocked t ~vp ~resource:"ready queue"
+                    (ready_list t (priority_of t proc))
+                    proc
+              end
+              else if is_in_ready_queue t proc then
+                remove_unlocked t ~vp ~resource:"ready queue"
+                  (ready_list t (priority_of t proc))
+                  proc)
+        in
+        now
+    | Stealing ->
         t.running.(vp) <- Oop.sentinel;
-        if requeue then begin
-          if not (is_in_ready_queue t proc) then
-            append_unlocked t ~vp (ready_list t (priority_of t proc)) proc
-        end
-        else if is_in_ready_queue t proc then
-          remove_unlocked t ~vp (ready_list t (priority_of t proc)) proc)
+        let ml = Heap.get (heap t) proc Layout.Process.my_list in
+        let now, () =
+          match deque_index t ml with
+          | Some i ->
+              (* already chained into some processor's deque: clear the
+                 running mark under that deque's lock; drop it from the
+                 queue when it is leaving the ready set *)
+              deque_critical t ~vp ~owner:(deque_owner_of_index i) ~now
+                (fun resource ->
+                  set_running_on_u t ~vp ~resource proc None;
+                  if not requeue then
+                    remove_unlocked t ~vp ~resource t.deques.(i) proc)
+          | None ->
+              let owner = home_for t ~vp in
+              deque_critical t ~vp ~owner ~now (fun resource ->
+                  set_running_on_u t ~vp ~resource proc None;
+                  if requeue then
+                    append_unlocked t ~vp ~resource
+                      (deque t ~owner ~priority:(priority_of t proc))
+                      proc)
+        in
+        now
   in
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
   now
 
 (* Recover the Process that was running on a crashed processor.  The
-   engine (not any vp) takes the scheduler lock, stores the Process's
+   engine (not any vp) takes the queue lock, stores the Process's
    current context back into [suspended_context] — coherent even
    mid-method, because pc and sp write through to the heap at every
    step — detaches it from the dead processor and returns it to the
-   ready queue, where any surviving processor can pick it up.  If the
-   dead processor crashed while *holding* the scheduler lock, this
-   acquire is exactly what the spin watchdog catches. *)
+   ready queue, where any surviving processor can pick it up.  A victim
+   already chained into a ready list or deque is left where it is — a
+   second enqueue would corrupt the chain — and a Process stranded in
+   the dead owner's deque stays stealable, because victim selection
+   scans every deque, the dead owner's included.  If the dead processor
+   crashed while *holding* the queue lock, this acquire is exactly what
+   the spin watchdog catches. *)
 let failover t ~now ~dead proc ctx =
-  let now, () =
-    Spinlock.critical ~vp:(-1) t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+  let now =
+    match t.strategy with
+    | Locked ->
+        let now, () =
+          Spinlock.critical ~vp:(-1) t.lock ~now ~op_cycles:t.op_cycles
+            (fun () ->
+              t.failovers <- t.failovers + 1;
+              store t ~vp:(-1) ~resource:"ready queue" proc
+                Layout.Process.suspended_context ctx;
+              set_running_on_u t ~vp:(-1) ~resource:"ready queue" proc None;
+              t.running.(dead) <- Oop.sentinel;
+              if not (is_in_ready_queue t proc) then
+                append_unlocked t ~vp:(-1) ~resource:"ready queue"
+                  (ready_list t (priority_of t proc))
+                  proc;
+              (* as [wake] does: without this, a recovered Process of higher
+                 priority would sit in the queue forever while the survivors
+                 run background work that never yields *)
+              request_preemption t ~priority:(priority_of t proc))
+        in
+        now
+    | Stealing ->
         t.failovers <- t.failovers + 1;
-        store t ~vp:(-1) proc Layout.Process.suspended_context ctx;
-        set_running_on_u t ~vp:(-1) proc None;
         t.running.(dead) <- Oop.sentinel;
-        if not (is_in_ready_queue t proc) then
-          append_unlocked t ~vp:(-1) (ready_list t (priority_of t proc)) proc;
-        (* as [wake] does: without this, a recovered Process of higher
-           priority would sit in the queue forever while the survivors
-           run background work that never yields *)
-        request_preemption t ~priority:(priority_of t proc))
+        let ml = Heap.get (heap t) proc Layout.Process.my_list in
+        let now, () =
+          match deque_index t ml with
+          | Some i ->
+              (* already queued (MS keeps running Processes in their
+                 deque): leave it in place — survivors steal it from the
+                 dead owner's deque *)
+              deque_critical t ~vp:(-1) ~owner:(deque_owner_of_index i) ~now
+                (fun resource ->
+                  store t ~vp:(-1) ~resource proc
+                    Layout.Process.suspended_context ctx;
+                  set_running_on_u t ~vp:(-1) ~resource proc None)
+          | None ->
+              let owner = home_for ~exclude:dead t ~vp:(-1) in
+              deque_critical t ~vp:(-1) ~owner ~now (fun resource ->
+                  store t ~vp:(-1) ~resource proc
+                    Layout.Process.suspended_context ctx;
+                  push_front_unlocked t ~vp:(-1) ~resource
+                    (deque t ~owner ~priority:(priority_of t proc))
+                    proc;
+                  set_running_on_u t ~vp:(-1) ~resource proc None)
+        in
+        request_preemption t ~priority:(priority_of t proc);
+        now
   in
   let now = flush_remembers t ~now ~vp:(-1) in
   check_invariants t ~now ~vp:(-1);
@@ -393,19 +770,101 @@ let failover t ~now ~dead proc ctx =
 
 let failovers t = t.failovers
 
-(* Move the current Process to the back of its priority list. *)
+(* Move the current Process to the back of its priority list: equal-
+   priority peers run first, and in stealing mode the back is also the
+   steal-preferred FIFO end, so a yielded Process is the first work a
+   hungry processor takes. *)
 let yield t ~now ~vp proc =
-  let now, () =
-    Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
-        let list = ready_list t (priority_of t proc) in
-        if is_in_ready_queue t proc then remove_unlocked t ~vp list proc;
-        append_unlocked t ~vp list proc;
-        set_running_on_u t ~vp proc None;
-        t.running.(vp) <- Oop.sentinel)
+  let now =
+    match t.strategy with
+    | Locked ->
+        let now, () =
+          Spinlock.critical ~vp t.lock ~now ~op_cycles:t.op_cycles (fun () ->
+              let list = ready_list t (priority_of t proc) in
+              if is_in_ready_queue t proc then
+                remove_unlocked t ~vp ~resource:"ready queue" list proc;
+              append_unlocked t ~vp ~resource:"ready queue" list proc;
+              set_running_on_u t ~vp ~resource:"ready queue" proc None;
+              t.running.(vp) <- Oop.sentinel)
+        in
+        now
+    | Stealing ->
+        t.running.(vp) <- Oop.sentinel;
+        let priority = priority_of t proc in
+        let ml = Heap.get (heap t) proc Layout.Process.my_list in
+        let now =
+          match deque_index t ml with
+          | Some i when deque_owner_of_index i = vp ->
+              let now, () =
+                deque_critical t ~vp ~owner:vp ~now (fun resource ->
+                    remove_unlocked t ~vp ~resource t.deques.(i) proc;
+                    append_unlocked t ~vp ~resource
+                      (deque t ~owner:vp ~priority)
+                      proc;
+                    set_running_on_u t ~vp ~resource proc None)
+              in
+              now
+          | Some i ->
+              (* chained into another processor's deque: unlink under
+                 that lock, then re-queue at home under our own *)
+              let now, () =
+                deque_critical t ~vp ~owner:(deque_owner_of_index i) ~now
+                  (fun resource ->
+                    remove_unlocked t ~vp ~resource t.deques.(i) proc)
+              in
+              let now, () =
+                deque_critical t ~vp ~owner:vp ~now (fun resource ->
+                    append_unlocked t ~vp ~resource
+                      (deque t ~owner:vp ~priority)
+                      proc;
+                    set_running_on_u t ~vp ~resource proc None)
+              in
+              now
+          | None ->
+              let now, () =
+                deque_critical t ~vp ~owner:vp ~now (fun resource ->
+                    append_unlocked t ~vp ~resource
+                      (deque t ~owner:vp ~priority)
+                      proc;
+                    set_running_on_u t ~vp ~resource proc None)
+              in
+              now
+        in
+        now
   in
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
   now
+
+(* Remove a Process from whatever ready structure holds it: the
+   serialized queue, or — stealing — the deque its [my_list] names,
+   under that deque's lock.  Suspend, terminate and priority changes go
+   through this, because another processor's wake may have homed the
+   Process on any deque. *)
+let remove_from_ready ?(vp = -1) t ~now proc =
+  match t.strategy with
+  | Locked -> ll_remove ~vp t ~now (ready_list t (priority_of t proc)) proc
+  | Stealing -> (
+      let ml = Heap.get (heap t) proc Layout.Process.my_list in
+      match deque_index t ml with
+      | None -> now
+      | Some i ->
+          let now, () =
+            deque_critical t ~vp ~owner:(deque_owner_of_index i) ~now
+              (fun resource ->
+                remove_unlocked t ~vp ~resource t.deques.(i) proc)
+          in
+          let now = flush_remembers t ~now ~vp in
+          check_invariants t ~now ~vp;
+          now)
+
+(* The lock a processor's periodic scheduling check touches: the shared
+   scheduler lock, or — stealing — the processor's own deque lock, so
+   the check does not serialize every running processor. *)
+let sched_check_lock t ~vp =
+  match t.strategy with
+  | Locked -> t.lock
+  | Stealing -> t.deque_locks.(vp)
 
 (* A preemption demanded from outside the priority machinery — the
    schedule explorer's forced-preemption decision.  The flag is honoured
@@ -424,24 +883,44 @@ let take_preempt_flag t vp =
   end
   else false
 
-(* Is there a ready, not-running Process with priority above [p]? *)
+(* Is there a ready, not-running Process with priority strictly above
+   [p]?  A tie is not better: preemption is strictly-lower only. *)
 let better_ready t ~than:p =
   let h = heap t in
   let n = nil t in
+  let eligible_in list =
+    let rec scan cur =
+      if Oop.equal cur n then false
+      else if
+        running_on t cur = None
+        && process_state t cur = Layout.Process_state.runnable
+      then true
+      else scan (Heap.get h cur Layout.Process.next_link)
+    in
+    scan (Heap.get h list Layout.Linked_list.first)
+  in
   let rec check priority =
     if priority <= p then false
-    else begin
-      let list = ready_list t priority in
-      let rec scan cur =
-        if Oop.equal cur n then false
-        else if
-          running_on t cur = None
-          && process_state t cur = Layout.Process_state.runnable
-        then true
-        else scan (Heap.get h cur Layout.Process.next_link)
+    else
+      let found =
+        match t.strategy with
+        | Locked -> eligible_in (ready_list t priority)
+        | Stealing ->
+            let any = ref false in
+            for owner = 0 to t.processors - 1 do
+              if (not !any) && eligible_in (deque t ~owner ~priority) then
+                any := true
+            done;
+            !any
       in
-      if scan (Heap.get h list Layout.Linked_list.first) then true
-      else check (priority - 1)
-    end
+      if found then true else check (priority - 1)
   in
   check Layout.Scheduler.priorities
+
+(* --- counters --- *)
+
+let local_picks t = t.local_picks
+let steals t = t.steals
+let failed_steals t = t.failed_steals
+let migrations t = t.migrations
+let stolen_from t = Array.copy t.stolen_from

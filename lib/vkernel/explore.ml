@@ -325,3 +325,14 @@ let load path =
          done
        with End_of_file -> ());
       List.sort (fun a b -> compare a.index b.index) !steps)
+
+(* [load] for a --replay invocation: an empty (or comment-only) trace
+   would silently replay the unperturbed reference schedule and report
+   success for a file that reproduces nothing — reject it instead. *)
+let load_replay path =
+  match load path with
+  | [] ->
+      failwith
+        (Printf.sprintf
+           "%s: no decisions to replay (empty or comment-only trace)" path)
+  | sched -> sched

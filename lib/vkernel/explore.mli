@@ -82,4 +82,9 @@ val save : string -> schedule -> unit
 (** Raises [Failure] on a malformed file. *)
 val load : string -> schedule
 
+(** {!load} for replay: additionally raises [Failure] when the file holds
+    no decisions at all — an empty trace would silently replay the
+    unperturbed schedule. *)
+val load_replay : string -> schedule
+
 val pp : Format.formatter -> schedule -> unit

@@ -449,3 +449,14 @@ let load path =
          done
        with End_of_file -> ());
       List.sort (fun a b -> compare a.index b.index) !steps)
+
+(* [load] for a --replay invocation: an empty (or comment-only) plan
+   would silently run an unperturbed schedule and report success for a
+   file that injects nothing — reject it instead. *)
+let load_replay path =
+  match load path with
+  | [] ->
+      failwith
+        (Printf.sprintf
+           "%s: no faults to replay (empty or comment-only plan)" path)
+  | plan -> plan

@@ -145,3 +145,8 @@ val pp : Format.formatter -> plan -> unit
 val save : string -> plan -> unit
 
 val load : string -> plan
+
+(** {!load} for replay: additionally raises [Failure] when the file holds
+    no faults at all — an empty plan would silently run an unperturbed
+    schedule. *)
+val load_replay : string -> plan

@@ -170,6 +170,13 @@ let fault_event t ~vp ~now ~resource detail =
     Trace.record t.trace ~vp ~time:now ~kind:Trace.Fault_event ~resource
       ~detail
 
+(* Record a successful work steal.  Like faults, steals are simulation
+   events, not violations: when something goes wrong under the stealing
+   scheduler, the dump should show which migrations led up to it. *)
+let steal_event t ~vp ~now ~resource ~detail =
+  if active t then
+    Trace.record t.trace ~vp ~time:now ~kind:Trace.Steal ~resource ~detail
+
 (* --- the parallel-scavenge phase --- *)
 
 let scav_resource = "parallel scavenge"

@@ -89,6 +89,11 @@ val check_owner :
     fault that preceded the failure it caused. *)
 val fault_event : t -> vp:int -> now:int -> resource:string -> string -> unit
 
+(** Record a successful work steal in the trace ring — a simulation
+    event, not a violation, recorded whenever the sanitizer is active. *)
+val steal_event :
+  t -> vp:int -> now:int -> resource:string -> detail:string -> unit
+
 (** {2 The parallel-scavenge phase}
 
     The engine disarms the lock checker around the stop-the-world

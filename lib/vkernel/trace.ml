@@ -13,6 +13,7 @@ type kind =
   | Violation
   | Sched_decision
   | Fault_event
+  | Steal
 
 type event = {
   vp : int;
@@ -70,6 +71,7 @@ let kind_name = function
   | Violation -> "VIOLATION"
   | Sched_decision -> "decide"
   | Fault_event -> "FAULT"
+  | Steal -> "steal"
 
 let pp_event fmt e =
   let vp = if e.vp < 0 then "--" else string_of_int e.vp in

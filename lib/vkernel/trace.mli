@@ -18,6 +18,7 @@ type kind =
   | Violation  (** a sanitizer invariant failed *)
   | Sched_decision  (** the schedule explorer perturbed a decision *)
   | Fault_event  (** an injected fault or a recovery action *)
+  | Steal  (** a work-stealing scheduler took a Process from a victim *)
 
 type event = {
   vp : int;  (** virtual processor id, or -1 for the engine *)

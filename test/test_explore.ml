@@ -147,6 +147,27 @@ let test_load_rejects_garbage () =
       | _ -> Alcotest.fail "expected Failure on a malformed line"
       | exception Failure _ -> ())
 
+(* An empty (or comment-only) trace is a legal file, but replaying it
+   would silently run the unperturbed schedule — load_replay must refuse
+   it and pass real traces through untouched. *)
+let test_load_replay_rejects_empty () =
+  let file = Filename.temp_file "mst-trace" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "# mst decision trace v1\n# nothing recorded\n";
+      close_out oc;
+      check "load itself accepts the empty trace" 0
+        (List.length (Explore.load file));
+      (match Explore.load_replay file with
+       | _ -> Alcotest.fail "expected Failure on an empty replay trace"
+       | exception Failure _ -> ());
+      let sched = [ { Explore.index = 4; decision = Explore.Tie_pick 1 } ] in
+      Explore.save file sched;
+      check_bool "a real trace passes through load_replay" true
+        (Explore.load_replay file = sched))
+
 (* --- shrinking --- *)
 
 (* A synthetic failure: the run "fails" exactly when the schedule still
@@ -252,6 +273,65 @@ let test_broken_ctx_found () =
   expect_counterexample "ctx-unbracketed"
     (Explorer.broken_ctx_setup ~quick:true ())
 
+(* --- the work-stealing scheduler (E16) --- *)
+
+(* Exploring the stealing scheduler against a *locked* reference makes
+   the oracle differential across representations: a steal that loses,
+   duplicates or reorders an answer-reaching Process diverges from the
+   serialized queue's observables even when no lock discipline was
+   violated. *)
+let test_stealing_explores_clean_vs_locked () =
+  let r =
+    Explorer.explore
+      ~reference_setup:(Explorer.ms_setup ~quick:true ())
+      (Explorer.stealing_setup ~quick:true ())
+      ~seeds:3
+  in
+  check "stealing explores clean against the locked reference" 0
+    (List.length r.Explorer.counterexamples);
+  check_bool "the seeds actually perturbed the schedule" true
+    (r.Explorer.perturbations > 0)
+
+(* The same claim as a 50-seed property on 2 and 3 processors: every
+   perturbed stealing run must match the locked scheduler's unperturbed
+   observables (result, transcript and stable-root census). *)
+let steal_vs_locked_prop =
+  let references =
+    lazy
+      (List.map
+         (fun p ->
+           (p, Explorer.reference (Explorer.ms_setup ~processors:p ~quick:true ())))
+         [ 2; 3 ])
+  in
+  QCheck.Test.make ~count:50
+    ~name:"stealing matches the locked scheduler on every seed (2-3 vps)"
+    QCheck.(pair (int_range 2 3) (int_range 0 1_000_000))
+    (fun (processors, seed) ->
+      let reference = List.assoc processors (Lazy.force references) in
+      let o =
+        Explorer.run_seed
+          (Explorer.stealing_setup ~processors ~quick:true ())
+          ~seed
+      in
+      Explorer.check ~reference o = None)
+
+(* The deliberately broken steal protocol (no deque-lock brackets) must
+   be caught by the strict sanitizer on *every* seed — the unguarded
+   mutation happens on the very first deque operation, perturbed or
+   not. *)
+let test_broken_steal_found_every_seed () =
+  let setup = Explorer.broken_steal_setup ~quick:true () in
+  let r = Explorer.explore setup ~seeds:4 in
+  check "every seed yields a counterexample" 4
+    (List.length r.Explorer.counterexamples);
+  List.iter
+    (fun c ->
+      check_bool
+        (Printf.sprintf "steal-unlocked: seed %d's shrunk schedule reproduces"
+           c.Explorer.seed)
+        true c.Explorer.reproduces)
+    r.Explorer.counterexamples
+
 (* --- fault plumbing --- *)
 
 (* The fault setup arms the watchdog, but an injector that never fires
@@ -275,6 +355,7 @@ let () =
   let qtests =
     List.map QCheck_alcotest.to_alcotest [ save_load_roundtrip_prop ]
   in
+  let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "explore"
     [ ("policy",
        [ Alcotest.test_case "default tie break" `Quick test_default_tie_break;
@@ -286,8 +367,11 @@ let () =
       ("seeded",
        [ Alcotest.test_case "deterministic" `Quick test_seeded_deterministic;
          Alcotest.test_case "indices ascend" `Quick test_seeded_indices_ascend ]);
-      ("files", Alcotest.test_case "malformed rejected" `Quick
-           test_load_rejects_garbage :: qtests);
+      ("files",
+       Alcotest.test_case "malformed rejected" `Quick test_load_rejects_garbage
+       :: Alcotest.test_case "empty replay rejected" `Quick
+            test_load_replay_rejects_empty
+       :: qtests);
       ("shrink",
        [ Alcotest.test_case "synthetic failure" `Quick test_shrink_synthetic;
          Alcotest.test_case "budget" `Quick test_shrink_budget_respected ]);
@@ -301,4 +385,10 @@ let () =
          Alcotest.test_case "unbracketed ctx caught" `Quick
            test_broken_ctx_found;
          Alcotest.test_case "fault setup without faults is the reference"
-           `Quick test_fault_setup_no_faults_is_reference ]) ]
+           `Quick test_fault_setup_no_faults_is_reference ]);
+      ("stealing",
+       [ Alcotest.test_case "explores clean vs locked" `Quick
+           test_stealing_explores_clean_vs_locked;
+         q steal_vs_locked_prop;
+         Alcotest.test_case "unlocked steal caught every seed" `Quick
+           test_broken_steal_found_every_seed ]) ]

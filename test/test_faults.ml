@@ -123,6 +123,119 @@ let test_crash_failover_preserves_result () =
   check_bool "its free-context list was abandoned" true
     (r.Instrumentation.ctx_abandons >= 1)
 
+(* --- failover never double-enqueues --- *)
+
+let count_in_list h nil proc list =
+  let rec go cur n =
+    if Oop.equal cur nil then n
+    else
+      go
+        (Heap.get h cur Layout.Process.next_link)
+        (if Oop.equal cur proc then n + 1 else n)
+  in
+  go (Heap.get h list Layout.Linked_list.first) 0
+
+(* Every ready structure the scheduler owns: the serialized per-priority
+   lists, or all processors' deques. *)
+let count_everywhere vm proc =
+  let sched = vm.Vm.shared.State.sched in
+  let h = vm.Vm.heap in
+  let nil = vm.Vm.u.Universe.nil in
+  let total = ref 0 in
+  for priority = 1 to Layout.Scheduler.priorities do
+    match sched.Scheduler.strategy with
+    | Scheduler.Locked ->
+        total :=
+          !total + count_in_list h nil proc (Scheduler.ready_list sched priority)
+    | Scheduler.Stealing ->
+        for owner = 0 to sched.Scheduler.processors - 1 do
+          total :=
+            !total
+            + count_in_list h nil proc (Scheduler.deque sched ~owner ~priority)
+        done
+  done;
+  !total
+
+(* MS keeps the running Process in its ready list, so the victim of a
+   crash is usually still chained in when failover recovers it; the
+   recovery must leave it queued exactly once, never append a second
+   link (which would corrupt the list the moment either link is
+   unchained). *)
+let failover_keeps_single_membership vm =
+  let sched = vm.Vm.shared.State.sched in
+  let h = vm.Vm.heap in
+  let proc = Vm.spawn vm "1" in
+  Scheduler.set_running_on sched proc (Some 1);
+  sched.Scheduler.running.(1) <- proc;
+  check "queued once before the crash" 1 (count_everywhere vm proc);
+  let ctx = Heap.get h proc Layout.Process.suspended_context in
+  ignore (Scheduler.failover sched ~now:0 ~dead:1 proc ctx);
+  check "queued exactly once after failover" 1 (count_everywhere vm proc);
+  check_bool "detached from the dead processor" true
+    (Scheduler.running_on sched proc = None);
+  check "the recovery was counted" 1 (Scheduler.failovers sched)
+
+let test_failover_no_double_enqueue () =
+  failover_keeps_single_membership (Testkit.fault_vm None)
+
+let test_failover_no_double_enqueue_stealing () =
+  failover_keeps_single_membership
+    (Testkit.fault_vm ~scheduler:Config.Sched_stealing None)
+
+(* Crash-during-yield regression: a yield-heavy victim keeps re-chaining
+   itself through the ready queue, so a crash delivered anywhere in that
+   loop exercises failover against a queued victim.  The answer must be
+   the no-fault one, at the first two distinct indices that honour the
+   crash. *)
+let yield_eval_source =
+  "| s | s := 0. 1 to: 60 do: [:i | s := s + i. Processor yield]. s"
+
+let eval_yield_with ?scheduler injector =
+  let vm = Testkit.fault_vm ?scheduler injector in
+  ignore (Workloads.spawn_busy vm 4);
+  let result = Vm.eval_to_string vm yield_eval_source in
+  (vm, result)
+
+let test_crash_during_yield_preserves_result () =
+  let _, expected = eval_yield_with None in
+  let hits = ref 0 in
+  let index = ref 0 in
+  while !hits < 2 && !index <= 400 do
+    let inj = Fault.replay (Testkit.crash_plan !index) in
+    let vm, got = eval_yield_with (Some inj) in
+    if Fault.injected inj <> [] then begin
+      incr hits;
+      check_str
+        (Printf.sprintf "crash at index %d amid yielding keeps the answer"
+           !index)
+        expected got;
+      check "one crash was delivered" 1 vm.Vm.crashes_delivered
+    end;
+    incr index
+  done;
+  check "two indices honoured the crash" 2 !hits
+
+(* E16: crashing a deque owner must strand nothing — the dead
+   processor's deque stays stealable and the victim Process fails over,
+   with the answer unchanged under the strict sanitizer. *)
+let test_deque_owner_crash_stealing () =
+  let scheduler = Config.Sched_stealing in
+  let _, expected = eval_yield_with ~scheduler None in
+  let rec honoured index =
+    if index > 400 then Alcotest.fail "no index reached a scheduling check"
+    else
+      let inj = Fault.replay (Testkit.crash_plan index) in
+      let vm, got = eval_yield_with ~scheduler (Some inj) in
+      if Fault.injected inj = [] then honoured (index + 1) else (vm, got)
+  in
+  let vm, got = honoured 0 in
+  check_str "the answer survives a deque owner's crash" expected got;
+  check "one crash was delivered" 1 vm.Vm.crashes_delivered;
+  let r = Instrumentation.gather vm in
+  check "the dead owner's Process failed over" 1 r.Instrumentation.failovers;
+  check_bool "the stealing scheduler was active" true
+    r.Instrumentation.steal.Instrumentation.stealing
+
 (* The headline identity: an installed injector that never fires leaves
    the run bit-identical to the seed — same answer, same virtual time. *)
 let no_fault_identity_prop =
@@ -229,6 +342,27 @@ let test_load_rejects_garbage () =
       | _ -> Alcotest.fail "expected Failure on a malformed line"
       | exception Failure _ -> ())
 
+(* An empty (or comment-only) plan is a legal file, but replaying it
+   would silently run unperturbed — load_replay must refuse it and pass
+   real plans through untouched. *)
+let test_load_replay_rejects_empty () =
+  let file = Filename.temp_file "mst-fault" ".plan" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let oc = open_out file in
+      output_string oc "# mst fault plan v1\n# nothing recorded\n";
+      close_out oc;
+      check "load itself accepts the empty plan" 0
+        (List.length (Fault.load file));
+      (match Fault.load_replay file with
+       | _ -> Alcotest.fail "expected Failure on an empty replay plan"
+       | exception Failure _ -> ());
+      let plan = Testkit.crash_plan 7 in
+      Fault.save file plan;
+      check_bool "a real plan passes through load_replay" true
+        (Fault.load_replay file = plan))
+
 (* A synthetic failure needing exactly two of six faults: ddmin must
    find a two-step plan that still fails. *)
 let test_shrink_minimal () =
@@ -266,6 +400,14 @@ let () =
       ("crash",
        [ Alcotest.test_case "failover preserves the answer" `Quick
            test_crash_failover_preserves_result;
+         Alcotest.test_case "failover never double-enqueues" `Quick
+           test_failover_no_double_enqueue;
+         Alcotest.test_case "failover never double-enqueues (stealing)"
+           `Quick test_failover_no_double_enqueue_stealing;
+         Alcotest.test_case "crash during yield" `Quick
+           test_crash_during_yield_preserves_result;
+         Alcotest.test_case "deque owner crash (stealing)" `Quick
+           test_deque_owner_crash_stealing;
          q no_fault_identity_prop;
          q single_crash_survives_prop;
          Alcotest.test_case "crash campaign on macro benchmarks" `Slow
@@ -279,4 +421,6 @@ let () =
        [ q plan_roundtrip_prop;
          Alcotest.test_case "malformed rejected" `Quick
            test_load_rejects_garbage;
+         Alcotest.test_case "empty replay rejected" `Quick
+           test_load_replay_rejects_empty;
          Alcotest.test_case "shrink minimal" `Quick test_shrink_minimal ]) ]

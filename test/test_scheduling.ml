@@ -257,6 +257,72 @@ sem wait.
 'woken'
 |st})
 
+(* --- preemption strictness (a priority tie never preempts) --- *)
+
+let sched_of vm = vm.Vm.shared.State.sched
+
+let drain_preempt_flags vm =
+  let sched = sched_of vm in
+  Array.iteri
+    (fun vp _ -> ignore (Scheduler.take_preempt_flag sched vp))
+    vm.Vm.states
+
+(* Mark [proc] as executing on [vp], as pick would. *)
+let pretend_running vm ~vp proc =
+  let sched = sched_of vm in
+  Scheduler.set_running_on sched proc (Some vp);
+  sched.Scheduler.running.(vp) <- proc
+
+(* Waking an equal-priority Process must not flag the running one: only
+   a strictly higher priority preempts. *)
+let test_equal_priority_wake_does_not_preempt () =
+  let vm = make ~processors:2 () in
+  let sched = sched_of vm in
+  let a = Vm.spawn vm ~priority:5 "1" in
+  pretend_running vm ~vp:0 a;
+  drain_preempt_flags vm;
+  ignore (Vm.spawn vm ~priority:5 "2");
+  check_bool "an equal-priority wake does not preempt" false
+    (Scheduler.take_preempt_flag sched 0);
+  ignore (Vm.spawn vm ~priority:6 "3");
+  check_bool "a strictly higher wake does" true
+    (Scheduler.take_preempt_flag sched 0)
+
+(* request_preemption picks the worst running victim and only below the
+   given priority — never a tie, and never the higher-priority peer. *)
+let test_request_preemption_strictly_lower () =
+  let vm = make ~processors:3 () in
+  let sched = sched_of vm in
+  let low = Vm.spawn vm ~priority:3 "1" in
+  let high = Vm.spawn vm ~priority:6 "2" in
+  pretend_running vm ~vp:0 low;
+  pretend_running vm ~vp:1 high;
+  drain_preempt_flags vm;
+  Scheduler.request_preemption sched ~priority:3;
+  check_bool "a tie with the worst victim does not flag it" false
+    (Scheduler.take_preempt_flag sched 0);
+  Scheduler.request_preemption sched ~priority:4;
+  check_bool "strictly above the worst victim flags it" true
+    (Scheduler.take_preempt_flag sched 0);
+  check_bool "the higher-priority peer is left alone" false
+    (Scheduler.take_preempt_flag sched 1);
+  Scheduler.request_preemption sched ~priority:7;
+  check_bool "the worst victim is chosen, not the first below" true
+    (Scheduler.take_preempt_flag sched 0);
+  check_bool "even above both, only one processor is flagged" false
+    (Scheduler.take_preempt_flag sched 1)
+
+(* better_ready is the scheduling check's question; equal priority must
+   answer no, or every check would bounce the running Process. *)
+let test_better_ready_strict () =
+  let vm = make ~processors:2 () in
+  let sched = sched_of vm in
+  ignore (Vm.spawn vm ~priority:5 "1");
+  check_bool "an equal-priority ready Process is not better" false
+    (Scheduler.better_ready sched ~than:5);
+  check_bool "it is better than a lower bar" true
+    (Scheduler.better_ready sched ~than:4)
+
 let test_deadlock_detection () =
   let vm = make ~processors:2 () in
   let proc = Vm.spawn vm "| s | s := Semaphore new. s wait. 1" in
@@ -282,6 +348,102 @@ kit := WorkerKit new.
   let active = Array.fold_left (fun n st -> if st.State.steps > 0 then n + 1 else n) 0 vm.Vm.states in
   check_bool "more than one processor executed bytecodes" true (active > 1)
 
+(* --- the work-stealing scheduler (E16) --- *)
+
+let make_stealing ?(processors = 4) () =
+  Vm.create
+    { (Config.testing ~processors ()) with
+      Config.scheduler = Config.Sched_stealing }
+
+(* The fork/join answer must not depend on the ready-queue
+   representation, and the per-deque counters must account for every
+   satisfied pick. *)
+let test_fork_join_stealing () =
+  let run vm =
+    Vm.load_classes vm worker_kit;
+    Vm.eval_to_string vm
+      {st|
+| results sem kit ok |
+results := Array new: 4.
+sem := Semaphore new.
+kit := WorkerKit new.
+1 to: 4 do: [:k | kit spawn: k into: results done: sem].
+1 to: 4 do: [:k | sem wait].
+ok := true.
+1 to: 4 do: [:k |
+    (results at: k) = (k * 100 * (k * 100 + 1) // 2) ifFalse: [ok := false]].
+ok
+|st}
+  in
+  let stealing = make_stealing () in
+  let got = run stealing in
+  check_str "stealing computes the fork/join answer" "true" got;
+  check_str "and it matches the locked scheduler's" (run (make ~processors:4 ()))
+    got;
+  let sched = sched_of stealing in
+  check_bool "every pick was local or stolen" true
+    (Scheduler.local_picks sched + Scheduler.steals sched > 0);
+  let stolen = Array.fold_left ( + ) 0 (Scheduler.stolen_from sched) in
+  check_bool "victim counts agree with the steal counter" true
+    (stolen = Scheduler.steals sched)
+
+(* Priority order survives the deques: victim selection is
+   priority-aware, so the highest-priority ready Process still runs
+   first even on one processor's private deques. *)
+let test_priorities_stealing () =
+  let vm = make_stealing ~processors:1 () in
+  Vm.load_classes vm worker_kit;
+  check_str "priority order on a stealing uniprocessor" "'HL'"
+    (Vm.eval_to_string vm
+       {st|
+| log sem |
+log := WriteStream on: (String new: 4).
+sem := Semaphore new.
+[ log nextPutAll: 'L'. sem signal ] forkAt: 2.
+[ log nextPutAll: 'H'. sem signal ] forkAt: 6.
+sem wait. sem wait.
+log contents
+|st})
+
+(* Yield appends at the steal-preferred FIFO end; an equal-priority peer
+   still gets in. *)
+let test_yield_stealing () =
+  let vm = make_stealing ~processors:1 () in
+  check_str "yield lets an equal-priority process in (stealing)" "'ab'"
+    (Vm.eval_to_string vm
+       {st|
+| log sem |
+log := WriteStream on: (String new: 4).
+sem := Semaphore new.
+[ log nextPutAll: 'a'. sem signal ] forkAt: 5.
+Processor yield.
+log nextPutAll: 'b'.
+sem wait.
+log contents
+|st})
+
+let test_spread_over_processors_stealing () =
+  let vm = make_stealing ~processors:4 () in
+  Vm.load_classes vm worker_kit;
+  ignore
+    (Vm.eval vm
+       {st|
+| results sem kit |
+results := Array new: 3.
+sem := Semaphore new.
+kit := WorkerKit new.
+1 to: 3 do: [:k | kit spawn: k into: results done: sem].
+1 to: 3 do: [:k | sem wait].
+0
+|st});
+  let active =
+    Array.fold_left
+      (fun n st -> if st.State.steps > 0 then n + 1 else n)
+      0 vm.Vm.states
+  in
+  check_bool "work spread beyond one processor via the deques" true
+    (active > 1)
+
 let () =
   Alcotest.run "scheduling"
     [ ("processes",
@@ -293,6 +455,19 @@ let () =
          Alcotest.test_case "terminate" `Quick test_terminate;
          Alcotest.test_case "spread over processors" `Quick
            test_processes_spread_over_processors ]);
+      ("preemption-strictness",
+       [ Alcotest.test_case "equal-priority wake does not preempt" `Quick
+           test_equal_priority_wake_does_not_preempt;
+         Alcotest.test_case "request_preemption strictly lower" `Quick
+           test_request_preemption_strictly_lower;
+         Alcotest.test_case "better_ready strict" `Quick
+           test_better_ready_strict ]);
+      ("stealing",
+       [ Alcotest.test_case "fork/join" `Quick test_fork_join_stealing;
+         Alcotest.test_case "priorities" `Quick test_priorities_stealing;
+         Alcotest.test_case "yield" `Quick test_yield_stealing;
+         Alcotest.test_case "spread over processors" `Quick
+           test_spread_over_processors_stealing ]);
       ("semaphores",
        [ Alcotest.test_case "excess signals" `Quick test_semaphore_excess;
          Alcotest.test_case "mutual exclusion" `Quick test_mutual_exclusion;

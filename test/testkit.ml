@@ -103,6 +103,14 @@ let strict_config ?(processors = 2) () =
 
 let strict_vm ?processors () = Vm.create (strict_config ?processors ())
 
+(* Strict VM on the work-stealing scheduler (E16): per-processor ready
+   deques instead of the serialized queue. *)
+let stealing_config ?(processors = 3) () =
+  { (strict_config ~processors ()) with
+    Config.scheduler = Config.Sched_stealing }
+
+let stealing_vm ?processors () = Vm.create (stealing_config ?processors ())
+
 (* A workload that exercises allocation, message sends and the transcript
    lock — enough traffic for the sanitizer to have something to watch. *)
 let busy_eval_source =
@@ -155,16 +163,20 @@ let fault_plan_arb =
    so the default bound of 2000 quanta = 8000 cycles sits above every
    injected stall bound: only a lock held by a dead processor trips it. *)
 let fault_config ?(processors = 4) ?(watchdog_quanta = 2000)
-    ?(backoff_quanta = 4) () =
+    ?(backoff_quanta = 4) ?(scheduler = Config.Sched_locked) () =
   { (strict_config ~processors ()) with
     Config.watchdog_quanta;
-    Config.backoff_quanta }
+    Config.backoff_quanta;
+    Config.scheduler }
 
 (* [fault_vm injector] is a strict watchdog VM with [injector] installed
    (pass [None] for a fault-free control on the identical config). *)
-let fault_vm ?processors ?watchdog_quanta ?backoff_quanta injector =
+let fault_vm ?processors ?watchdog_quanta ?backoff_quanta ?scheduler injector
+    =
   let vm =
-    Vm.create (fault_config ?processors ?watchdog_quanta ?backoff_quanta ())
+    Vm.create
+      (fault_config ?processors ?watchdog_quanta ?backoff_quanta ?scheduler
+         ())
   in
   Vm.set_fault_injector vm injector;
   vm
