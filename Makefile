@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke bench clean
 
 all: build
 
@@ -51,6 +51,15 @@ steal-smoke:
 	dune exec bin/mst.exe -- explore --config=steal-unlocked --seeds=4 --quick \
 	  --expect-violation --dump /tmp/mst-explore-steal
 
+# E17 image server: a strict-sanitized closed-loop serve on the calendar
+# engine, run differentially so the scan engine must agree on every
+# request-level observable, plus a calendar-engine schedule exploration
+# checked against the scan engine's observables on every seed.
+server-smoke:
+	dune exec bin/mst.exe -- serve -p 8 --sessions 4 --workers 2 \
+	  --requests 2 --think-ms 100 --sanitize=strict --differential
+	dune exec bin/mst.exe -- explore --config=calendar --seeds=8 --quick
+
 check:
 	dune build
 	dune runtest
@@ -58,6 +67,7 @@ check:
 	$(MAKE) explore-smoke
 	$(MAKE) fault-smoke
 	$(MAKE) steal-smoke
+	$(MAKE) server-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

@@ -132,6 +132,110 @@ let run_e16_steal ~quick () =
   write_steal_json ~workers rows;
   Format.fprintf fmt "@.(rows written to %s)@." steal_json_file
 
+(* --- E17: the image server on the event-calendar engine --- *)
+
+let server_json_file = "BENCH_e17_server.json"
+
+type server_row = {
+  srv_sessions : int;
+  scan : Server.stats * float;      (* stats, host wall seconds *)
+  calendar : Server.stats * float;
+}
+
+let run_server_once config p =
+  let t0 = Unix.gettimeofday () in
+  let _vm, stats = Server.run config p in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not stats.Server.quiesced then
+    failwith "e17-server: run did not quiesce";
+  (stats, wall)
+
+let write_server_json ~vps ~workers ~requests ~think_ms rows =
+  let oc = open_out server_json_file in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"e17_image_server\",\n  \"vps\": %d,\n\
+     \  \"workers\": %d,\n  \"requests_per_session\": %d,\n\
+     \  \"think_ms\": %d,\n  \"rows\": [\n"
+    vps workers requests think_ms;
+  let emit i row =
+    let (sc, sc_wall) = row.scan and (ca, ca_wall) = row.calendar in
+    let host_events s wall = float_of_int s.Server.engine_events /. wall in
+    let req_per_sim s =
+      if s.Server.sim_seconds > 0. then
+        float_of_int s.Server.completed /. s.Server.sim_seconds
+      else 0.
+    in
+    Printf.fprintf oc
+      "    {\"sessions\": %d, \"completed\": %d,\n\
+       \     \"scan\": {\"wall_seconds\": %.4f, \"engine_events\": %d, \
+       \"host_events_per_sec\": %.0f, \"sim_requests_per_sec\": %.3f, \
+       \"latency_p50_cycles\": %d, \"latency_p99_cycles\": %d},\n\
+       \     \"calendar\": {\"wall_seconds\": %.4f, \"engine_events\": %d, \
+       \"host_events_per_sec\": %.0f, \"sim_requests_per_sec\": %.3f, \
+       \"latency_p50_cycles\": %d, \"latency_p99_cycles\": %d, \
+       \"parks\": %d},\n\
+       \     \"wall_speedup\": %.2f, \"host_cycles_per_sec_speedup\": %.2f}%s\n"
+      row.srv_sessions sc.Server.completed
+      sc_wall sc.Server.engine_events (host_events sc sc_wall)
+      (req_per_sim sc) sc.Server.latency.Server.p50
+      sc.Server.latency.Server.p99
+      ca_wall ca.Server.engine_events (host_events ca ca_wall)
+      (req_per_sim ca) ca.Server.latency.Server.p50
+      ca.Server.latency.Server.p99 ca.Server.parks
+      (sc_wall /. ca_wall)
+      (float_of_int ca.Server.run_cycles /. ca_wall
+       /. (float_of_int sc.Server.run_cycles /. sc_wall))
+      (if i = List.length rows - 1 then "" else ",")
+  in
+  List.iteri emit rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_e17_server ~quick () =
+  section
+    "E17: image server (browse/inspect/compile sessions), scan vs calendar \
+     engine";
+  let vps = if quick then 16 else 64 in
+  let workers = if quick then 4 else 8 in
+  let requests = if quick then 2 else 4 in
+  let think_ms = 10000 in
+  let session_counts = if quick then [ 4; 8 ] else [ 8; 16; 32; 64 ] in
+  Format.fprintf fmt
+    "%d processors, %d workers, %d requests/session, closed loop, think %d \
+     ms (mostly idle)@.@."
+    vps workers requests think_ms;
+  Format.fprintf fmt
+    "  %8s %10s | %12s %14s | %12s %14s | %8s@."
+    "sessions" "completed" "scan wall(s)" "scan events/s" "cal wall(s)"
+    "cal events/s" "speedup";
+  let rows =
+    List.map
+      (fun sessions ->
+        let p =
+          { Server.default_params with
+            Server.sessions; workers; requests; think_ms;
+            loop = Server.Closed }
+        in
+        let base = { (Config.ms ~processors:vps ()) with
+                     Config.sanitize = !sanitize_mode } in
+        let scan = run_server_once base p in
+        let calendar =
+          run_server_once
+            { base with Config.engine = Config.Engine_calendar } p
+        in
+        let (sc, sc_wall) = scan and (ca, ca_wall) = calendar in
+        Format.fprintf fmt "  %8d %10d | %12.3f %14.0f | %12.3f %14.0f | %7.2fx@."
+          sessions sc.Server.completed sc_wall
+          (float_of_int sc.Server.engine_events /. sc_wall)
+          ca_wall
+          (float_of_int ca.Server.engine_events /. ca_wall)
+          (sc_wall /. ca_wall);
+        { srv_sessions = sessions; scan; calendar })
+      session_counts
+  in
+  write_server_json ~vps ~workers ~requests ~think_ms rows;
+  Format.fprintf fmt "@.(rows written to %s)@." server_json_file
+
 (* --- E8/E10: scavenge economics --- *)
 
 let run_scavenge ~quick () =
@@ -266,6 +370,7 @@ let all_sections ~quick =
     ("ablation-eden", fun () -> run_ablation_eden ~quick ());
     ("ablation-sched", fun () -> run_ablation_sched ~quick ());
     ("e16-steal", fun () -> run_e16_steal ~quick ());
+    ("e17-server", fun () -> run_e17_server ~quick ());
     ("scavenge", fun () -> run_scavenge ~quick ());
     ("instrumentation", fun () -> run_instrumentation ~quick ());
     ("parallel-scavenge", fun () -> run_parallel_scavenge ~quick ());

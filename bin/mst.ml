@@ -49,14 +49,26 @@ let trace_dump =
   let doc = "After the run, print the last $(docv) sanitizer trace events." in
   Arg.(value & opt int 0 & info [ "trace-dump" ] ~docv:"N" ~doc)
 
+let engine =
+  let doc =
+    "Simulation engine: $(b,scan) (rescan every processor per event) or \
+     $(b,calendar) (event calendar: pending-heap, parked idle processors, \
+     timer heap, E17)."
+  in
+  let engines =
+    [ ("scan", Config.Engine_scan); ("calendar", Config.Engine_calendar) ]
+  in
+  Arg.(value & opt (enum engines) Config.Engine_scan & info [ "engine" ] ~doc)
+
 let make_vm ?(sanitize = Sanitizer.Off) ?(scheduler = Config.Sched_locked)
-    processors state =
+    ?(engine = Config.Engine_scan) processors state =
   let config =
     if processors <= 1 && state = "none" && scheduler = Config.Sched_locked
     then Config.baseline_bs ()
     else Config.ms ~processors:(max processors 1) ()
   in
-  let config = { config with Config.sanitize; Config.scheduler } in
+  let config = { config with Config.sanitize; Config.scheduler;
+                 Config.engine } in
   let vm = Vm.create config in
   (match state with
    | "idle" -> ignore (Workloads.spawn_idle vm 4)
@@ -97,8 +109,8 @@ let catching_faults vm ~trace_dump f =
 
 let eval_cmd =
   let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
-  let run processors state sanitize scheduler trace_dump expr =
-    let vm = make_vm ~sanitize ~scheduler processors state in
+  let run processors state sanitize scheduler engine trace_dump expr =
+    let vm = make_vm ~sanitize ~scheduler ~engine processors state in
     catching_faults vm ~trace_dump (fun () ->
         try print_endline (Vm.eval_to_string vm expr) with
         | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
@@ -114,15 +126,15 @@ let eval_cmd =
     report_sanitizer vm ~trace_dump
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Smalltalk expression")
-    Term.(const run $ processors $ state $ sanitize $ scheduler $ trace_dump
-          $ expr)
+    Term.(const run $ processors $ state $ sanitize $ scheduler $ engine
+          $ trace_dump $ expr)
 
 (* --- run --- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run processors state sanitize scheduler trace_dump file =
-    let vm = make_vm ~sanitize ~scheduler processors state in
+  let run processors state sanitize scheduler engine trace_dump file =
+    let vm = make_vm ~sanitize ~scheduler ~engine processors state in
     let source = In_channel.with_open_text file In_channel.input_all in
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
@@ -142,8 +154,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Load a class file (image-definition format) and run Main new main")
-    Term.(const run $ processors $ state $ sanitize $ scheduler $ trace_dump
-          $ file)
+    Term.(const run $ processors $ state $ sanitize $ scheduler $ engine
+          $ trace_dump $ file)
 
 (* --- explore --- *)
 
@@ -164,14 +176,17 @@ let explore_cmd =
     let doc =
       "Configuration to explore: $(b,ms) (published MS, must stay clean), \
        $(b,stealing) (work-stealing scheduler checked differentially \
-       against the locked queue — must stay clean), $(b,bs-unlocked) \
+       against the locked queue — must stay clean), $(b,calendar) \
+       (event-calendar engine checked differentially against the scan \
+       engine, E17 — must stay clean), $(b,bs-unlocked) \
        (locking disabled on several processors — broken on purpose), \
        $(b,ctx-unbracketed) (shared free-context list with its lock \
        bracket skipped — broken on purpose) or $(b,steal-unlocked) (deque \
        lock brackets skipped — broken on purpose)."
     in
     let configs =
-      [ ("ms", `Ms); ("stealing", `Stealing); ("bs-unlocked", `Unlocked);
+      [ ("ms", `Ms); ("stealing", `Stealing); ("calendar", `Calendar);
+        ("bs-unlocked", `Unlocked);
         ("ctx-unbracketed", `Ctx); ("steal-unlocked", `StealUnlocked) ]
     in
     Arg.(value & opt (enum configs) `Ms & info [ "config" ] ~doc)
@@ -212,6 +227,10 @@ let explore_cmd =
       | `Stealing ->
           ( Explorer.stealing_setup ~processors ?quick (),
             "stealing (vs locked reference)",
+            Some (Explorer.ms_setup ~processors ?quick ()) )
+      | `Calendar ->
+          ( Explorer.calendar_setup ~processors ?quick (),
+            "calendar engine (vs scan reference)",
             Some (Explorer.ms_setup ~processors ?quick ()) )
       | `Unlocked ->
           (Explorer.broken_unlocked_setup ~processors ?quick (), "bs-unlocked",
@@ -492,6 +511,133 @@ let faults_cmd =
       const run $ campaign $ seeds $ first_seed $ quick $ watchdog $ backoff
       $ deadlock $ dump $ replay $ expect_deadlock $ shrink_budget)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let sessions =
+    let doc = "Simulated user sessions issuing requests." in
+    Arg.(value & opt int 8 & info [ "sessions" ] ~doc)
+  in
+  let workers =
+    let doc = "Smalltalk server Processes in the worker pool." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~doc)
+  in
+  let loop =
+    let doc =
+      "Arrival generator: $(b,closed) (each session thinks, then issues \
+       its next request after the previous completes) or $(b,open) \
+       (fixed inter-arrival intervals, completions notwithstanding)."
+    in
+    Arg.(value
+         & opt (enum [ ("closed", Server.Closed); ("open", Server.Open) ])
+             Server.Closed
+         & info [ "loop" ] ~doc)
+  in
+  let requests =
+    let doc = "Requests per session." in
+    Arg.(value & opt int 4 & info [ "requests" ] ~doc)
+  in
+  let think_ms =
+    let doc = "Closed loop: think time between completion and the next \
+               request (simulated ms)." in
+    Arg.(value & opt int 200 & info [ "think-ms" ] ~doc)
+  in
+  let interval_ms =
+    let doc = "Open loop: inter-arrival interval within a session \
+               (simulated ms)." in
+    Arg.(value & opt int 200 & info [ "interval-ms" ] ~doc)
+  in
+  let admit =
+    let doc = "Admission control: maximum in-flight requests (0 = \
+               unlimited); arrivals over the cap are rejected." in
+    Arg.(value & opt int 0 & info [ "admit" ] ~doc)
+  in
+  let engine =
+    let doc =
+      "Simulation engine: $(b,scan) (rescan every processor per event) or \
+       $(b,calendar) (event calendar with parked idle processors, E17)."
+    in
+    Arg.(value
+         & opt (enum [ ("scan", Config.Engine_scan);
+                       ("calendar", Config.Engine_calendar) ])
+             Config.Engine_calendar
+         & info [ "engine" ] ~doc)
+  in
+  let differential =
+    let doc =
+      "Run the same workload on both engines and fail unless they agree \
+       on completions, rejections and per-session counts."
+    in
+    Arg.(value & flag & info [ "differential" ] ~doc)
+  in
+  let serve_config ~processors ~sanitize ~scheduler ~engine =
+    { (Config.ms ~processors ()) with
+      Config.sanitize; Config.scheduler; Config.engine }
+  in
+  let run_one ~label config p =
+    let t0 = Unix.gettimeofday () in
+    let vm, stats = Server.run config p in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "--- %s: %d sessions (%s loop), %d workers, %d \
+                   processors ---\n"
+      label p.Server.sessions
+      (match p.Server.loop with Server.Open -> "open" | Server.Closed -> "closed")
+      p.Server.workers config.Config.processors;
+    Format.printf "%a" (fun fmt -> Server.pp_stats fmt ~cm:config.Config.cost)
+      stats;
+    Printf.printf "host: %.3f s wall, %.0f engine events/s, %.0f bytecodes/s\n"
+      wall
+      (float_of_int stats.Server.engine_events /. wall)
+      (float_of_int stats.Server.steps /. wall);
+    let san = Vm.sanitizer vm in
+    if Sanitizer.active san then Sanitizer.print_report san;
+    if Sanitizer.violation_count san > 0 then exit 1;
+    stats
+  in
+  let run processors sanitize scheduler sessions workers loop requests
+      think_ms interval_ms admit engine differential =
+    let p =
+      { Server.sessions; workers; loop; requests; think_ms; interval_ms;
+        admit }
+    in
+    let processors = max processors 2 in
+    let config = serve_config ~processors ~sanitize ~scheduler ~engine in
+    let stats = run_one ~label:"serve" config p in
+    if differential then begin
+      let other =
+        match engine with
+        | Config.Engine_scan -> Config.Engine_calendar
+        | Config.Engine_calendar -> Config.Engine_scan
+      in
+      let config' = serve_config ~processors ~sanitize ~scheduler ~engine:other in
+      let stats' = run_one ~label:"serve (reference engine)" config' p in
+      let agree =
+        stats.Server.offered = stats'.Server.offered
+        && stats.Server.completed = stats'.Server.completed
+        && stats.Server.rejected = stats'.Server.rejected
+        && stats.Server.per_session = stats'.Server.per_session
+        && stats.Server.quiesced && stats'.Server.quiesced
+      in
+      if agree then print_endline "differential: engines agree"
+      else begin
+        print_endline "differential: ENGINES DISAGREE";
+        exit 1
+      end
+    end
+    else if not stats.Server.quiesced then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the image-server workload (E17): simulated user sessions \
+          issue browse/inspect/compile requests against a pool of \
+          Smalltalk worker Processes, with per-request latency \
+          percentiles")
+    Term.(
+      const run $ processors $ sanitize $ scheduler $ sessions $ workers
+      $ loop $ requests $ think_ms $ interval_ms $ admit $ engine
+      $ differential)
+
 (* --- disasm / decompile / browse --- *)
 
 let find_method vm cls_name sel_name =
@@ -550,6 +696,6 @@ let main_cmd =
     (Cmd.info "mst" ~version:"1.0"
        ~doc:"Multiprocessor Smalltalk on a simulated Firefly")
     [ eval_cmd; run_cmd; explore_cmd; faults_cmd; disasm_cmd; decompile_cmd;
-      browse_cmd ]
+      browse_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

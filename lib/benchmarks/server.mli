@@ -1,0 +1,54 @@
+(** E17: the image-server workload.
+
+    N simulated user sessions issue browse/inspect/compile requests over
+    the kernel's virtual-time IPC; a pool of Smalltalk worker Processes
+    serves them with the macro-benchmark tools.  Arrivals are engine-side
+    calendar timers, so the whole request stream is part of the
+    deterministic virtual-time schedule.  The workload exists to measure
+    the event-calendar engine ({!Config.Engine_calendar}) against the
+    scan engine under many mostly-idle sessions. *)
+
+type loop =
+  | Open  (** fixed inter-arrival intervals, regardless of completions *)
+  | Closed  (** next request [think_ms] after the previous completes *)
+
+type params = {
+  sessions : int;  (** simulated users *)
+  workers : int;  (** Smalltalk server Processes *)
+  loop : loop;
+  requests : int;  (** arrivals per session *)
+  think_ms : int;  (** closed loop: completion → next arrival *)
+  interval_ms : int;  (** open loop: inter-arrival within a session *)
+  admit : int;  (** in-flight cap; 0 disables admission control *)
+}
+
+val default_params : params
+
+(** Latency percentiles over completed requests, in cycles. *)
+type percentiles = { p50 : int; p90 : int; p99 : int; pmax : int }
+
+type stats = {
+  offered : int;
+  completed : int;
+  rejected : int;  (** refused by admission control *)
+  latency : percentiles;
+  per_session : int array;  (** completions per session *)
+  run_cycles : int;
+  sim_seconds : float;
+  steps : int;  (** bytecodes executed across all processors *)
+  engine_events : int;
+  parks : int;
+  quiesced : bool;
+      (** the run ended in quiescence with every arrival accounted for *)
+}
+
+(** The ImageServer class source (loaded on top of
+    {!Macro.benchmark_classes}). *)
+val server_classes : string
+
+(** Build a VM from [config], install the workload and run it to
+    quiescence.  Returns the VM (for instrumentation) and the stats.
+    @raise Invalid_argument when sessions, workers or requests < 1. *)
+val run : ?max_cycles:int -> Config.t -> params -> Vm.t * stats
+
+val pp_stats : Format.formatter -> cm:Cost_model.t -> stats -> unit

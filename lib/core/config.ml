@@ -24,6 +24,14 @@ type alloc_strategy = Alloc_serialized | Alloc_replicated_eden
    stealing. *)
 type scheduler_strategy = Sched_locked | Sched_stealing
 
+(* E17: how the engine finds the next processor to step.  [Engine_scan]
+   rescans every VP per event and re-steps idle processors every few
+   quanta (the original design, kept as the differential-oracle
+   reference).  [Engine_calendar] keeps runnable VPs in a pending-heap
+   keyed by clock, parks idle VPs until a wakeup event (ready work,
+   input, timer) and batches uncontended bytecodes per engine event. *)
+type engine_strategy = Engine_scan | Engine_calendar
+
 type t = {
   processors : int;
   locks_enabled : bool;          (* false: baseline BS, no synchronization *)
@@ -31,6 +39,7 @@ type t = {
   free_contexts : context_strategy;
   allocation : alloc_strategy;
   scheduler : scheduler_strategy;  (* E16: locked queue vs work stealing *)
+  engine : engine_strategy;        (* E17: scan loop vs event calendar *)
   keep_running_in_queue : bool;  (* the MS reorganization *)
   old_words : int;
   eden_words : int;              (* the paper's s: 80 KB by default *)
@@ -72,6 +81,7 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   free_contexts = Ctx_shared_locked;
   allocation = Alloc_serialized;
   scheduler = Sched_locked;
+  engine = Engine_scan;
   keep_running_in_queue = false;        (* BS removes the running Process *)
   old_words = 2 * 1024 * 1024;
   eden_words = default_eden_words;
@@ -97,6 +107,7 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   free_contexts = Ctx_replicated;
   allocation = Alloc_serialized;
   scheduler = Sched_locked;
+  engine = Engine_scan;
   keep_running_in_queue = true;
   old_words = 2 * 1024 * 1024;
   eden_words = default_eden_words;

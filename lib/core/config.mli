@@ -27,6 +27,16 @@ type scheduler_strategy =
   | Sched_stealing
       (** per-processor ready deques with work stealing (E16) *)
 
+type engine_strategy =
+  | Engine_scan
+      (** rescan every VP per engine event, re-step idle processors every
+          few quanta — the original engine, kept as the
+          differential-oracle reference *)
+  | Engine_calendar
+      (** event calendar (E17): runnable VPs in a pending-heap keyed by
+          clock, idle VPs parked until a wakeup event (ready work, input,
+          timer), batched uncontended bytecodes per engine event *)
+
 type t = {
   processors : int;
   locks_enabled : bool;  (** [false]: baseline BS, no synchronization *)
@@ -36,6 +46,8 @@ type t = {
   scheduler : scheduler_strategy;
       (** E16: the serialized ready queue, or per-processor deques with
           work stealing *)
+  engine : engine_strategy;
+      (** E17: the scan-everything loop, or the event-calendar engine *)
   keep_running_in_queue : bool;
       (** the MS reorganization: running Processes stay in the ready
           queue; [false] restores BS semantics *)

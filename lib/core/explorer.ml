@@ -64,6 +64,15 @@ let stealing_setup ?processors ?quick () =
   make_setup ?processors ?quick (fun c ->
       { c with Config.scheduler = Config.Sched_stealing })
 
+(* MS on the event-calendar engine (E17).  Like [stealing_setup], the
+   oracle is differential against a scan-engine reference: parking idle
+   processors changes lock timelines and exact cycle counts, but a
+   calendar run computing a different result, transcript or census than
+   the scan engine is an engine bug. *)
+let calendar_setup ?processors ?quick () =
+  make_setup ?processors ?quick (fun c ->
+      { c with Config.engine = Config.Engine_calendar })
+
 (* The stealing scheduler with its deque-lock brackets removed: every
    deque mutation is unguarded, which the strict sanitizer must catch on
    the very first pick of any seed. *)

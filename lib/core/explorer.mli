@@ -38,6 +38,12 @@ val broken_ctx_setup : ?processors:int -> ?quick:bool -> unit -> setup
     queue is a steal-protocol bug. *)
 val stealing_setup : ?processors:int -> ?quick:bool -> unit -> setup
 
+(** MS on the event-calendar engine (E17).  Explored with a scan-engine
+    {!ms_setup} as [reference_setup], the oracle is differential: any
+    calendar run computing different observables than the scan engine is
+    an engine bug. *)
+val calendar_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
 (** Deliberately broken: the stealing scheduler with its deque-lock
     brackets removed ([Config.debug_unlocked_steal]).  The strict
     sanitizer must catch the first unguarded deque mutation of any

@@ -32,6 +32,10 @@ type t = {
   (* fault-recovery accounting *)
   mutable crashes_delivered : int;   (* processors halted by injected crashes *)
   mutable degraded_scavenges : int;  (* collections finished by survivors *)
+  (* engine accounting (E17): events the run loop processed, and idle
+     re-steps the calendar engine parked away instead of running *)
+  mutable engine_events : int;
+  mutable parks : int;
 }
 
 let sanitizer vm = vm.shared.State.sanitizer
@@ -118,8 +122,10 @@ let create (config : Config.t) =
     input_semaphore = ref Oop.sentinel;
     on_terminate = (fun _ _ -> ());
     on_method_install = (fun () -> ());
-    timers = [];
+    timers = Calendar.create ();
     gc_wanted = false;
+    request_mailbox = None;
+    on_request_done = (fun ~rid:_ ~now:_ -> ());
     compile_hook =
       Some (fun ~cls ~class_side source ->
           Class_builder.add_method u ~cls ~class_side source);
@@ -223,7 +229,8 @@ let create (config : Config.t) =
     par_copied_words = Array.make processors 0;
     par_busy_cycles = Array.make processors 0;
     par_idle_cycles = Array.make processors 0;
-    crashes_delivered = 0; degraded_scavenges = 0 }
+    crashes_delivered = 0; degraded_scavenges = 0;
+    engine_events = 0; parks = 0 }
 
 (* Install (or clear) the fault injector for this VM's machine: the
    interpreters, locks, devices and the parallel scavenger all consult
@@ -379,9 +386,31 @@ let do_scavenge vm =
 
 let () = do_scavenge_fwd := do_scavenge
 
-(* Fire every Delay timer that is due at or before the frontier of
-   virtual time (the smallest runnable clock, or unconditionally when
-   nothing is runnable). *)
+(* Signal a timer's semaphore at its deadline: wake the first waiter or
+   bank an excess signal, exactly as the signal primitive would. *)
+let signal_timer_sem vm ~now sem =
+  let sched = vm.shared.State.sched in
+  let _, popped = Scheduler.ll_pop_first sched ~now sem in
+  match popped with
+  | Some waiter -> ignore (Scheduler.wake sched ~now waiter)
+  | None ->
+      let excess =
+        Oop.small_val (Heap.get vm.heap sem Layout.Semaphore.excess_signals)
+      in
+      Heap.set_raw vm.heap sem Layout.Semaphore.excess_signals
+        (Oop.of_small (excess + 1))
+
+let fire_timer vm ~now = function
+  | State.Signal_sem cell ->
+      let sem = !cell in
+      Heap.remove_root vm.heap cell;
+      signal_timer_sem vm ~now sem
+  | State.Run_hook f -> f ~now
+
+(* Fire every timer that is due at or before the frontier of virtual
+   time (the smallest runnable clock, or unconditionally when nothing is
+   runnable).  A [Run_hook] may add further timers; the heap keeps the
+   drain in deadline order regardless. *)
 let fire_due_timers vm =
   let due t =
     match Machine.min_runnable vm.machine with
@@ -389,21 +418,11 @@ let fire_due_timers vm =
     | None -> true
   in
   let rec go () =
-    match vm.shared.State.timers with
-    | (t, cell) :: rest when due t ->
-        vm.shared.State.timers <- rest;
-        let sem = !cell in
-        Heap.remove_root vm.heap cell;
-        let sched = vm.shared.State.sched in
-        let _, popped = Scheduler.ll_pop_first sched ~now:t sem in
-        (match popped with
-         | Some waiter -> ignore (Scheduler.wake sched ~now:t waiter)
-         | None ->
-             let excess =
-               Oop.small_val (Heap.get vm.heap sem Layout.Semaphore.excess_signals)
-             in
-             Heap.set_raw vm.heap sem Layout.Semaphore.excess_signals
-               (Oop.of_small (excess + 1)));
+    match Calendar.peek vm.shared.State.timers with
+    | Some (t, _) when due t ->
+        (match Calendar.pop vm.shared.State.timers with
+         | Some (t, action) -> fire_timer vm ~now:t action
+         | None -> ());
         go ()
     | _ -> ()
   in
@@ -411,14 +430,14 @@ let fire_due_timers vm =
 
 (* True when no Process can make progress anywhere: every interpreter is
    empty-handed, nothing is ready, no input event is still in flight, and
-   no Delay timer is pending. *)
+   no timer is pending. *)
 let nothing_runnable vm =
   Array.for_all
     (fun st -> Oop.equal !(st.State.active_process) Oop.sentinel)
     vm.states
   && not (Scheduler.better_ready vm.shared.State.sched ~than:0)
   && Devices.input_pending vm.shared.State.input = 0
-  && vm.shared.State.timers = []
+  && Calendar.is_empty vm.shared.State.timers
 
 (* Deliver an injected processor crash: the victim halts permanently
    (its per-processor state is gone with it), the Process it was running
@@ -463,38 +482,19 @@ type run_outcome =
   | Deadlock               (* nothing left to run *)
   | Cycle_limit
 
-(* Run until the watched Process terminates (or the system quiesces).
-   Returns the outcome; virtual time advances on [vm.machine]. *)
-let run ?(max_cycles = 100_000_000_000) ?watch vm =
-  let result = ref None in
-  let finished = ref false in
-  (* the watched Process lives in new space; keep the comparison oop up to
-     date across scavenges *)
-  let watch_cell = ref (match watch with Some w -> w | None -> Oop.sentinel) in
-  if watch <> None then Heap.add_root vm.heap watch_cell;
-  (vm.shared).State.on_terminate <-
-    (fun proc value ->
-      match watch with
-      | Some _ when Oop.equal proc !watch_cell ->
-          result := Some value;
-          finished := true
-      | Some _ | None -> ());
-  let outcome = ref None in
-  (* the sanitizer only checks steady-state execution: bootstrap, spawn
-     and class loading mutate shared structures single-threaded *)
-  let san = vm.shared.State.sanitizer in
-  Sanitizer.set_armed san true;
-  Fun.protect
-    ~finally:(fun () ->
-      Sanitizer.set_armed san false;
-      if watch <> None then Heap.remove_root vm.heap watch_cell)
-  @@ fun () ->
+(* The original engine: every event rescans the machine for the smallest
+   runnable clock, and idle processors are re-stepped every few quanta.
+   Kept verbatim as the differential-oracle reference for the calendar
+   engine. *)
+let run_scan vm ~max_cycles ~finished ~result outcome =
   while !outcome = None do
+    vm.engine_events <- vm.engine_events + 1;
     if !finished then
       outcome := Some (Finished (Option.get !result))
     else if vm.gc_requested || vm.shared.State.gc_wanted then do_scavenge vm
     else begin
-      if vm.shared.State.timers <> [] then fire_due_timers vm;
+      if not (Calendar.is_empty vm.shared.State.timers) then
+        fire_due_timers vm;
       match Machine.min_runnable vm.machine with
       | None -> outcome := Some Deadlock
       | Some vp when vp.Machine.clock > max_cycles -> outcome := Some Cycle_limit
@@ -539,7 +539,273 @@ let run ?(max_cycles = 100_000_000_000) ?watch vm =
              executor — not a half-mutated structure *)
           if Machine.injector vm.machine <> None then deliver_crashes vm
     end
+  done
+
+(* The event-calendar engine (E17).
+
+   Three structural changes over [run_scan], with identical observables:
+
+   - runnable processors live in a pending-heap keyed by
+     (clock, id) — encoded as [clock * processors + id] so ties still go
+     to the lowest id — instead of being rescanned per event.  Entries
+     go stale only by their clock moving forward (charges only add), so
+     a popped entry whose key is behind the processor's clock is simply
+     reinserted at the fresh key;
+
+   - a processor that goes idle with nothing ready is *parked*: removed
+     from the heap entirely rather than re-stepped every 10 quanta.  It
+     returns on a wakeup event — ready work (the scheduler's on_ready
+     hook fires on every wake and failover), an input event becoming
+     visible, or a timer deadline — with its clock advanced to the wake,
+     which models the idle loop it would have been spinning in;
+
+   - after stepping the minimal processor, the engine keeps stepping it
+     while it remains minimal and no timer is due (the batched fast
+     path), instead of going back through selection for every bytecode.
+
+   Idle processors parked away neither poll the input queue nor retry
+   scheduler picks, so the lock timelines — and therefore exact cycle
+   counts — differ from the scan engine; results, transcripts and census
+   are compared by the cross-engine differential oracle instead. *)
+let run_calendar vm ~max_cycles ~finished ~result outcome =
+  let m = vm.machine in
+  let procs = vm.config.Config.processors in
+  let sched = vm.shared.State.sched in
+  let timers = vm.shared.State.timers in
+  let pending = Calendar.create () in
+  let parked = Array.make procs false in
+  let parked_count = ref 0 in
+  let pkey vp = (vp.Machine.clock * procs) + vp.Machine.id in
+  let push_vp vp = Calendar.add pending ~key:(pkey vp) vp.Machine.id in
+  let unpark ~now id =
+    if parked.(id) then begin
+      parked.(id) <- false;
+      decr parked_count;
+      let vp = Machine.vp m id in
+      if vp.Machine.state <> Machine.Halted then begin
+        (* the processor sat in its idle loop until the wake arrived *)
+        if vp.Machine.clock < now then Machine.charge m vp (now - vp.Machine.clock);
+        push_vp vp
+      end
+    end
+  in
+  let unpark_all ~now =
+    if !parked_count > 0 then
+      for id = 0 to procs - 1 do
+        unpark ~now id
+      done
+  in
+  Scheduler.set_on_ready sched (Some (fun ~now -> unpark_all ~now));
+  Fun.protect ~finally:(fun () -> Scheduler.set_on_ready sched None)
+  @@ fun () ->
+  for id = 0 to procs - 1 do
+    let vp = Machine.vp m id in
+    if vp.Machine.state <> Machine.Halted then push_vp vp
   done;
+  (* Pop heap entries until a live, current minimum surfaces.  Stale
+     entries (processor charged past the key) reinsert at the fresh key;
+     entries for halted, GC-parked or idle-parked processors drop — the
+     parked ones were removed deliberately and re-push on unpark. *)
+  let rec pop_min () =
+    match Calendar.pop pending with
+    | None -> None
+    | Some (k, id) -> (
+        let vp = Machine.vp m id in
+        match vp.Machine.state with
+        | Machine.Halted | Machine.Parked_for_gc -> pop_min ()
+        | Machine.Running | Machine.Idle ->
+            if parked.(id) then pop_min ()
+            else if pkey vp > k then begin
+              push_vp vp;
+              pop_min ()
+            end
+            else Some vp)
+  in
+  (* With a policy installed (the explorer), ties between minimal clocks
+     go through choose_tie exactly as the scan engine's min_runnable:
+     collect every current candidate in ascending id order, let the
+     policy pick, and reinsert the rest. *)
+  let pop_min_policy p =
+    match pop_min () with
+    | None -> None
+    | Some first ->
+        let rec collect acc =
+          match pop_min () with
+          | Some vp when vp.Machine.clock = first.Machine.clock ->
+              collect (vp :: acc)
+          | Some vp ->
+              push_vp vp;
+              List.rev acc
+          | None -> List.rev acc
+        in
+        (match collect [] with
+         | [] -> Some first
+         | rest ->
+             let ties = Array.of_list (first :: rest) in
+             let chosen = p.Machine.choose_tie ties in
+             Array.iter (fun vp -> if vp != chosen then push_vp vp) ties;
+             Some chosen)
+  in
+  let fire_timers_until ~frontier =
+    let rec go () =
+      match Calendar.peek timers with
+      | Some (t, _) when t <= frontier ->
+          (match Calendar.pop timers with
+           | Some (t, action) -> fire_timer vm ~now:t action
+           | None -> ());
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (* Step the selected processor; keep stepping it (the batched fast
+     path) while it stays minimal, no timer is due, and nothing engine-
+     visible happened.  Batching is disabled under a policy or injector:
+     both want the engine back between single steps. *)
+  let step_vp vp =
+    let id = vp.Machine.id in
+    let st = vm.states.(id) in
+    let interp = vm.interps.(id) in
+    let can_batch = Machine.policy m = None && Machine.injector m = None in
+    let rec loop () =
+      let r =
+        match Interp.step interp with
+        | exception e ->
+            (* same cleanup discipline as the scan engine *)
+            (try
+               if not (Oop.equal !(st.State.active_process) Oop.sentinel)
+               then Primitives.finish_process st ~result:vm.u.Universe.nil
+             with _ -> ());
+            raise e
+        | r -> r
+      in
+      match r with
+      | Interp.Ran ->
+          if vp.Machine.state <> Machine.Running then
+            Machine.set_state m vp Machine.Running;
+          Machine.charge_mem m vp st.State.cost;
+          if
+            can_batch && (not !finished)
+            && (not vm.gc_requested)
+            && (not vm.shared.State.gc_wanted)
+            && vp.Machine.clock <= max_cycles
+            && (match Calendar.min_key pending with
+               | Some k -> pkey vp <= k
+               | None -> true)
+            && (match Calendar.min_key timers with
+               | Some t -> vp.Machine.clock < t
+               | None -> true)
+          then begin
+            vm.engine_events <- vm.engine_events + 1;
+            loop ()
+          end
+          else push_vp vp
+      | Interp.Idle ->
+          st.State.cost <- 0;
+          Interp.idle_poll interp;
+          Machine.charge m vp st.State.cost;
+          if nothing_runnable vm then outcome := Some Deadlock
+          else begin
+            if vp.Machine.state <> Machine.Idle then
+              Machine.set_state m vp Machine.Idle;
+            if Scheduler.better_ready sched ~than:0 then begin
+              (* ready work is visible but this pick missed it (it may
+                 sit in another processor's deque): retry on the scan
+                 engine's idle cadence rather than parking past it *)
+              Machine.charge m vp
+                (10 * vm.shared.State.cm.Cost_model.delay_quantum);
+              push_vp vp
+            end
+            else begin
+              parked.(id) <- true;
+              incr parked_count;
+              vm.parks <- vm.parks + 1
+            end
+          end
+      | Interp.Need_gc ->
+          vm.gc_requested <- true;
+          push_vp vp
+    in
+    loop ()
+  in
+  while !outcome = None do
+    vm.engine_events <- vm.engine_events + 1;
+    if !finished then outcome := Some (Finished (Option.get !result))
+    else if vm.gc_requested || vm.shared.State.gc_wanted then do_scavenge vm
+    else begin
+      (match
+         match Machine.policy m with
+         | Some p -> pop_min_policy p
+         | None -> pop_min ()
+       with
+      | Some vp
+        when (match Calendar.min_key timers with
+             | Some t -> t <= vp.Machine.clock
+             | None -> false) ->
+          (* timers due at or before the frontier fire first; a wake may
+             unpark a processor with a smaller clock, so reselect *)
+          push_vp vp;
+          fire_timers_until ~frontier:vp.Machine.clock
+      | Some vp when vp.Machine.clock > max_cycles ->
+          outcome := Some Cycle_limit
+      | Some vp -> step_vp vp
+      | None ->
+          (* no unparked runnable processor: virtual time advances to the
+             next event — a timer deadline or an input arrival — and the
+             firing or the poll after unparking brings work back *)
+          (match Calendar.peek timers with
+          | Some (_, _) -> (
+              match Calendar.pop timers with
+              | Some (t, action) -> fire_timer vm ~now:t action
+              | None -> ())
+          | None -> (
+              match Devices.next_input_time vm.shared.State.input with
+              | Some t when !parked_count > 0 -> unpark_all ~now:(max t (Machine.max_clock m))
+              | _ ->
+                  if !parked_count = 0 then
+                    (* every processor is dead or GC-parked: the scan
+                       engine's min_runnable-None deadlock *)
+                    outcome := Some Deadlock
+                  else if nothing_runnable vm then outcome := Some Deadlock
+                  else
+                    (* ready work with every processor parked and no wake
+                       recorded — conservatively unreachable; unpark
+                       everyone rather than misreport a deadlock *)
+                    unpark_all ~now:(Machine.max_clock m))));
+      if Machine.injector m <> None then deliver_crashes vm
+    end
+  done
+
+(* Run until the watched Process terminates (or the system quiesces).
+   Returns the outcome; virtual time advances on [vm.machine]. *)
+let run ?(max_cycles = 100_000_000_000) ?watch vm =
+  let result = ref None in
+  let finished = ref false in
+  (* the watched Process lives in new space; keep the comparison oop up to
+     date across scavenges *)
+  let watch_cell = ref (match watch with Some w -> w | None -> Oop.sentinel) in
+  if watch <> None then Heap.add_root vm.heap watch_cell;
+  (vm.shared).State.on_terminate <-
+    (fun proc value ->
+      match watch with
+      | Some _ when Oop.equal proc !watch_cell ->
+          result := Some value;
+          finished := true
+      | Some _ | None -> ());
+  let outcome = ref None in
+  (* the sanitizer only checks steady-state execution: bootstrap, spawn
+     and class loading mutate shared structures single-threaded *)
+  let san = vm.shared.State.sanitizer in
+  Sanitizer.set_armed san true;
+  Fun.protect
+    ~finally:(fun () ->
+      Sanitizer.set_armed san false;
+      if watch <> None then Heap.remove_root vm.heap watch_cell)
+  @@ fun () ->
+  (match vm.config.Config.engine with
+   | Config.Engine_scan -> run_scan vm ~max_cycles ~finished ~result outcome
+   | Config.Engine_calendar ->
+       run_calendar vm ~max_cycles ~finished ~result outcome);
   Option.get !outcome
 
 (* --- convenience API --- *)

@@ -39,6 +39,11 @@ type t = {
   mutable degraded_scavenges : int;
       (** parallel collections a worker crash forced the survivors to
           finish; each one is heap-verified unconditionally *)
+  mutable engine_events : int;
+      (** events the run loop processed (selections + batched steps) *)
+  mutable parks : int;
+      (** idle re-steps the calendar engine parked away instead of
+          running (always 0 under {!Config.Engine_scan}) *)
 }
 
 exception Stuck of string

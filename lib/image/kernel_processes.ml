@@ -182,10 +182,13 @@ duration
 !
 wait
     "block the active Process until the duration has elapsed (virtual
-     time); the V kernel's timer signals the semaphore"
+     time); the V kernel's timer signals the semaphore.  The duration is
+     handed to the kernel as-is: the timer primitive adds the current
+     clock itself, so the full duration is waited even when the clock is
+     mid-millisecond"
     | sem |
     sem := Semaphore new.
-    Mirror signal: sem atMilliseconds: Mirror millisecondClockValue + duration.
+    Mirror signal: sem afterMilliseconds: duration.
     sem wait
 !
 

@@ -190,9 +190,21 @@ millisecondClockValue
     <primitive: 100>
     self error: 'millisecondClockValue failed'
 !
-signal: aSemaphore atMilliseconds: msTime
+signal: aSemaphore afterMilliseconds: msDuration
+    "the V kernel's timer service: signal the semaphore once the
+     (relative) duration has elapsed.  The primitive adds the current
+     clock at full cycle resolution itself; computing an absolute
+     deadline from millisecondClockValue here would truncate it."
     <primitive: 105>
-    self error: 'signal:atMilliseconds: failed'
+    self error: 'signal:afterMilliseconds: failed'
+!
+nextRequest
+    <primitive: 106>
+    self error: 'nextRequest: no image server running'
+!
+requestDone: requestId
+    <primitive: 107>
+    self error: 'requestDone: no image server running'
 !
 gcStats
     <primitive: 122>

@@ -624,13 +624,16 @@ let prim_transcript_show st ~nargs =
         Buffer.add_string transcript s;
         pop_all_push st ~nargs (peek st ~depth:1)
 
+(* Cycles per millisecond, floored at 1 so sub-ms-resolution cost models
+   (cycles_per_second < 1000) neither divide by zero in the clock nor
+   collapse every timer deadline to cycle 0. *)
+let cycles_per_ms cm = max 1 (cm.Cost_model.cycles_per_second / 1000)
+
 let prim_clock st ~nargs =
   if nargs <> 0 then Failed
   else begin
     charge_misc st;
-    let ms =
-      now st / (st.sh.cm.Cost_model.cycles_per_second / 1000)
-    in
+    let ms = now st / cycles_per_ms st.sh.cm in
     pop_all_push st ~nargs (Oop.of_small ms)
   end
 
@@ -645,28 +648,73 @@ let prim_next_event st ~nargs =
     pop_all_push st ~nargs v
   end
 
-(* signal: aSemaphore atMilliseconds: msTime — the V kernel's timer
-   service, used by Delay. *)
-let prim_signal_at st ~nargs =
+(* signal: aSemaphore afterMilliseconds: msDuration — the V kernel's
+   timer service, used by Delay.
+
+   The duration is relative and the primitive adds the exact current
+   clock itself.  The old protocol took an absolute millisecond deadline
+   computed in the image as [millisecondClockValue + duration]; that
+   truncated [now] to whole milliseconds, so the deadline landed up to
+   cycles_per_ms - 1 cycles early and — with the duration measured from
+   a stale clock read — a Delay issued late in a long run could fire
+   almost immediately instead of waiting.  Adding [now st] here keeps
+   the full cycle-resolution clock in the deadline. *)
+let prim_signal_after st ~nargs =
   if nargs <> 2 then Failed
   else begin
     let ms = peek st ~depth:0 and sem = peek st ~depth:1 in
     if
       (not (is_a st sem (u_ st).Universe.classes.Universe.semaphore))
-      || not (Oop.is_small ms)
+      || (not (Oop.is_small ms))
+      || Oop.small_val ms < 0
     then Failed
     else begin
       charge_misc st;
-      let cycles =
-        Oop.small_val ms * (st.sh.cm.Cost_model.cycles_per_second / 1000)
-      in
+      let fire = now st + (Oop.small_val ms * cycles_per_ms st.sh.cm) in
       let cell = ref sem in
       Heap.add_root (h_ st) cell;
-      st.sh.timers <-
-        List.merge
-          (fun (a, _) (b, _) -> compare a b)
-          st.sh.timers [ (cycles, cell) ];
+      Calendar.add st.sh.timers ~key:fire (State.Signal_sem cell);
       pop_all_push st ~nargs sem
+    end
+  end
+
+(* nextRequest — pop the next pending request id from the image server's
+   mailbox (E17).  Workers call this after their pool semaphore wait;
+   -1 means nothing deliverable yet (an excess signal raced ahead of the
+   payload), and the worker goes back to waiting. *)
+let prim_next_request st ~nargs =
+  if nargs <> 0 then Failed
+  else
+    match st.sh.request_mailbox with
+    | None -> Failed
+    | Some mb ->
+        charge_misc st;
+        let v =
+          match Mailbox.receive mb ~now:(now st) with
+          | Mailbox.Message rid -> rid
+          | Mailbox.Arrives_at t ->
+              (* the signal outran the message (the waking processor's
+                 clock lags the send): stall until the arrival *)
+              st.cost <- st.cost + (t - now st);
+              (match Mailbox.receive mb ~now:(now st) with
+               | Mailbox.Message rid -> rid
+               | Mailbox.Empty | Mailbox.Arrives_at _ -> -1)
+          | Mailbox.Empty -> -1
+        in
+        pop_all_push st ~nargs (Oop.of_small v)
+
+(* requestDone: rid — completion callback into the image server: latency
+   bookkeeping and, for closed-loop sessions, scheduling the next
+   arrival. *)
+let prim_request_done st ~nargs =
+  if nargs <> 1 then Failed
+  else begin
+    let rid = peek st ~depth:0 in
+    if not (Oop.is_small rid) then Failed
+    else begin
+      charge_misc st;
+      st.sh.on_request_done ~rid:(Oop.small_val rid) ~now:(now st);
+      pop_all_push st ~nargs (peek st ~depth:1)
     end
   end
 
@@ -1140,7 +1188,9 @@ let run st ~prim ~nargs =
   | 102 -> prim_next_event st ~nargs
   | 103 -> prim_transcript_show st ~nargs
   | 104 -> prim_set_input_semaphore st ~nargs
-  | 105 -> prim_signal_at st ~nargs
+  | 105 -> prim_signal_after st ~nargs
+  | 106 -> prim_next_request st ~nargs
+  | 107 -> prim_request_done st ~nargs
   | 110 -> prim_compile st ~nargs
   | 111 -> prim_decompile st ~nargs
   | 112 -> prim_all_classes st ~nargs

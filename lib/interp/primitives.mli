@@ -9,7 +9,8 @@
     Numbering (loosely after the Blue Book): 1-17 SmallInteger arithmetic;
     41-49 Floats; 60-76 storage and symbols; 80 block value; 85-95
     Processes and Semaphores (93 thisProcess and 94 canRun: are MS's
-    reorganized primitives); 100-105 I/O, clock and timers; 110-117
+    reorganized primitives); 100-107 I/O, clock, timers and the image
+    server's request channel; 110-117
     programming-environment services; 120-122 error/scavenge/GC stats;
     135-137 perform: (dispatched by the interpreter); 140-141
     Characters. *)

@@ -54,6 +54,10 @@ type t = {
   preempt : bool array;           (* per processor: reschedule requested *)
   mutable sanitizer : Sanitizer.t option;
   mutable machine : Machine.t option;  (* for live-processor wake routing *)
+  (* the calendar engine's unpark signal: called after every wake and
+     failover (the two events that create ready work), so idle processors
+     parked on "nothing to run" learn that there is something again *)
+  mutable on_ready : (now:int -> unit) option;
   mutable next_home : int;     (* round-robin home for engine-side wakes *)
   mutable pending_remembers : int list;  (* deferred entry-table inserts *)
   mutable wakes : int;
@@ -94,6 +98,7 @@ let create ?(strategy = Locked) ?(deque_locks = [||]) ?(unlocked_steal = false)
     preempt = Array.make processors false;
     sanitizer = None;
     machine = None;
+    on_ready = None;
     next_home = 0;
     pending_remembers = [];
     wakes = 0; picks = 0; preemptions = 0; failovers = 0;
@@ -102,6 +107,12 @@ let create ?(strategy = Locked) ?(deque_locks = [||]) ?(unlocked_steal = false)
 
 let set_sanitizer t san = t.sanitizer <- Some san
 let set_machine t m = t.machine <- Some m
+
+(* Install (or clear) the calendar engine's ready-work hook. *)
+let set_on_ready t f = t.on_ready <- f
+
+let notify_ready t ~now =
+  match t.on_ready with Some f -> f ~now | None -> ()
 
 let heap t = Universe.heap t.u
 let nil t = t.u.Universe.nil
@@ -510,6 +521,7 @@ let wake ?(vp = -1) t ~now proc =
   in
   let now = flush_remembers t ~now ~vp in
   check_invariants t ~now ~vp;
+  notify_ready t ~now;
   now
 
 (* Choose the next Process for processor [vp]: the highest-priority ready
@@ -766,6 +778,7 @@ let failover t ~now ~dead proc ctx =
   in
   let now = flush_remembers t ~now ~vp:(-1) in
   check_invariants t ~now ~vp:(-1);
+  notify_ready t ~now;
   now
 
 let failovers t = t.failovers

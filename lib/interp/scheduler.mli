@@ -50,6 +50,8 @@ type t = {
   mutable sanitizer : Sanitizer.t option;
   mutable machine : Machine.t option;
       (** for live-processor wake routing *)
+  mutable on_ready : (now:int -> unit) option;
+      (** calendar-engine hook: ready work appeared (wake/failover) *)
   mutable next_home : int;
       (** round-robin home for engine-side wakes *)
   mutable pending_remembers : int list;
@@ -90,6 +92,11 @@ val set_sanitizer : t -> Sanitizer.t -> unit
 (** Attach the machine so engine-side wakes and failover can route work
     to processors that are still alive. *)
 val set_machine : t -> Machine.t -> unit
+
+(** Install (or clear) the calendar engine's ready-work hook: called
+    after every wake and failover — the two events that create ready
+    work — so processors parked on "nothing to run" can be unparked. *)
+val set_on_ready : t -> (now:int -> unit) option -> unit
 
 (** {2 Linked lists of Processes (LinkedList and Semaphore share layout)}
 

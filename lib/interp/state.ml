@@ -11,6 +11,14 @@ exception Vm_error of string
 
 let vm_error fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
 
+(* What happens when a timer's deadline is reached.  [Signal_sem]
+   signals a Smalltalk semaphore (the Delay path); [Run_hook] calls back
+   into engine-side OCaml — the image server schedules request arrivals
+   this way, and a hook may add further timers while firing. *)
+type timer_action =
+  | Signal_sem of Oop.t ref             (* rooted semaphore cell *)
+  | Run_hook of (now:int -> unit)
+
 type shared = {
   u : Universe.t;
   heap : Heap.t;
@@ -27,9 +35,13 @@ type shared = {
   (* engine callbacks *)
   mutable on_terminate : Oop.t -> Oop.t -> unit;  (* process, result *)
   mutable on_method_install : unit -> unit;  (* flush the method caches *)
-  (* pending Delay timers: (fire cycle, rooted semaphore cell), sorted *)
-  mutable timers : (int * Oop.t ref) list;
+  (* pending timers, a stable min-heap keyed by absolute fire cycle *)
+  timers : timer_action Calendar.t;
   mutable gc_wanted : bool;               (* set by the scavenge primitive *)
+  (* E17 image-server plumbing: request ids ride the mailbox from the
+     arrival generator to the worker pool; completions call back out *)
+  mutable request_mailbox : int Mailbox.t option;
+  mutable on_request_done : rid:int -> now:int -> unit;
   (* compiler hooks, installed by the image layer to avoid a dependency
      cycle (the compile/decompile primitives call up into stcompile) *)
   mutable compile_hook : (cls:Oop.t -> class_side:bool -> string -> Oop.t) option;

@@ -11,6 +11,13 @@ exception Vm_error of string
 
 val vm_error : ('a, unit, string, 'b) format4 -> 'a
 
+(** What a timer does when its deadline is reached: signal a Smalltalk
+    semaphore (the Delay path) or run an engine-side hook (the image
+    server's arrival generators; a hook may add further timers). *)
+type timer_action =
+  | Signal_sem of Oop.t ref  (** rooted semaphore cell *)
+  | Run_hook of (now:int -> unit)
+
 type shared = {
   u : Universe.t;
   heap : Heap.t;
@@ -25,9 +32,15 @@ type shared = {
   input_semaphore : Oop.t ref;  (** signalled on input events (rooted) *)
   mutable on_terminate : Oop.t -> Oop.t -> unit;  (** process, result *)
   mutable on_method_install : unit -> unit;  (** flush the method caches *)
-  mutable timers : (int * Oop.t ref) list;
-      (** pending Delay timers: (fire cycle, rooted semaphore), sorted *)
+  timers : timer_action Calendar.t;
+      (** pending timers, a stable min-heap keyed by absolute fire cycle *)
   mutable gc_wanted : bool;  (** set by the scavenge primitive *)
+  mutable request_mailbox : int Mailbox.t option;
+      (** E17 image server: request ids ride this mailbox from the
+          arrival generators to the worker pool *)
+  mutable on_request_done : rid:int -> now:int -> unit;
+      (** E17 image server: completion callback (latency bookkeeping and
+          closed-loop arrival scheduling) *)
   mutable compile_hook :
     (cls:Oop.t -> class_side:bool -> string -> Oop.t) option;
       (** installed by the VM assembly to avoid a dependency cycle: the

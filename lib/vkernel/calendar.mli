@@ -1,0 +1,33 @@
+(** A stable binary min-heap keyed by an integer deadline.
+
+    Backs the event-calendar engine: both the timer queue (fire cycle ->
+    semaphore cell or engine hook) and the pending-heap of runnable VPs
+    (clock -> vp id).  Entries with equal keys come out in insertion
+    order, preserving the FIFO firing the old merge-sorted timer list
+    gave semaphore wait-queues. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit
+
+(** Insert with the given key; O(log n). *)
+val add : 'a t -> key:int -> 'a -> unit
+
+(** Smallest key currently queued, if any. *)
+val min_key : 'a t -> int option
+
+(** The minimum entry without removing it. *)
+val peek : 'a t -> (int * 'a) option
+
+(** Remove and return the minimum entry. *)
+val pop : 'a t -> (int * 'a) option
+
+(** Sorted (key, value) view without disturbing the heap — debug
+    assertions and tests. *)
+val to_sorted_list : 'a t -> (int * 'a) list
+
+(** Visit every entry in unspecified order. *)
+val iter : 'a t -> (int -> 'a -> unit) -> unit

@@ -100,6 +100,7 @@ type event = { time : int; payload : int }
 type input_queue = {
   ilock : Spinlock.t;
   mutable pending : event list;   (* sorted by time *)
+  mutable pending_count : int;    (* = List.length pending, kept in step *)
   mutable polls : int;
   mutable delivered : int;
 }
@@ -107,6 +108,7 @@ type input_queue = {
 let make_input_queue ~enabled_locks ~cost =
   { ilock = Spinlock.make ~enabled:enabled_locks ~cost "input event queue";
     pending = [];
+    pending_count = 0;
     polls = 0;
     delivered = 0 }
 
@@ -116,7 +118,20 @@ let inject q ~time ~payload =
     | e :: rest when e.time <= time -> e :: insert rest
     | rest -> { time; payload } :: rest
   in
-  q.pending <- insert q.pending
+  q.pending <- insert q.pending;
+  q.pending_count <- q.pending_count + 1
+
+(* The count is the hot-path answer ([nothing_runnable] asks on every
+   idle engine step); the sanitizer's debug path cross-checks it against
+   the list it summarizes. *)
+let check_pending_count q ~vp ~now =
+  match Spinlock.sanitizer q.ilock with
+  | Some san when Sanitizer.active san ->
+      if q.pending_count <> List.length q.pending then
+        Sanitizer.report_violation san ~vp ~now ~resource:"input event queue"
+          (Printf.sprintf "pending_count %d != |pending| %d" q.pending_count
+             (List.length q.pending))
+  | Some _ | None -> ()
 
 (* Poll at [now] under the lock: returns (completion_time, event payload if
    one was ready). *)
@@ -131,11 +146,19 @@ let poll ?(vp = -1) q ~now ~op_cycles =
                  ~now ~detail:"pop"
            | None -> ());
           q.pending <- rest;
+          q.pending_count <- q.pending_count - 1;
           q.delivered <- q.delivered + 1;
+          check_pending_count q ~vp ~now;
           Some e.payload
       | _ -> None)
 
-let input_pending q = List.length q.pending
+let input_pending q = q.pending_count
+
+(* When the earliest still-queued event becomes visible — the calendar
+   engine parks idle processors until this time instead of having them
+   poll every few quanta. *)
+let next_input_time q =
+  match q.pending with [] -> None | e :: _ -> Some e.time
 
 let input_polls q = q.polls
 let input_delivered q = q.delivered

@@ -40,8 +40,13 @@ val inject : input_queue -> time:int -> payload:int -> unit
     if one is visible. *)
 val poll : ?vp:int -> input_queue -> now:int -> op_cycles:int -> int * int option
 
-(** Events injected but not yet delivered. *)
+(** Events injected but not yet delivered.  O(1): a maintained count,
+    cross-checked against the queue on the sanitizer's debug path. *)
 val input_pending : input_queue -> int
+
+(** When the earliest still-queued event becomes visible, if any — the
+    calendar engine's park deadline for idle processors. *)
+val next_input_time : input_queue -> int option
 
 val input_polls : input_queue -> int
 

@@ -172,16 +172,30 @@ let min_runnable m =
   match m.policy, !best with
   | None, b | _, (None as b) -> b
   | Some p, Some b ->
-      let ties =
-        Array.of_list
-          (Array.fold_right
-             (fun vp acc ->
-               match vp.state with
-               | (Running | Idle) when vp.clock = b.clock -> vp :: acc
-               | _ -> acc)
-             m.vps [])
-      in
-      if Array.length ties < 2 then Some b else Some (p.choose_tie ties)
+      (* Count the minimal candidates first: the common case is a unique
+         minimum, and materializing the tie array for it would put an
+         allocation on every explorer engine event. *)
+      let n = ref 0 in
+      Array.iter
+        (fun vp ->
+          match vp.state with
+          | (Running | Idle) when vp.clock = b.clock -> incr n
+          | Running | Idle | Parked_for_gc | Halted -> ())
+        m.vps;
+      if !n < 2 then Some b
+      else begin
+        let ties = Array.make !n b in
+        let i = ref 0 in
+        Array.iter
+          (fun vp ->
+            match vp.state with
+            | (Running | Idle) when vp.clock = b.clock ->
+                ties.(!i) <- vp;
+                incr i
+            | Running | Idle | Parked_for_gc | Halted -> ())
+          m.vps;
+        Some (p.choose_tie ties)
+      end
 
 let max_clock m =
   Array.fold_left (fun t vp -> max t vp.clock) 0 m.vps

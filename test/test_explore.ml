@@ -315,6 +315,44 @@ let steal_vs_locked_prop =
       in
       Explorer.check ~reference o = None)
 
+(* --- the event-calendar engine (E17) --- *)
+
+(* The same differential idea across engines: a perturbed calendar-engine
+   run must compute the scan engine's observables — parking idle VPs and
+   batching uncontended steps may shift cycle counts, but never the
+   result, the transcript or the stable-root census. *)
+let test_calendar_explores_clean_vs_scan () =
+  let r =
+    Explorer.explore
+      ~reference_setup:(Explorer.ms_setup ~quick:true ())
+      (Explorer.calendar_setup ~quick:true ())
+      ~seeds:3
+  in
+  check "calendar explores clean against the scan reference" 0
+    (List.length r.Explorer.counterexamples);
+  check_bool "the seeds actually perturbed the schedule" true
+    (r.Explorer.perturbations > 0)
+
+let calendar_vs_scan_prop =
+  let references =
+    lazy
+      (List.map
+         (fun p ->
+           (p, Explorer.reference (Explorer.ms_setup ~processors:p ~quick:true ())))
+         [ 2; 3 ])
+  in
+  QCheck.Test.make ~count:25
+    ~name:"calendar engine matches the scan engine on every seed (2-3 vps)"
+    QCheck.(pair (int_range 2 3) (int_range 0 1_000_000))
+    (fun (processors, seed) ->
+      let reference = List.assoc processors (Lazy.force references) in
+      let o =
+        Explorer.run_seed
+          (Explorer.calendar_setup ~processors ~quick:true ())
+          ~seed
+      in
+      Explorer.check ~reference o = None)
+
 (* The deliberately broken steal protocol (no deque-lock brackets) must
    be caught by the strict sanitizer on *every* seed — the unguarded
    mutation happens on the very first deque operation, perturbed or
@@ -391,4 +429,8 @@ let () =
            test_stealing_explores_clean_vs_locked;
          q steal_vs_locked_prop;
          Alcotest.test_case "unlocked steal caught every seed" `Quick
-           test_broken_steal_found_every_seed ]) ]
+           test_broken_steal_found_every_seed ]);
+      ("calendar",
+       [ Alcotest.test_case "explores clean vs scan" `Quick
+           test_calendar_explores_clean_vs_scan;
+         q calendar_vs_scan_prop ]) ]

@@ -101,6 +101,114 @@ count := holder at: 1.
 count
 |st})
 
+(* Regression for the Delay deadline bug: the timer primitive must add
+   the *current* clock itself, so a Delay created late in a run still
+   waits its full duration.  Before the fix, the deadline came from the
+   image's millisecondClockValue — truncated to whole milliseconds — so a
+   late Delay could fire up to a millisecond early, and with a clock rate
+   under 1000 cycles/s everything fired immediately.  Two sequential
+   waits double-check that each one blocks relative to its own start. *)
+let test_delay_late_in_run () =
+  check_eval "sequential late delays each block their full duration" "true"
+    {st|
+| t0 t1 t2 spin |
+"spin virtual time well away from zero first"
+spin := 0.
+[spin < 5000] whileTrue: [spin := spin + 1].
+t0 := Mirror millisecondClockValue.
+(Delay forMilliseconds: 30) wait.
+t1 := Mirror millisecondClockValue.
+(Delay forMilliseconds: 30) wait.
+t2 := Mirror millisecondClockValue.
+(t1 - t0 >= 30) and: [(t2 - t1 >= 30) and: [t2 - t0 >= 60]]
+|st}
+
+(* Timers across VPs must fire in deadline order under every scheduler
+   and engine: k Processes fork with distinct random delays; the log must
+   read back in sorted-delay order. *)
+let timer_order_prop ~scheduler ~engine ~name =
+  QCheck.Test.make ~count:12 ~name
+    QCheck.(pair (int_range 2 5)
+              (list_of_size Gen.(return 5) (int_range 0 60)))
+    (fun (processors, offsets) ->
+      (* distinct durations: equal deadlines have no required order *)
+      let durations =
+        List.mapi (fun i off -> (10 * (i + 1)) + (off * 5) + i) offsets
+        |> List.sort_uniq compare
+      in
+      let k = List.length durations in
+      let tagged = List.mapi (fun i d -> (Char.chr (97 + i), d)) durations in
+      let shuffled =
+        (* fork order differs from deadline order *)
+        List.sort (fun (_, a) (_, b) -> compare (a mod 7) (b mod 7)) tagged
+      in
+      let forks =
+        shuffled
+        |> List.map (fun (c, d) ->
+               Printf.sprintf
+                 "[ (Delay forMilliseconds: %d) wait. log nextPutAll: '%c'. \
+                  sem signal ] fork." d c)
+        |> String.concat "\n"
+      in
+      let src =
+        Printf.sprintf
+          "| log sem |\nlog := WriteStream on: (String new: %d).\n\
+           sem := Semaphore new.\n%s\n%d timesRepeat: [sem wait].\n\
+           log contents" k forks k
+      in
+      let expected =
+        tagged
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+        |> List.map (fun (c, _) -> String.make 1 c)
+        |> String.concat ""
+      in
+      let config =
+        { (Config.testing ~processors ()) with
+          Config.scheduler; Config.engine }
+      in
+      let vm = Vm.create config in
+      Vm.eval_to_string vm src = Printf.sprintf "'%s'" expected)
+
+let timer_order_props =
+  [ timer_order_prop ~scheduler:Config.Sched_locked
+      ~engine:Config.Engine_scan
+      ~name:"timers fire in deadline order (locked, scan)";
+    timer_order_prop ~scheduler:Config.Sched_stealing
+      ~engine:Config.Engine_scan
+      ~name:"timers fire in deadline order (stealing, scan)";
+    timer_order_prop ~scheduler:Config.Sched_locked
+      ~engine:Config.Engine_calendar
+      ~name:"timers fire in deadline order (locked, calendar)";
+    timer_order_prop ~scheduler:Config.Sched_stealing
+      ~engine:Config.Engine_calendar
+      ~name:"timers fire in deadline order (stealing, calendar)" ]
+
+(* The calendar engine parks every idle processor; with the whole machine
+   asleep and one pending timer it must jump virtual time to the deadline
+   and wake up — not report a deadlock. *)
+let test_calendar_all_parked_timer () =
+  let config =
+    { (Config.testing ~processors:4 ()) with
+      Config.engine = Config.Engine_calendar }
+  in
+  let vm = Vm.create config in
+  Alcotest.(check string) "all-idle machine wakes for the timer" "42"
+    (Vm.eval_to_string vm "(Delay forMilliseconds: 100) wait. 42");
+  Alcotest.(check bool) "idle processors actually parked" true (vm.Vm.parks > 0)
+
+(* The same machine with genuinely nothing left must still deadlock. *)
+let test_calendar_deadlock_detected () =
+  let config =
+    { (Config.testing ~processors:2 ()) with
+      Config.engine = Config.Engine_calendar }
+  in
+  let vm = Vm.create config in
+  Alcotest.(check bool) "wait on a never-signalled semaphore deadlocks" true
+    (try
+       ignore (Vm.eval_to_string vm "Semaphore new wait. 1");
+       false
+     with Vm.Error _ -> true)
+
 let test_sorting () =
   check_eval "sort integers" "'Array (1 2 5 9 )'"
     "#(5 2 9 1) asSortedArray printString";
@@ -235,7 +343,14 @@ let () =
          Alcotest.test_case "message object" `Quick test_message_class ]);
       ("delay",
        [ Alcotest.test_case "virtual time" `Quick test_delay;
-         Alcotest.test_case "multiprocessor" `Quick test_delay_multiprocessor ]);
+         Alcotest.test_case "multiprocessor" `Quick test_delay_multiprocessor;
+         Alcotest.test_case "late in run" `Quick test_delay_late_in_run ]);
+      ("timer order", List.map QCheck_alcotest.to_alcotest timer_order_props);
+      ("calendar engine",
+       [ Alcotest.test_case "all parked, one timer" `Quick
+           test_calendar_all_parked_timer;
+         Alcotest.test_case "real deadlock still detected" `Quick
+           test_calendar_deadlock_detected ]);
       ("sorting",
        [ Alcotest.test_case "sorts" `Quick test_sorting;
          Alcotest.test_case "aggregates" `Quick test_aggregates ]);

@@ -1,0 +1,109 @@
+(* Tests for the E17 image-server workload: closed- and open-loop
+   generators, admission control, quiescent termination, and engine
+   agreement (scan vs calendar) on the request-level observables. *)
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config ?(processors = 4) ?(engine = Config.Engine_calendar) () =
+  { (Config.testing ~processors ()) with Config.engine }
+
+let test_closed_loop_completes () =
+  let p =
+    { Server.default_params with
+      Server.sessions = 3; workers = 2; requests = 2; think_ms = 10 }
+  in
+  let _vm, s = Server.run (config ()) p in
+  check "every request offered" 6 s.Server.offered;
+  check "every request completed" 6 s.Server.completed;
+  check "nothing rejected" 0 s.Server.rejected;
+  check_bool "run quiesced" true s.Server.quiesced;
+  check_bool "latencies measured" true (s.Server.latency.Server.p50 > 0);
+  check_bool "p50 <= p99 <= max" true
+    (s.Server.latency.Server.p50 <= s.Server.latency.Server.p99
+     && s.Server.latency.Server.p99 <= s.Server.latency.Server.pmax);
+  Array.iter (fun n -> check "each session fully served" 2 n)
+    s.Server.per_session
+
+let test_open_loop_completes () =
+  let p =
+    { Server.default_params with
+      Server.sessions = 2; workers = 2; loop = Server.Open; requests = 3;
+      interval_ms = 40 }
+  in
+  let _vm, s = Server.run (config ()) p in
+  check "every request offered" 6 s.Server.offered;
+  check "every request completed" 6 s.Server.completed;
+  check_bool "run quiesced" true s.Server.quiesced
+
+(* One worker, zero inter-arrival gap: the arrivals flood in together and
+   admission must turn the overflow away, yet the run still quiesces. *)
+let test_admission_control () =
+  let p =
+    { Server.default_params with
+      Server.sessions = 4; workers = 1; loop = Server.Open; requests = 2;
+      interval_ms = 0; admit = 1 }
+  in
+  let _vm, s = Server.run (config ()) p in
+  check "every arrival accounted" 8 (s.Server.completed + s.Server.rejected);
+  check_bool "overflow rejected" true (s.Server.rejected > 0);
+  check_bool "some requests served" true (s.Server.completed >= 1);
+  check_bool "run quiesced" true s.Server.quiesced
+
+(* The differential oracle at the request level: both engines must agree
+   on every request-stream observable (admission disabled — with a cap,
+   legitimate cycle-level divergence could reject different requests). *)
+let test_engines_agree () =
+  let p =
+    { Server.default_params with
+      Server.sessions = 3; workers = 2; requests = 2; think_ms = 25 }
+  in
+  let _vm, scan = Server.run (config ~engine:Config.Engine_scan ()) p in
+  let _vm, cal = Server.run (config ~engine:Config.Engine_calendar ()) p in
+  check "offered agree" scan.Server.offered cal.Server.offered;
+  check "completed agree" scan.Server.completed cal.Server.completed;
+  check "rejected agree" scan.Server.rejected cal.Server.rejected;
+  check "bytecodes agree" scan.Server.steps cal.Server.steps;
+  Alcotest.(check (array int)) "per-session counts agree"
+    scan.Server.per_session cal.Server.per_session;
+  check_bool "both quiesced" true
+    (scan.Server.quiesced && cal.Server.quiesced);
+  check_bool "calendar parked idle processors" true (cal.Server.parks > 0)
+
+(* Strict sanitizer across the whole serve run: the request path (mailbox
+   receive, pool semaphore, compiles from several workers) must stay
+   serialization-clean. *)
+let test_serve_sanitized () =
+  let cfg =
+    { (config ~processors:4 ()) with Config.sanitize = Sanitizer.Strict }
+  in
+  let p =
+    { Server.default_params with
+      Server.sessions = 2; workers = 2; requests = 2; think_ms = 10 }
+  in
+  let vm, s = Server.run cfg p in
+  check_bool "run quiesced" true s.Server.quiesced;
+  check "no violations" 0 (Sanitizer.violation_count (Vm.sanitizer vm))
+
+let test_rejects_bad_params () =
+  check_bool "zero sessions rejected" true
+    (try
+       ignore
+         (Server.run (config ())
+            { Server.default_params with Server.sessions = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "server"
+    [ ("workload",
+       [ Alcotest.test_case "closed loop completes" `Quick
+           test_closed_loop_completes;
+         Alcotest.test_case "open loop completes" `Quick
+           test_open_loop_completes;
+         Alcotest.test_case "admission control" `Quick test_admission_control;
+         Alcotest.test_case "bad params" `Quick test_rejects_bad_params ]);
+      ("differential",
+       [ Alcotest.test_case "engines agree" `Quick test_engines_agree;
+         Alcotest.test_case "strict sanitizer clean" `Quick
+           test_serve_sanitized ]) ]

@@ -316,6 +316,86 @@ let test_machine_min_runnable () =
    | Some vp -> check "halted vp skipped" 2 vp.Machine.id
    | None -> Alcotest.fail "expected a runnable vp")
 
+(* A policy's choose_tie must see every minimal candidate exactly when
+   there are at least two; a unique minimum goes straight through. *)
+let test_machine_policy_ties () =
+  let m = Machine.make ~processors:4 cm in
+  let seen = ref [] in
+  Machine.set_policy m
+    (Some
+       { Machine.default_policy with
+         Machine.choose_tie =
+           (fun ties ->
+             seen := Array.to_list (Array.map (fun v -> v.Machine.id) ties);
+             ties.(Array.length ties - 1)) });
+  (Machine.vp m 0).Machine.clock <- 20;
+  (Machine.vp m 1).Machine.clock <- 10;
+  (Machine.vp m 2).Machine.clock <- 20;
+  (Machine.vp m 3).Machine.clock <- 30;
+  (match Machine.min_runnable m with
+   | Some vp -> check "unique minimum bypasses choose_tie" 1 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp");
+  check_bool "no tie consulted" true (!seen = []);
+  (Machine.vp m 1).Machine.clock <- 20;
+  (match Machine.min_runnable m with
+   | Some vp -> check "policy's pick honoured" 2 vp.Machine.id
+   | None -> Alcotest.fail "expected a runnable vp");
+  Alcotest.(check (list int)) "all minimal candidates, ascending ids"
+    [ 0; 1; 2 ] !seen
+
+(* --- the event calendar (E17) --- *)
+
+let test_calendar_basic () =
+  let c = Calendar.create () in
+  check_bool "fresh heap is empty" true (Calendar.is_empty c);
+  Calendar.add c ~key:30 "c";
+  Calendar.add c ~key:10 "a";
+  Calendar.add c ~key:20 "b";
+  check "min key" 10 (match Calendar.min_key c with Some k -> k | None -> -1);
+  (match Calendar.peek c with
+   | Some (10, "a") -> ()
+   | _ -> Alcotest.fail "peek should see the minimum without removing it");
+  check "peek leaves length" 3 (Calendar.length c);
+  (match Calendar.pop c with
+   | Some (10, "a") -> ()
+   | _ -> Alcotest.fail "pop order");
+  (match Calendar.pop c with
+   | Some (20, "b") -> ()
+   | _ -> Alcotest.fail "pop order");
+  Calendar.add c ~key:5 "d";
+  (match Calendar.pop c with
+   | Some (5, "d") -> ()
+   | _ -> Alcotest.fail "interleaved add respects order");
+  (match Calendar.pop c with
+   | Some (30, "c") -> ()
+   | _ -> Alcotest.fail "pop order");
+  check_bool "drained" true (Calendar.pop c = None)
+
+let test_calendar_fifo_on_equal_keys () =
+  let c = Calendar.create () in
+  List.iter (fun v -> Calendar.add c ~key:7 v) [ 1; 2; 3; 4 ];
+  Calendar.add c ~key:3 0;
+  let order = List.map snd (Calendar.to_sorted_list c) in
+  Alcotest.(check (list int)) "equal deadlines fire in insertion order"
+    [ 0; 1; 2; 3; 4 ] order
+
+(* The heap must drain any insertion sequence in stable (key, insertion)
+   order — the property the timer queue and the pending-VP queue both
+   lean on. *)
+let prop_calendar_sorted_stable =
+  QCheck.Test.make ~count:300 ~name:"calendar drains in stable key order"
+    QCheck.(list (int_range 0 50))
+    (fun keys ->
+      let c = Calendar.create () in
+      List.iteri (fun i k -> Calendar.add c ~key:k (i, k)) keys;
+      let drained = List.map snd (Calendar.to_sorted_list c) in
+      let expected =
+        List.stable_sort
+          (fun (_, k1) (_, k2) -> compare k1 k2)
+          (List.mapi (fun i k -> (i, k)) keys)
+      in
+      drained = expected)
+
 let test_machine_bus_factor () =
   let m = Machine.make ~processors:5 cm in
   let vp = Machine.vp m 0 in
@@ -372,5 +452,11 @@ let () =
            test_input_multi_vp_contention ]);
       ("machine",
        [ Alcotest.test_case "min runnable" `Quick test_machine_min_runnable;
+         Alcotest.test_case "policy ties" `Quick test_machine_policy_ties;
          Alcotest.test_case "bus factor" `Quick test_machine_bus_factor;
-         Alcotest.test_case "synchronize" `Quick test_machine_synchronize ]) ]
+         Alcotest.test_case "synchronize" `Quick test_machine_synchronize ]);
+      ("calendar",
+       [ Alcotest.test_case "basic order" `Quick test_calendar_basic;
+         Alcotest.test_case "fifo on equal keys" `Quick
+           test_calendar_fifo_on_equal_keys;
+         QCheck_alcotest.to_alcotest prop_calendar_sorted_stable ]) ]
