@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke dpor-smoke bench clean
 
 all: build
 
@@ -60,6 +60,23 @@ server-smoke:
 	  --requests 2 --think-ms 100 --sanitize=strict --differential
 	dune exec bin/mst.exe -- explore --config=calendar --seeds=8 --quick
 
+# E20 systematic exploration (strict sanitizer, bounded workload): the
+# published configuration must stay clean under a DPOR budget with
+# pruning stats, both deliberately broken configurations must be caught
+# with no seed involved, and zero-execution invocations (--seeds 0,
+# --budget 0) must exit 2 instead of reporting vacuous success.
+dpor-smoke:
+	dune exec bin/mst.exe -- explore --config=ms --dpor --stats --quick \
+	  --budget=12
+	dune exec bin/mst.exe -- explore --config=ctx-unbracketed --dpor --quick \
+	  --budget=4 --expect-violation --dump /tmp/mst-dpor-ctx
+	dune exec bin/mst.exe -- explore --config=steal-unlocked --dpor --quick \
+	  --budget=4 --expect-violation --dump /tmp/mst-dpor-steal
+	dune exec bin/mst.exe -- explore --quick --seeds=0 2>/dev/null; \
+	  test $$? -eq 2 || { echo "FAIL: --seeds 0 must exit 2"; exit 1; }
+	dune exec bin/mst.exe -- explore --quick --dpor --budget=0 2>/dev/null; \
+	  test $$? -eq 2 || { echo "FAIL: --dpor --budget 0 must exit 2"; exit 1; }
+
 check:
 	dune build
 	dune runtest
@@ -68,6 +85,7 @@ check:
 	$(MAKE) fault-smoke
 	$(MAKE) steal-smoke
 	$(MAKE) server-smoke
+	$(MAKE) dpor-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

@@ -214,8 +214,50 @@ let explore_cmd =
     let doc = "Write shrunk counterexample traces to $(docv)-seedN.trace." in
     Arg.(value & opt string "explore-ctr" & info [ "dump" ] ~docv:"PREFIX" ~doc)
   in
+  let dpor =
+    let doc =
+      "Systematic exploration: dynamic partial-order reduction with sleep \
+       sets over the recorded decision points instead of seeded sampling \
+       (E20).  Branches only where an executed run shows a race."
+    in
+    Arg.(value & flag & info [ "dpor" ] ~doc)
+  in
+  let brute =
+    let doc =
+      "Systematic exploration without the reduction: enumerate every \
+       alternative at every decision point within the bounds.  Ground \
+       truth for $(b,--dpor) on tiny workloads; explodes on real ones."
+    in
+    Arg.(value & flag & info [ "brute" ] ~doc)
+  in
+  let max_preemptions =
+    let doc =
+      "Preemption bound for systematic exploration: at most $(docv) forced \
+       decisions per schedule."
+    in
+    Arg.(value & opt int 2 & info [ "max-preemptions" ] ~docv:"N" ~doc)
+  in
+  let max_branch =
+    let doc =
+      "Ignore decision points past this query index during systematic \
+       exploration (bounds the tree depth on long workloads)."
+    in
+    Arg.(value & opt int max_int & info [ "max-branch" ] ~docv:"Q" ~doc)
+  in
+  let budget =
+    let doc = "Execution budget for systematic exploration." in
+    Arg.(value & opt int 256 & info [ "budget" ] ~docv:"N" ~doc)
+  in
+  let stats =
+    let doc =
+      "Print detailed systematic-exploration statistics (pruned \
+       alternatives, sleep-set skips, bound hits)."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
   let run processors config_name seeds first_seed quick replay
-      expect_violation shrink_budget dump_prefix =
+      expect_violation shrink_budget dump_prefix dpor brute max_preemptions
+      max_branch budget stats =
     (* [reference_setup] makes the stealing oracle differential: the
        reference observables come from an unperturbed run on the locked
        scheduler, so any steal-protocol divergence fails even on seeds
@@ -271,7 +313,92 @@ let explore_cmd =
          | None ->
              Printf.printf "replay matches the reference observables\n";
              finish_with ~failed:false)
+    | None when dpor || brute ->
+        let mode =
+          if brute then Explore.Dpor.Brute else Explore.Dpor.Dpor
+        in
+        if budget <= 0 then begin
+          Printf.eprintf
+            "error: --budget must be positive: a zero-execution exploration \
+             would report vacuous success\n";
+          exit 2
+        end;
+        Printf.printf
+          "systematic exploration (%s) of %s: budget %d, at most %d forced \
+           decision(s) per schedule, strict sanitizer, %d busy background \
+           Process(es)\n%!"
+          (if brute then "brute force" else "dpor")
+          config_label budget max_preemptions setup.Explorer.busy;
+        let r =
+          Explorer.dpor ~mode ~max_branch ~max_flips:max_preemptions ~budget
+            ~shrink_budget ?reference_setup setup
+            ~log:(fun line -> Printf.printf "%s\n%!" line)
+            ()
+        in
+        let s = r.Explorer.dpor_result.Explore.Dpor.stats in
+        (* a systematic run that never executed anything proves nothing *)
+        if s.Explore.Dpor.executions = 0 then begin
+          Printf.eprintf
+            "error: no executions ran (empty decision space or exhausted \
+             budget) — refusing to report vacuous success\n";
+          exit 2
+        end;
+        Printf.printf
+          "%d execution(s), %d distinct trace(s), %d observable(s), %d \
+           race(s), %d failing schedule(s)%s\n"
+          s.Explore.Dpor.executions s.Explore.Dpor.distinct_traces
+          s.Explore.Dpor.distinct_obs s.Explore.Dpor.races
+          (List.length r.Explorer.dpor_result.Explore.Dpor.failures)
+          (if s.Explore.Dpor.exhausted then " — space exhausted"
+           else " — budget reached");
+        if stats then
+          Printf.printf
+            "pruned: %d brute-eligible alternative(s) never run; %d \
+             sleep-set skip(s); %d insertion(s) refused by the bounds\n"
+            s.Explore.Dpor.pruned s.Explore.Dpor.sleep_skips
+            s.Explore.Dpor.bounded;
+        (match r.Explorer.dpor_counterexample with
+         | None -> finish_with ~failed:false
+         | Some c ->
+             Printf.printf "first failure: %s\n" c.Explorer.dpor_what;
+             if c.Explorer.dpor_shrunk = [] then begin
+               Printf.printf
+                 "  fails on the default schedule (empty trace; nothing to \
+                  replay)\n";
+               finish_with ~failed:true
+             end
+             else begin
+               let file = Printf.sprintf "%s-dpor.trace" dump_prefix in
+               Explore.save file c.Explorer.dpor_shrunk;
+               let reference =
+                 Explorer.reference
+                   (Option.value reference_setup ~default:setup)
+               in
+               let from_file =
+                 Explorer.run_schedule setup (Explore.load file)
+               in
+               let file_fails = Explorer.check ~reference from_file <> None in
+               Printf.printf
+                 "  shrunk to %d decision(s) -> %s (replay from file %s)\n"
+                 (List.length c.Explorer.dpor_shrunk)
+                 file
+                 (if file_fails then "reproduces" else "DOES NOT reproduce");
+               if not (c.Explorer.dpor_reproduces && file_fails) then begin
+                 Printf.printf
+                   "FAIL: the shrunk counterexample did not reproduce\n";
+                 exit 1
+               end;
+               finish_with ~failed:true
+             end)
     | None ->
+        (* a zero-seed exploration runs nothing and would exit 0 below —
+           vacuous success; refuse it instead (same for negative) *)
+        if seeds <= 0 then begin
+          Printf.eprintf
+            "error: --seeds must be positive: a zero-seed exploration would \
+             report vacuous success (use --dpor for systematic coverage)\n";
+          exit 2
+        end;
         Printf.printf
           "exploring %s: %d seed(s) from %d, strict sanitizer, %d busy \
            background Process(es)\n%!"
@@ -325,7 +452,8 @@ let explore_cmd =
           differential oracle; shrink and save any counterexample")
     Term.(
       const run $ e_processors $ config_name $ seeds $ first_seed $ quick
-      $ replay $ expect_violation $ shrink_budget $ dump_prefix)
+      $ replay $ expect_violation $ shrink_budget $ dump_prefix $ dpor
+      $ brute $ max_preemptions $ max_branch $ budget $ stats)
 
 (* --- faults --- *)
 

@@ -296,6 +296,89 @@ let explore ?params ?(shrink_budget = 120) ?(first_seed = 0)
     perturbations = !perturbations;
     counterexamples = List.rev !counterexamples }
 
+(* --- systematic exploration (E20) -------------------------------------- *)
+
+(* One execution for the systematic explorer: replay the forced prefix
+   under a guided driver (which logs every preemption-point query, not
+   just the perturbed ones) and flatten the outcome into the observable
+   string the DFS dedupes on plus the oracle's verdict. *)
+let run_guided setup sched =
+  let d = Explore.guided sched in
+  let o = run_driver setup (Some d) in
+  (o, Explore.query_log d)
+
+let obs_string o =
+  match o.obs with
+  | None -> "<died: " ^ Option.value o.error ~default:"?" ^ ">"
+  | Some x ->
+      Format.asprintf "%s|%s|%a" x.result x.transcript Verify.pp_census
+        x.census
+
+type dpor_counterexample = {
+  dpor_what : string;
+  dpor_original : Explore.schedule;
+  dpor_shrunk : Explore.schedule;
+  dpor_probes : int;
+  dpor_reproduces : bool;
+}
+
+type dpor_report = {
+  dpor_result : Explore.Dpor.result;
+  dpor_counterexample : dpor_counterexample option;
+      (* first failing schedule, shrunk and replay-confirmed *)
+}
+
+(* Systematically explore [setup]'s schedule space.  As with [explore],
+   the oracle can be differential across configurations via
+   [reference_setup].  The first failing schedule is shrunk and
+   confirmed exactly like a seeded counterexample; the full failure list
+   stays available in [dpor_result] (a broken config typically fails on
+   the default schedule and on every reachable alternative). *)
+let dpor ?mode ?max_branch ?max_flips ?budget ?defers ?preempts
+    ?stop_on_failure ?(shrink_budget = 120) ?(log = fun _ -> ())
+    ?reference_setup setup () =
+  let ref_outcome =
+    reference (Option.value reference_setup ~default:setup)
+  in
+  let run sched =
+    let o, xlog = run_guided setup sched in
+    { Explore.Dpor.xlog;
+      obs = obs_string o;
+      failure = check ~reference:ref_outcome o }
+  in
+  let result =
+    Explore.Dpor.systematic ?mode ?max_branch ?max_flips ?budget ?defers
+      ?preempts ?stop_on_failure ~log ~run ()
+  in
+  let counterexample =
+    match result.Explore.Dpor.failures with
+    | [] -> None
+    | (sched, what) :: _ ->
+        let fails s =
+          check ~reference:ref_outcome (run_schedule setup s) <> None
+        in
+        let shrunk, probes =
+          Explore.shrink ~run:fails ~budget:shrink_budget sched
+        in
+        let replayed = run_schedule setup shrunk in
+        let what, reproduces =
+          match check ~reference:ref_outcome replayed with
+          | Some w -> (w, true)
+          | None -> (what, false)
+        in
+        log
+          (Printf.sprintf "first failure shrunk to %d decision(s) in %d \
+                           replay(s): %s"
+             (List.length shrunk) probes what);
+        Some
+          { dpor_what = what;
+            dpor_original = sched;
+            dpor_shrunk = shrunk;
+            dpor_probes = probes;
+            dpor_reproduces = reproduces }
+  in
+  { dpor_result = result; dpor_counterexample = counterexample }
+
 (* --- fault campaigns --------------------------------------------------- *)
 
 (* Run the default schedule under a fault injector (no scheduling

@@ -118,6 +118,40 @@ val explore :
   ?log:(string -> unit) -> ?reference_setup:setup -> setup -> seeds:int ->
   report
 
+(** {2 Systematic exploration (E20)} *)
+
+(** Replay the forced prefix [sched] under a {!Explore.guided} driver and
+    return the outcome together with the full preemption-point query log
+    (what the systematic explorer branches on). *)
+val run_guided : setup -> Explore.schedule -> outcome * Explore.qinfo array
+
+type dpor_counterexample = {
+  dpor_what : string;
+  dpor_original : Explore.schedule;
+  dpor_shrunk : Explore.schedule;
+  dpor_probes : int;
+  dpor_reproduces : bool;
+}
+
+type dpor_report = {
+  dpor_result : Explore.Dpor.result;
+  dpor_counterexample : dpor_counterexample option;
+      (** the first failing schedule, shrunk and replay-confirmed *)
+}
+
+(** Systematically explore [setup]'s schedule space with
+    {!Explore.Dpor.systematic}, the differential oracle supplying each
+    execution's observable string and failure verdict.  Parameters pass
+    through to [systematic]; [reference_setup] works as in {!explore}.
+    The first failing schedule (if any) is shrunk within [shrink_budget]
+    replays and confirmed; the full failure list remains available in
+    [dpor_result]. *)
+val dpor :
+  ?mode:Explore.Dpor.mode -> ?max_branch:int -> ?max_flips:int ->
+  ?budget:int -> ?defers:bool -> ?preempts:bool -> ?stop_on_failure:bool ->
+  ?shrink_budget:int -> ?log:(string -> unit) -> ?reference_setup:setup ->
+  setup -> unit -> dpor_report
+
 (** Run the default schedule under a fault injector (no scheduling
     policy). *)
 val run_faults : setup -> Fault.t -> outcome

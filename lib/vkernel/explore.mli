@@ -51,6 +51,25 @@ val seeded : ?params:params -> ?trace:Trace.t -> seed:int -> unit -> driver
     else.  Out-of-range tie picks are clamped to the candidate count. *)
 val replay : ?trace:Trace.t -> schedule -> driver
 
+(** What a preemption-point query was about. *)
+type qkind =
+  | Qtie of int array  (** min-clock tie between these vp ids *)
+  | Qacquire of string  (** about to acquire this lock *)
+  | Qexit of string  (** leaving this charged critical section *)
+
+(** One entry of a guided driver's query log: the query index, what was
+    asked, the acting vp and its clock at the time. *)
+type qinfo = { q : int; kind : qkind; qvp : int; qnow : int }
+
+(** [guided sched] is {!replay} plus a full query log: the driver records
+    every preemption-point query it answers (not just the perturbed
+    ones), which is what the systematic explorer ({!Dpor}) consumes. *)
+val guided : ?trace:Trace.t -> schedule -> driver
+
+(** The guided driver's query log, index-ascending.  Empty for seeded and
+    plain replay drivers. *)
+val query_log : driver -> qinfo array
+
 (** The scheduling policy to install with {!Machine.set_policy}. *)
 val policy : driver -> Machine.scheduling_policy
 
@@ -88,3 +107,78 @@ val load : string -> schedule
 val load_replay : string -> schedule
 
 val pp : Format.formatter -> schedule -> unit
+
+(** {2 Systematic exploration (E20)}
+
+    A DFS over forced decision prefixes, run-to-completion style: execute
+    under a {!guided} driver, analyse the query log, backtrack to the
+    deepest choice point with an unexplored alternative, re-execute.
+    [Brute] enumerates every alternative at every choice point within the
+    bounds; [Dpor] inserts alternatives only where the executed run shows
+    a race (two acquires of one lock by different vps with nothing
+    between), pruned further by sleep sets.  See DESIGN.md. *)
+module Dpor : sig
+  (** What one execution of the workload produced.  [obs] is the
+      observable fingerprint the caller compares runs by (result +
+      transcript + census); [failure] is a human-readable description
+      when the run errored or diverged. *)
+  type exec = {
+    xlog : qinfo array;
+    obs : string;
+    failure : string option;
+  }
+
+  type mode = Brute | Dpor
+
+  type stats = {
+    executions : int;  (** schedules actually run *)
+    distinct_obs : int;
+    distinct_traces : int;  (** distinct Mazurkiewicz fingerprints *)
+    races : int;  (** racing acquire pairs seen across all runs *)
+    pruned : int;  (** brute-eligible alternatives never explored *)
+    sleep_skips : int;  (** insertions suppressed by sleep sets *)
+    bounded : int;  (** insertions refused by the flip/branch bounds *)
+    exhausted : bool;  (** the bounded space was fully explored *)
+  }
+
+  type result = {
+    stats : stats;
+    obs_witness : (string * schedule) list;
+        (** one witness schedule per distinct observable, discovery
+            order *)
+    failures : (schedule * string) list;
+  }
+
+  (** Per-lock acquisition-order hash of a query log: two runs that only
+      interleave independent (different-lock) operations differently
+      fingerprint the same. *)
+  val trace_fingerprint : qinfo array -> int
+
+  (** [systematic ~run ()] explores the schedule space of the
+      deterministic workload [run], which must rebuild the world and
+      execute it under [guided sched].
+
+      [mode] selects brute-force enumeration or DPOR (default).
+      [max_branch] ignores choice points past this query index;
+      [max_flips] bounds the forced decisions per schedule (the
+      preemption bound, default 2); [budget] caps executions (default
+      256).  [defers] enables the lock-jitter lever and [preempts] the
+      forced-preemption lever (both default true; the exhaustiveness
+      oracle disables them for a tie-only space where brute force is
+      genuinely exhaustive).  [defer_slack] pads computed jitters.
+      [stop_on_failure] stops at the first failing execution.  [log]
+      receives occasional progress lines. *)
+  val systematic :
+    ?mode:mode ->
+    ?max_branch:int ->
+    ?max_flips:int ->
+    ?budget:int ->
+    ?defers:bool ->
+    ?preempts:bool ->
+    ?defer_slack:int ->
+    ?stop_on_failure:bool ->
+    ?log:(string -> unit) ->
+    run:(schedule -> exec) ->
+    unit ->
+    result
+end
