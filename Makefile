@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke dpor-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke dpor-smoke gc-smoke bench clean
 
 all: build
 
@@ -77,6 +77,20 @@ dpor-smoke:
 	dune exec bin/mst.exe -- explore --quick --dpor --budget=0 2>/dev/null; \
 	  test $$? -eq 2 || { echo "FAIL: --dpor --budget 0 must exit 2"; exit 1; }
 
+# E18 incremental old-space collection: a strict-sanitized garbage-heavy
+# run with the collector on (every cycle completion re-verifies the whole
+# heap), the pause-distribution bench whose p95 major slice must respect
+# the budget, a differential exploration against a collector-free
+# reference, and the barrier-disabled configuration the sanitizer must
+# catch on every seed.
+gc-smoke:
+	dune exec bin/mst.exe -- eval -p 4 --state busy --major --sanitize=strict \
+	  '| keep | keep := Array new: 64. 1 to: 4000 do: [:i | keep at: i \\ 64 + 1 put: (Array new: 16)]. 6 factorial'
+	dune exec bench/main.exe -- e18-gc --quick
+	dune exec bin/mst.exe -- explore --config=major --seeds=4 --quick
+	dune exec bin/mst.exe -- explore --config=major-nobarrier --seeds=4 --quick \
+	  --expect-violation --dump /tmp/mst-explore-major
+
 check:
 	dune build
 	dune runtest
@@ -86,6 +100,7 @@ check:
 	$(MAKE) steal-smoke
 	$(MAKE) server-smoke
 	$(MAKE) dpor-smoke
+	$(MAKE) gc-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

@@ -236,6 +236,75 @@ let run_e17_server ~quick () =
   write_server_json ~vps ~workers ~requests ~think_ms rows;
   Format.fprintf fmt "@.(rows written to %s)@." server_json_file
 
+(* --- E18: incremental old-space collection --- *)
+
+let gc_json_file = "BENCH_e18_gc.json"
+
+let write_gc_json ~iterations rows (s : Gc_study.major_summary) =
+  let oc = open_out gc_json_file in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"e18_incremental_major\",\n\
+     \  \"iterations\": %d,\n\
+     \  \"pauses\": [\n"
+    iterations;
+  List.iteri
+    (fun i (r : Gc_study.pause_row) ->
+      Printf.fprintf oc
+        "    {\"population\": %S, \"count\": %d, \"p50_ms\": %.6f, \
+         \"p95_ms\": %.6f, \"max_ms\": %.6f, \"budget_ms\": %.6f, \
+         \"budget_overruns\": %d}%s\n"
+        r.Gc_study.pause_label r.Gc_study.pauses r.Gc_study.p50_ms
+        r.Gc_study.p95_ms r.Gc_study.max_ms r.Gc_study.budget_ms
+        r.Gc_study.budget_overruns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+     \  \"collector\": {\"cycles\": %d, \"slices\": %d, \
+     \"budget_cycles\": %d, \"overruns\": %d, \"forced_completions\": %d,\n\
+     \    \"reclaimed_objects\": %d, \"reclaimed_words\": %d, \
+     \"free_list_hits\": %d, \"free_reused_words\": %d, \
+     \"barrier_greys\": %d}\n}\n"
+    s.Gc_study.maj_cycles s.Gc_study.maj_slices s.Gc_study.maj_budget
+    s.Gc_study.maj_overruns s.Gc_study.maj_forced
+    s.Gc_study.maj_reclaimed_objects s.Gc_study.maj_reclaimed_words
+    s.Gc_study.maj_free_list_hits s.Gc_study.maj_free_reused_words
+    s.Gc_study.maj_barrier_greys;
+  close_out oc
+
+let run_e18_gc ~quick () =
+  section
+    "E18: incremental old-space mark-sweep — pause distribution under \
+     aggressive churn";
+  let iterations = if quick then 10_000 else 30_000 in
+  let rows, s = Gc_study.pause_study ~iterations () in
+  Gc_study.print_pause_rows fmt
+    ~label:
+      "churn with tenure age 1 and a 16 KB eden (most allocation tenures, \
+       then dies in old space)"
+    rows;
+  Format.fprintf fmt
+    "@.  collector: %d cycle(s) in %d slice(s), %d forced completion(s)@."
+    s.Gc_study.maj_cycles s.Gc_study.maj_slices s.Gc_study.maj_forced;
+  Format.fprintf fmt
+    "  reclaimed %d object(s) / %d words; free lists served %d \
+     allocation(s) (%d words reused)@."
+    s.Gc_study.maj_reclaimed_objects s.Gc_study.maj_reclaimed_words
+    s.Gc_study.maj_free_list_hits s.Gc_study.maj_free_reused_words;
+  (* the collector's whole claim is the bounded tail — fail the harness
+     if a slice's p95 escapes the budget *)
+  (match rows with
+   | [ _; slice_row ]
+     when slice_row.Gc_study.pauses > 0
+          && slice_row.Gc_study.p95_ms > slice_row.Gc_study.budget_ms ->
+       Format.fprintf fmt
+         "@.FAIL: p95 major slice %.3f ms exceeds the %.3f ms budget@."
+         slice_row.Gc_study.p95_ms slice_row.Gc_study.budget_ms;
+       exit 1
+   | _ -> ());
+  write_gc_json ~iterations rows s;
+  Format.fprintf fmt "@.(rows written to %s)@." gc_json_file
+
 (* --- E8/E10: scavenge economics --- *)
 
 let run_scavenge ~quick () =
@@ -371,6 +440,7 @@ let all_sections ~quick =
     ("ablation-sched", fun () -> run_ablation_sched ~quick ());
     ("e16-steal", fun () -> run_e16_steal ~quick ());
     ("e17-server", fun () -> run_e17_server ~quick ());
+    ("e18-gc", fun () -> run_e18_gc ~quick ());
     ("scavenge", fun () -> run_scavenge ~quick ());
     ("instrumentation", fun () -> run_instrumentation ~quick ());
     ("parallel-scavenge", fun () -> run_parallel_scavenge ~quick ());

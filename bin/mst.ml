@@ -60,15 +60,37 @@ let engine =
   in
   Arg.(value & opt (enum engines) Config.Engine_scan & info [ "engine" ] ~doc)
 
+let major =
+  let doc =
+    "Run the incremental old-space mark-sweep collector (E18): bounded \
+     slices at step boundaries reclaim tenured garbage onto free lists, \
+     and $(b,Image_full) becomes a last resort after a forced cycle."
+  in
+  Arg.(value & flag & info [ "major" ] ~doc)
+
+let major_budget =
+  let doc =
+    "Target collector cycles per major slice (with $(b,--major)); smaller \
+     budgets mean shorter pauses and more slices per cycle."
+  in
+  Arg.(value & opt (some int) None & info [ "major-budget" ] ~docv:"CYCLES"
+       ~doc)
+
 let make_vm ?(sanitize = Sanitizer.Off) ?(scheduler = Config.Sched_locked)
-    ?(engine = Config.Engine_scan) processors state =
+    ?(engine = Config.Engine_scan) ?(major = false) ?major_budget processors
+    state =
   let config =
     if processors <= 1 && state = "none" && scheduler = Config.Sched_locked
     then Config.baseline_bs ()
     else Config.ms ~processors:(max processors 1) ()
   in
   let config = { config with Config.sanitize; Config.scheduler;
-                 Config.engine } in
+                 Config.engine; Config.major_enabled = major } in
+  let config =
+    match major_budget with
+    | Some b -> { config with Config.major_budget = b }
+    | None -> config
+  in
   let vm = Vm.create config in
   (match state with
    | "idle" -> ignore (Workloads.spawn_idle vm 4)
@@ -109,8 +131,12 @@ let catching_faults vm ~trace_dump f =
 
 let eval_cmd =
   let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR") in
-  let run processors state sanitize scheduler engine trace_dump expr =
-    let vm = make_vm ~sanitize ~scheduler ~engine processors state in
+  let run processors state sanitize scheduler engine major major_budget
+      trace_dump expr =
+    let vm =
+      make_vm ~sanitize ~scheduler ~engine ~major ?major_budget processors
+        state
+    in
     catching_faults vm ~trace_dump (fun () ->
         try print_endline (Vm.eval_to_string vm expr) with
         | State.Vm_error msg -> Printf.eprintf "error: %s\n" msg
@@ -127,14 +153,18 @@ let eval_cmd =
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a Smalltalk expression")
     Term.(const run $ processors $ state $ sanitize $ scheduler $ engine
-          $ trace_dump $ expr)
+          $ major $ major_budget $ trace_dump $ expr)
 
 (* --- run --- *)
 
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run processors state sanitize scheduler engine trace_dump file =
-    let vm = make_vm ~sanitize ~scheduler ~engine processors state in
+  let run processors state sanitize scheduler engine major major_budget
+      trace_dump file =
+    let vm =
+      make_vm ~sanitize ~scheduler ~engine ~major ?major_budget processors
+        state
+    in
     let source = In_channel.with_open_text file In_channel.input_all in
     Vm.load_classes vm source;
     (match Universe.find_class vm.Vm.u "Main" with
@@ -155,7 +185,7 @@ let run_cmd =
     (Cmd.info "run"
        ~doc:"Load a class file (image-definition format) and run Main new main")
     Term.(const run $ processors $ state $ sanitize $ scheduler $ engine
-          $ trace_dump $ file)
+          $ major $ major_budget $ trace_dump $ file)
 
 (* --- explore --- *)
 
@@ -178,16 +208,20 @@ let explore_cmd =
        $(b,stealing) (work-stealing scheduler checked differentially \
        against the locked queue — must stay clean), $(b,calendar) \
        (event-calendar engine checked differentially against the scan \
-       engine, E17 — must stay clean), $(b,bs-unlocked) \
+       engine, E17 — must stay clean), $(b,major) (incremental old-space \
+       collector checked differentially against a collector-free run, \
+       E18 — must stay clean), $(b,bs-unlocked) \
        (locking disabled on several processors — broken on purpose), \
        $(b,ctx-unbracketed) (shared free-context list with its lock \
-       bracket skipped — broken on purpose) or $(b,steal-unlocked) (deque \
-       lock brackets skipped — broken on purpose)."
+       bracket skipped — broken on purpose), $(b,steal-unlocked) (deque \
+       lock brackets skipped — broken on purpose) or $(b,major-nobarrier) \
+       (the collector's write barrier disabled — broken on purpose)."
     in
     let configs =
       [ ("ms", `Ms); ("stealing", `Stealing); ("calendar", `Calendar);
-        ("bs-unlocked", `Unlocked);
-        ("ctx-unbracketed", `Ctx); ("steal-unlocked", `StealUnlocked) ]
+        ("major", `Major); ("bs-unlocked", `Unlocked);
+        ("ctx-unbracketed", `Ctx); ("steal-unlocked", `StealUnlocked);
+        ("major-nobarrier", `MajorNoBarrier) ]
     in
     Arg.(value & opt (enum configs) `Ms & info [ "config" ] ~doc)
   in
@@ -274,6 +308,10 @@ let explore_cmd =
           ( Explorer.calendar_setup ~processors ?quick (),
             "calendar engine (vs scan reference)",
             Some (Explorer.ms_setup ~processors ?quick ()) )
+      | `Major ->
+          ( Explorer.major_setup ~processors ?quick (),
+            "major collector (vs collector-free reference)",
+            Some (Explorer.major_reference_setup ~processors ?quick ()) )
       | `Unlocked ->
           (Explorer.broken_unlocked_setup ~processors ?quick (), "bs-unlocked",
            None)
@@ -283,6 +321,9 @@ let explore_cmd =
       | `StealUnlocked ->
           (Explorer.broken_steal_setup ~processors ?quick (), "steal-unlocked",
            None)
+      | `MajorNoBarrier ->
+          (Explorer.broken_major_setup ~processors ?quick (),
+           "major-nobarrier", None)
     in
     let finish_with ~failed =
       if expect_violation && not failed then begin
@@ -698,9 +739,16 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "differential" ] ~doc)
   in
-  let serve_config ~processors ~sanitize ~scheduler ~engine =
-    { (Config.ms ~processors ()) with
-      Config.sanitize; Config.scheduler; Config.engine }
+  let serve_config ~processors ~sanitize ~scheduler ~engine ~major
+      ~major_budget =
+    let c =
+      { (Config.ms ~processors ()) with
+        Config.sanitize; Config.scheduler; Config.engine;
+        Config.major_enabled = major }
+    in
+    match major_budget with
+    | Some b -> { c with Config.major_budget = b }
+    | None -> c
   in
   let run_one ~label config p =
     let t0 = Unix.gettimeofday () in
@@ -722,14 +770,17 @@ let serve_cmd =
     if Sanitizer.violation_count san > 0 then exit 1;
     stats
   in
-  let run processors sanitize scheduler sessions workers loop requests
-      think_ms interval_ms admit engine differential =
+  let run processors sanitize scheduler major major_budget sessions workers
+      loop requests think_ms interval_ms admit engine differential =
     let p =
       { Server.sessions; workers; loop; requests; think_ms; interval_ms;
         admit }
     in
     let processors = max processors 2 in
-    let config = serve_config ~processors ~sanitize ~scheduler ~engine in
+    let config =
+      serve_config ~processors ~sanitize ~scheduler ~engine ~major
+        ~major_budget
+    in
     let stats = run_one ~label:"serve" config p in
     if differential then begin
       let other =
@@ -737,7 +788,10 @@ let serve_cmd =
         | Config.Engine_scan -> Config.Engine_calendar
         | Config.Engine_calendar -> Config.Engine_scan
       in
-      let config' = serve_config ~processors ~sanitize ~scheduler ~engine:other in
+      let config' =
+        serve_config ~processors ~sanitize ~scheduler ~engine:other ~major
+          ~major_budget
+      in
       let stats' = run_one ~label:"serve (reference engine)" config' p in
       let agree =
         stats.Server.offered = stats'.Server.offered
@@ -762,9 +816,9 @@ let serve_cmd =
           Smalltalk worker Processes, with per-request latency \
           percentiles")
     Term.(
-      const run $ processors $ sanitize $ scheduler $ sessions $ workers
-      $ loop $ requests $ think_ms $ interval_ms $ admit $ engine
-      $ differential)
+      const run $ processors $ sanitize $ scheduler $ major $ major_budget
+      $ sessions $ workers $ loop $ requests $ think_ms $ interval_ms
+      $ admit $ engine $ differential)
 
 (* --- disasm / decompile / browse --- *)
 

@@ -136,6 +136,112 @@ let parallel_scavenge_sweep ?sanitize ?(iterations = 30_000) () =
         ~iterations ())
     [ 1; 2; 3; 5 ]
 
+(* ============ pause distribution (E18) ============
+
+   The incremental collector's claim is about the *tail*: old-space
+   reclamation arrives as bounded slices instead of one long
+   stop-the-world mark-sweep, so the pause distribution — not the mean —
+   is the measure.  One aggressive-GC churn run yields both populations:
+   every scavenge pause and every major slice, summarized as
+   percentiles against the slice budget. *)
+
+type pause_row = {
+  pause_label : string;
+  pauses : int;
+  p50_ms : float;
+  p95_ms : float;
+  max_ms : float;
+  budget_ms : float;  (** 0 for populations without a budget (scavenges) *)
+  budget_overruns : int;  (** slices that ran past the budget *)
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0
+  | n -> sorted.(min (n - 1) (p * n / 100))
+
+let distribution cm ~label ~budget ~overruns costs =
+  let arr = Array.of_list costs in
+  Array.sort compare arr;
+  let ms c = 1000.0 *. Cost_model.seconds cm c in
+  { pause_label = label;
+    pauses = Array.length arr;
+    p50_ms = ms (percentile arr 50);
+    p95_ms = ms (percentile arr 95);
+    max_ms = ms (if Array.length arr = 0 then 0 else arr.(Array.length arr - 1));
+    budget_ms = ms budget;
+    budget_overruns = overruns }
+
+type major_summary = {
+  maj_cycles : int;
+  maj_slices : int;
+  maj_budget : int;
+  maj_overruns : int;
+  maj_forced : int;
+  maj_reclaimed_objects : int;
+  maj_reclaimed_words : int;
+  maj_free_list_hits : int;
+  maj_free_reused_words : int;
+  maj_barrier_greys : int;
+}
+
+(* E18: scavenge pauses and major slices from one aggressive-GC churn run
+   (one-scavenge tenure age, tiny eden, the collector on), so most of the
+   churn tenures and then dies in old space. *)
+let pause_study ?(iterations = 30_000) () =
+  let config =
+    { (Config.ms ~processors:4 ()) with
+      Config.eden_words = 2048;
+      survivor_words = 1024;
+      tenure_age = 1;
+      old_words = 256 * 1024;
+      major_enabled = true }
+  in
+  let vm = Vm.create config in
+  Vm.load_classes vm churn_classes;
+  (match
+     Vm.run ~watch:(Vm.spawn vm (Printf.sprintf "GcChurn new churn: %d" iterations)) vm
+   with
+   | Vm.Finished _ -> ()
+   | Vm.Deadlock | Vm.Cycle_limit -> failwith "gc pause study run failed");
+  let cm = config.Config.cost in
+  let mj =
+    match vm.Vm.major with
+    | Some mj -> mj
+    | None -> failwith "gc pause study: collector not configured"
+  in
+  let rows =
+    [ distribution cm ~label:"scavenge pause" ~budget:0 ~overruns:0
+        vm.Vm.scavenge_pause_costs;
+      distribution cm ~label:"major slice" ~budget:(Major.budget mj)
+        ~overruns:(Major.overruns mj) (Major.slice_costs mj) ]
+  in
+  let summary =
+    { maj_cycles = Major.cycles_completed mj;
+      maj_slices = Major.slices mj;
+      maj_budget = Major.budget mj;
+      maj_overruns = Major.overruns mj;
+      maj_forced = Major.forced_completions mj;
+      maj_reclaimed_objects = Major.reclaimed_objects mj;
+      maj_reclaimed_words = Major.reclaimed_words mj;
+      maj_free_list_hits = Heap.free_list_hits vm.Vm.heap;
+      maj_free_reused_words = Heap.free_reused_words vm.Vm.heap;
+      maj_barrier_greys = Major.barrier_greys mj }
+  in
+  (rows, summary)
+
+let print_pause_rows fmt ~label rows =
+  Format.fprintf fmt "%s@." label;
+  Format.fprintf fmt
+    "  population      count  p50(ms)  p95(ms)  max(ms)  budget(ms)  overruns@.";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "  %-14s  %5d  %7.3f  %7.3f  %7.3f  %10.3f  %8d@."
+        r.pause_label r.pauses r.p50_ms r.p95_ms r.max_ms r.budget_ms
+        r.budget_overruns)
+    rows
+
 let print_rows fmt ~label rows =
   Format.fprintf fmt "%s@." label;
   Format.fprintf fmt

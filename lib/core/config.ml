@@ -69,6 +69,17 @@ type t = {
      retry interval starts doubling; 0 keeps the fixed spin. *)
   watchdog_quanta : int;
   backoff_quanta : int;
+  (* E18: the incremental old-space mark-sweep collector.  When enabled,
+     bounded mark/sweep slices run at step boundaries, each charged at
+     most [major_budget] cycles; [Image_full] becomes a last resort after
+     a forced cycle completion. *)
+  major_enabled : bool;
+  major_budget : int;
+  (* self-check for the schedule explorer: the write barrier is replaced
+     by a probe that reports (instead of shading) every old-pointer
+     store made while marking is in flight — the sanitizer must catch
+     the broken configuration deterministically *)
+  debug_skip_major_barrier : bool;
 }
 
 (* 80 KB eden as in the paper (section 3.1), expressed in 8-byte words. *)
@@ -95,6 +106,9 @@ let baseline_bs ?(cost = Cost_model.firefly) () = {
   debug_unlocked_steal = false;
   watchdog_quanta = 0;
   backoff_quanta = 0;
+  major_enabled = false;
+  major_budget = 25_000;
+  debug_skip_major_barrier = false;
 }
 
 (* Multiprocessor Smalltalk as published: serialization for allocation,
@@ -121,6 +135,9 @@ let ms ?(processors = 5) ?(cost = Cost_model.firefly) () = {
   debug_unlocked_steal = false;
   watchdog_quanta = 0;
   backoff_quanta = 0;
+  major_enabled = false;
+  major_budget = 25_000;
+  debug_skip_major_barrier = false;
 }
 
 (* A fast uniform-cost configuration for unit tests. *)

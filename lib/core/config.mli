@@ -81,6 +81,17 @@ type t = {
   backoff_quanta : int;
       (** fixed-interval retries before the spin interval starts
           doubling (exponential backoff); 0 keeps the fixed spin *)
+  major_enabled : bool;
+      (** E18: run the incremental old-space mark-sweep collector in
+          bounded slices at step boundaries; [Image_full] becomes a last
+          resort after a forced cycle completion *)
+  major_budget : int;
+      (** target cycles of collector work per slice *)
+  debug_skip_major_barrier : bool;
+      (** self-check for the schedule explorer: replace the write
+          barrier with a probe that reports (instead of shading) every
+          old-pointer store made while marking is in flight.  Never set
+          in a legitimate configuration. *)
 }
 
 val default_eden_words : int

@@ -82,6 +82,69 @@ let broken_steal_setup ?processors ?quick () =
         Config.scheduler = Config.Sched_stealing;
         Config.debug_unlocked_steal = true })
 
+(* Aggressive-GC variants for the incremental old-space collector (E18).
+   The standard workload barely tenures, so it would leave the collector
+   idle and the oracle vacuous; this one keeps a rotating window of
+   arrays live across scavenges — with a one-scavenge tenure age and a
+   tiny eden most of the churn tenures and then dies in old space, so
+   cycles start and sweep real garbage while the program runs. *)
+let gc_workload_source ~iterations =
+  Printf.sprintf
+    "| keep s | keep := Array new: 64. s := 0.\n\
+     1 to: %d do: [:i |\n\
+    \    keep at: i \\\\ 64 + 1 put: (Array new: 16).\n\
+    \    s := s + i \\\\ 1000.\n\
+    \    i \\\\ 32 = 0 ifTrue: [Transcript show: 'g']].\n\
+     s"
+    iterations
+
+let make_gc_setup ?(processors = 5) ?(quick = false) tweak =
+  let config =
+    tweak
+      { (Config.ms ~processors ()) with
+        Config.sanitize = Sanitizer.Strict;
+        eden_words = 2048;
+        survivor_words = 1024;
+        tenure_age = 1;
+        (* roomy enough that the collector-free reference side of the
+           differential also finishes the workload *)
+        old_words = (if quick then 128 else 192) * 1024 }
+  in
+  { config;
+    busy = max 1 (processors - 1);
+    source = gc_workload_source ~iterations:(if quick then 1000 else 2000) }
+
+(* Explored against [major_reference_setup], the oracle is differential:
+   collector slices perturb lock timelines and clock totals, but
+   mark-sweep never moves or frees a reachable object, so a collector
+   run computing a different result, transcript or census than the
+   collector-free reference is a collector bug.
+
+   The default budget is kept: root scans are atomic within a slice
+   (root cells live on the OCaml side, where stores are unbarriered, so
+   the termination rescan cannot be split), and under firefly costs the
+   image's root scan runs ~9K cycles — any budget whose four-budget
+   sanitizer ceiling sits below that trips on the first slice.  The
+   workload is long enough for a whole cycle to complete under the
+   slice pacing. *)
+let major_setup ?processors ?quick () =
+  make_gc_setup ?processors ?quick (fun c ->
+      { c with Config.major_enabled = true })
+
+(* The collector-free run of the identical configuration: same GC
+   pressure, no collector — both sides of the differential oracle. *)
+let major_reference_setup ?processors ?quick () =
+  make_gc_setup ?processors ?quick Fun.id
+
+(* The collector with its write barrier replaced by the reporting probe
+   ([Config.debug_skip_major_barrier]): the strict sanitizer must catch
+   the first old-pointer store made while marking is in flight. *)
+let broken_major_setup ?processors ?quick () =
+  make_gc_setup ?processors ?quick (fun c ->
+      { c with
+        Config.major_enabled = true;
+        debug_skip_major_barrier = true })
+
 (* MS with the spin watchdog armed, for fault campaigns.  The default
    bound (64 Delay quanta = 9600 firefly cycles) sits far above any
    legitimate contention wait and above the injected transient-stall
@@ -162,6 +225,14 @@ let run_driver ?faults setup driver =
   in
   match Vm.eval vm setup.source with
   | result ->
+      (* a cycle still in flight leaves mid-sweep state the whole-heap
+         check would misread — dead objects not yet swept still parse as
+         allocated, and their fields point into already-swept holes.
+         Complete it first; the checks below then see a cycle boundary *)
+      (match vm.Vm.major with
+       | Some mj when Major.phase mj <> Major.Idle ->
+           ignore (Major.finish_cycle mj vm.Vm.shared.State.cm)
+       | _ -> ());
       (* post-run checks run armed so problems count as violations *)
       let post_error =
         try

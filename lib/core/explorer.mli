@@ -50,6 +50,24 @@ val calendar_setup : ?processors:int -> ?quick:bool -> unit -> setup
     seed. *)
 val broken_steal_setup : ?processors:int -> ?quick:bool -> unit -> setup
 
+(** MS under aggressive GC pressure (one-scavenge tenure age, tiny eden,
+    a churn workload that tenures most of its garbage) with the
+    incremental old-space collector running (E18).  Explored with
+    {!major_reference_setup} as [reference_setup], the oracle is
+    differential: a collector run computing different observables than
+    the collector-free reference is a collector bug. *)
+val major_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** The collector-free side of {!major_setup}'s differential oracle:
+    identical configuration and workload, collector disabled. *)
+val major_reference_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
+(** Deliberately broken: the collector's write barrier replaced by the
+    reporting probe ([Config.debug_skip_major_barrier]).  The strict
+    sanitizer must catch the first old-pointer store made while marking
+    is in flight. *)
+val broken_major_setup : ?processors:int -> ?quick:bool -> unit -> setup
+
 (** MS with the spin watchdog armed (default 64 Delay quanta, backoff
     after 4 retries), for fault campaigns: far above any legitimate
     contention wait, so only a lock held by a dead processor trips it. *)

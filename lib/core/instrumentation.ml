@@ -47,6 +47,26 @@ type steal_stats = {
   stolen_from : int list;    (* per victim processor *)
 }
 
+(* Incremental old-space collection (E18) — present only when the
+   collector is configured. *)
+type major_stats = {
+  major_cycles : int;           (* complete mark-sweep cycles *)
+  major_slices : int;
+  major_slice_cycles : int;     (* collector work, summed *)
+  major_max_slice : int;
+  major_budget : int;
+  major_overruns : int;         (* slices that ran past the budget *)
+  major_reclaimed_objects : int;
+  major_reclaimed_words : int;
+  major_forced_completions : int;
+  major_forced_allocs : int;    (* allocations saved from Image_full *)
+  major_barrier_greys : int;
+  major_alloc_marks : int;
+  major_free_list_hits : int;
+  major_free_reused_words : int;
+  major_near_exhaustion : bool; (* old space over 90% occupied now *)
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
@@ -64,6 +84,7 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  major : major_stats option;
   steal : steal_stats;
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;
@@ -143,6 +164,26 @@ let gather (vm : Vm.t) =
     display_wait = Devices.display_producer_wait sh.State.display;
     input_polls = Devices.input_polls sh.State.input;
     total_cycles = Vm.cycles vm;
+    major =
+      (match vm.Vm.major with
+       | None -> None
+       | Some mj ->
+           Some
+             { major_cycles = Major.cycles_completed mj;
+               major_slices = Major.slices mj;
+               major_slice_cycles = Major.slice_cycles_total mj;
+               major_max_slice = Major.max_slice mj;
+               major_budget = Major.budget mj;
+               major_overruns = Major.overruns mj;
+               major_reclaimed_objects = Major.reclaimed_objects mj;
+               major_reclaimed_words = Major.reclaimed_words mj;
+               major_forced_completions = Major.forced_completions mj;
+               major_forced_allocs = vm.Vm.major_forced_allocs;
+               major_barrier_greys = Major.barrier_greys mj;
+               major_alloc_marks = Major.alloc_marks mj;
+               major_free_list_hits = Heap.free_list_hits vm.Vm.heap;
+               major_free_reused_words = Heap.free_reused_words vm.Vm.heap;
+               major_near_exhaustion = Major.near_exhaustion mj });
     steal =
       (let sched = sh.State.sched in
        { stealing = sched.Scheduler.strategy = Scheduler.Stealing;
@@ -225,6 +266,29 @@ let print fmt r =
           (pct w.idle_cycles (w.busy_cycles + w.idle_cycles)))
       r.scavenge_workers
   end;
+  (match r.major with
+   | None -> ()
+   | Some m ->
+       Format.fprintf fmt "@.Incremental old-space collection:@.";
+       Format.fprintf fmt
+         "  %d cycle(s) in %d slice(s); %d collector cycles total; max \
+          slice %d vs budget %d; %d overrun(s)@."
+         m.major_cycles m.major_slices m.major_slice_cycles m.major_max_slice
+         m.major_budget m.major_overruns;
+       Format.fprintf fmt
+         "  reclaimed %d object(s), %d words; free-list hits %d (%d words \
+          reused)@."
+         m.major_reclaimed_objects m.major_reclaimed_words
+         m.major_free_list_hits m.major_free_reused_words;
+       Format.fprintf fmt
+         "  barrier shaded %d, allocated black %d; %d forced completion(s), \
+          %d allocation(s) saved from Image_full@."
+         m.major_barrier_greys m.major_alloc_marks m.major_forced_completions
+         m.major_forced_allocs;
+       if m.major_near_exhaustion then
+         Format.fprintf fmt
+           "  WARNING: old space is over 90%% occupied even after \
+            collection; the image needs a larger old space@.");
   if r.steal.stealing then begin
     Format.fprintf fmt "@.Work stealing:@.";
     Format.fprintf fmt

@@ -47,6 +47,30 @@ type steal_stats = {
   stolen_from : int list;  (** per victim processor *)
 }
 
+(** Incremental old-space collection totals (E18); present in the report
+    only when [Config.major_enabled]. *)
+type major_stats = {
+  major_cycles : int;  (** complete mark-sweep cycles *)
+  major_slices : int;
+  major_slice_cycles : int;  (** collector work, summed *)
+  major_max_slice : int;
+  major_budget : int;
+  major_overruns : int;  (** slices that ran past the budget *)
+  major_reclaimed_objects : int;
+  major_reclaimed_words : int;
+  major_forced_completions : int;
+  major_forced_allocs : int;
+      (** old-space allocations that survived only because exhaustion
+          forced a cycle to completion *)
+  major_barrier_greys : int;
+  major_alloc_marks : int;
+  major_free_list_hits : int;
+  major_free_reused_words : int;
+  major_near_exhaustion : bool;
+      (** old space is over 90% occupied at report time — the structured
+          warning [print] surfaces *)
+}
+
 type report = {
   locks : lock_row list;
   interps : interp_row list;
@@ -65,6 +89,7 @@ type report = {
   display_wait : int;
   input_polls : int;
   total_cycles : int;
+  major : major_stats option;
   steal : steal_stats;
   sanitizer_mode : Sanitizer.mode;
   violation_count : int;

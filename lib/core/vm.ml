@@ -36,11 +36,27 @@ type t = {
      re-steps the calendar engine parked away instead of running *)
   mutable engine_events : int;
   mutable parks : int;
+  (* E18: the incremental old-space collector, when configured *)
+  major : Major.t option;
+  mutable major_forced_allocs : int;  (* allocations an emergency forced
+                                         completion saved from Image_full *)
+  mutable scavenge_pause_costs : int list;  (* newest first *)
 }
 
 let sanitizer vm = vm.shared.State.sanitizer
 
 exception Stuck of string
+
+(* E18, the emergency path: run the major collector to completion until
+   [need] words are available — twice if necessary.  Completing an
+   in-flight cycle only reclaims garbage that predates it (everything
+   tenured mid-cycle was allocated black), so the words that died while
+   the cycle was in flight need a second, fresh cycle. *)
+let force_major_room vm mj ~need =
+  let cm = vm.shared.State.cm in
+  let cost = Major.finish_cycle mj cm in
+  if Heap.old_avail vm.heap >= need then cost
+  else cost + Major.finish_cycle mj cm
 
 let create (config : Config.t) =
   let cm =
@@ -222,15 +238,83 @@ let create (config : Config.t) =
           ~backoff_after:config.Config.backoff_quanta)
       all_locks
   end;
-  { config; machine; heap; u; shared; states; interps; locks = all_locks;
-    gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0;
-    par_scavenges = 0; par_rounds = 0; par_coord_cycles = 0;
-    par_copied_objects = Array.make processors 0;
-    par_copied_words = Array.make processors 0;
-    par_busy_cycles = Array.make processors 0;
-    par_idle_cycles = Array.make processors 0;
-    crashes_delivered = 0; degraded_scavenges = 0;
-    engine_events = 0; parks = 0 }
+  (* E18: the incremental old-space collector.  Its roots beyond the
+     heap's own registered cells are every host-side reference into the
+     image: the universe's well-known objects, the scheduler's deques and
+     running table, and each processor's free-context list heads. *)
+  let major =
+    if not config.Config.major_enabled then None
+    else begin
+      let iter_roots f =
+        Universe.iter_roots u f;
+        Scheduler.iter_roots sched f;
+        Array.iter
+          (fun st -> Free_contexts.iter_roots st.State.free_ctxs f)
+          states
+      in
+      let mj =
+        Major.create ~heap ~budget:config.Config.major_budget ~iter_roots
+      in
+      (* the write barrier rides on every pointer store; the explorer's
+         self-check replaces it with a probe that reports every store the
+         disabled barrier should have intercepted — an old pointer written
+         while marking is in flight — so the sanitizer catches the broken
+         configuration deterministically, not only on the schedules where
+         a store actually hides the last pointer to a white object *)
+      heap.Heap.major_dirty <-
+        Some
+          (if config.Config.debug_skip_major_barrier then fun v ->
+             (if Major.phase mj = Major.Marking && Heap.is_old heap v then
+                Sanitizer.report_violation san ~vp:(-1)
+                  ~now:(Machine.max_clock machine)
+                  ~resource:"major collector"
+                  "old pointer stored while marking with the write barrier \
+                   disabled")
+           else Major.dirty mj);
+      heap.Heap.on_old_alloc <- Some (Major.alloc_black mj);
+      Some mj
+    end
+  in
+  let vm =
+    { config; machine; heap; u; shared; states; interps; locks = all_locks;
+      gc_requested = false; scavenge_pauses = 0; scavenge_cycles = 0;
+      par_scavenges = 0; par_rounds = 0; par_coord_cycles = 0;
+      par_copied_objects = Array.make processors 0;
+      par_copied_words = Array.make processors 0;
+      par_busy_cycles = Array.make processors 0;
+      par_idle_cycles = Array.make processors 0;
+      crashes_delivered = 0; degraded_scavenges = 0;
+      engine_events = 0; parks = 0;
+      major; major_forced_allocs = 0; scavenge_pause_costs = [] }
+  in
+  (* the last resort before [Image_full]: run the collector to completion
+     at the rendezvous clock — every interpreter is at a step boundary
+     when an allocation fails — then let [alloc_old] retry against the
+     free lists the sweep just filled *)
+  (match major with
+   | Some mj ->
+       heap.Heap.on_old_exhausted <-
+         Some
+           (fun need ->
+             let t0 = Machine.max_clock machine in
+             let was_armed = Sanitizer.armed san in
+             Sanitizer.set_armed san false;
+             let cost =
+               Fun.protect
+                 ~finally:(fun () -> Sanitizer.set_armed san was_armed)
+                 (fun () -> force_major_room vm mj ~need)
+             in
+             Machine.synchronize_clocks machine (t0 + cost);
+             vm.major_forced_allocs <- vm.major_forced_allocs + 1;
+             Sanitizer.major_event san ~now:(t0 + cost)
+               (Printf.sprintf
+                  "old space exhausted on a %d-word allocation: forced \
+                   cycle completion reclaimed %d free words (%d/%d used)"
+                  need (Heap.free_words heap) (Heap.old_used heap)
+                  config.Config.old_words);
+             true)
+   | None -> ());
+  vm
 
 (* Install (or clear) the fault injector for this VM's machine: the
    interpreters, locks, devices and the parallel scavenger all consult
@@ -316,6 +400,33 @@ let do_scavenge vm =
      safepoint; in the simulation every runnable processor is at a step
      boundary, so that instant is the maximum clock *)
   let t0 = Machine.max_clock m in
+  (* E18: promotion failure mid-copy has no recovery — the heap is half
+     scavenged, so the major collector cannot be forced then.  When old
+     space lacks room for a worst-case survivor set, run a cycle (or
+     finish the in-flight one) here, before the copy starts. *)
+  (match vm.major with
+   | Some mj
+     when (let need =
+             Heap.eden_used vm.heap + Heap.survivor_used vm.heap
+             + Layout.header_words
+           in
+           Heap.old_avail vm.heap < need) ->
+       let need =
+         Heap.eden_used vm.heap + Heap.survivor_used vm.heap
+         + Layout.header_words
+       in
+       let san = vm.shared.State.sanitizer in
+       let was_armed = Sanitizer.armed san in
+       Sanitizer.set_armed san false;
+       let cost =
+         Fun.protect ~finally:(fun () -> Sanitizer.set_armed san was_armed)
+           (fun () -> force_major_room vm mj ~need)
+       in
+       Machine.synchronize_clocks m (t0 + cost);
+       Sanitizer.major_event san ~now:(t0 + cost)
+         "cycle completed ahead of a scavenge short on promotion room"
+   | _ -> ());
+  let t0 = Machine.max_clock m in
   (* the stop-the-world scavenger mutates everything without locks by
      design; the sanitizer must not flag it *)
   let san = vm.shared.State.sanitizer in
@@ -381,10 +492,57 @@ let do_scavenge vm =
   Machine.synchronize_clocks m (t0 + cost);
   vm.scavenge_pauses <- vm.scavenge_pauses + 1;
   vm.scavenge_cycles <- vm.scavenge_cycles + cost;
+  vm.scavenge_pause_costs <- cost :: vm.scavenge_pause_costs;
   vm.gc_requested <- false;
   vm.shared.State.gc_wanted <- false
 
 let () = do_scavenge_fwd := do_scavenge
+
+(* One bounded slice of the incremental old-space collector (E18), run at
+   a step boundary exactly like the scavenge rendezvous: every processor
+   parks, the slice runs, all clocks resynchronize past it.  The
+   collector mutates the heap without locks by design, so the sanitizer
+   is disarmed around the slice — and re-armed to machine-check the
+   results at the two windows where an invariant is decidable: reachable
+   implies marked at mark completion, heap consistency (free lists
+   included) at cycle completion. *)
+let do_major_slice vm mj =
+  let m = vm.machine in
+  let t0 = Machine.max_clock m in
+  let san = vm.shared.State.sanitizer in
+  let was_armed = Sanitizer.armed san in
+  Sanitizer.set_armed san false;
+  let r =
+    Fun.protect ~finally:(fun () -> Sanitizer.set_armed san was_armed)
+      (fun () -> Major.slice mj vm.shared.State.cm ~now:t0)
+  in
+  let now = t0 + r.Major.cost in
+  Machine.synchronize_clocks m now;
+  Sanitizer.major_slice san ~now ~cost:r.Major.cost ~budget:(Major.budget mj);
+  let report what (p : Verify.problem) =
+    Sanitizer.report_violation san ~vp:(-1) ~now ~resource:"major collector"
+      (Format.asprintf "%s: %a" what Verify.pp_problem p)
+  in
+  if r.Major.mark_completed && Sanitizer.active san then begin
+    (* marks are final and nothing has been swept yet: every object
+       reachable from the collector's roots must be marked *)
+    let roots = ref [] in
+    let add o = roots := o :: !roots in
+    List.iter (fun c -> add !c) vm.heap.Heap.roots;
+    List.iter (Array.iter add) vm.heap.Heap.array_roots;
+    Universe.iter_roots vm.u add;
+    Scheduler.iter_roots vm.shared.State.sched add;
+    Array.iter
+      (fun st -> Free_contexts.iter_roots st.State.free_ctxs add)
+      vm.states;
+    List.iter (report "mark check")
+      (Verify.check_marked vm.heap ~marked:(Major.marked mj) ~roots:!roots)
+  end;
+  if r.Major.cycle_completed && Sanitizer.active san then
+    List.iter (report "heap check") (Verify.check vm.heap)
+
+let major_due vm ~now =
+  match vm.major with Some mj -> Major.due mj ~now | None -> false
 
 (* Signal a timer's semaphore at its deadline: wake the first waiter or
    bank an excess signal, exactly as the signal primitive would. *)
@@ -492,6 +650,8 @@ let run_scan vm ~max_cycles ~finished ~result outcome =
     if !finished then
       outcome := Some (Finished (Option.get !result))
     else if vm.gc_requested || vm.shared.State.gc_wanted then do_scavenge vm
+    else if major_due vm ~now:(Machine.max_clock vm.machine) then
+      do_major_slice vm (Option.get vm.major)
     else begin
       if not (Calendar.is_empty vm.shared.State.timers) then
         fire_due_timers vm;
@@ -688,6 +848,7 @@ let run_calendar vm ~max_cycles ~finished ~result outcome =
             can_batch && (not !finished)
             && (not vm.gc_requested)
             && (not vm.shared.State.gc_wanted)
+            && (not (major_due vm ~now:vp.Machine.clock))
             && vp.Machine.clock <= max_cycles
             && (match Calendar.min_key pending with
                | Some k -> pkey vp <= k
@@ -732,6 +893,8 @@ let run_calendar vm ~max_cycles ~finished ~result outcome =
     vm.engine_events <- vm.engine_events + 1;
     if !finished then outcome := Some (Finished (Option.get !result))
     else if vm.gc_requested || vm.shared.State.gc_wanted then do_scavenge vm
+    else if major_due vm ~now:(Machine.max_clock m) then
+      do_major_slice vm (Option.get vm.major)
     else begin
       (match
          match Machine.policy m with

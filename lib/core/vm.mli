@@ -44,6 +44,16 @@ type t = {
   mutable parks : int;
       (** idle re-steps the calendar engine parked away instead of
           running (always 0 under {!Config.Engine_scan}) *)
+  major : Major.t option;
+      (** the incremental old-space collector (E18), when
+          [Config.major_enabled] *)
+  mutable major_forced_allocs : int;
+      (** old-space allocations that survived only because exhaustion
+          forced a cycle to completion — each one was an [Image_full] at
+          the seed sizing *)
+  mutable scavenge_pause_costs : int list;
+      (** every stop-the-world scavenge pause, newest first (for the
+          pause-distribution percentiles) *)
 }
 
 exception Stuck of string
@@ -105,6 +115,11 @@ val seconds : t -> float
 
 (** Run one scavenge immediately (all processors are between steps). *)
 val do_scavenge : t -> unit
+
+(** Run one bounded slice of the incremental old-space collector at the
+    current rendezvous clock (E18).  {!run} calls this itself whenever a
+    slice comes due; exposed for tests. *)
+val do_major_slice : t -> Major.t -> unit
 
 val nothing_runnable : t -> bool
 

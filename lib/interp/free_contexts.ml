@@ -135,6 +135,9 @@ let give ?(vp = -1) t heap ~now size ctx =
         in
         if Heap.store_would_remember heap ctx head then
           pending := Oop.addr ctx;
+        (* bypasses [Heap.store_ptr]: run the incremental collector's
+           write barrier by hand (E18) *)
+        Heap.major_note heap head;
         Heap.set_raw heap ctx Layout.Ctx.sender head;
         match size with
         | Small -> t.lists.small <- ctx
@@ -177,6 +180,13 @@ let give ?(vp = -1) t heap ~now size ctx =
 let abandon t =
   t.abandons <- t.abandons + 1;
   flush t
+
+(* Tenured contexts parked on the free lists are referenced only from
+   the host-side heads; the incremental old-space collector treats the
+   heads as roots (E18). *)
+let iter_roots t f =
+  f t.lists.small;
+  f t.lists.large
 
 let reuses t = t.reuses
 let fresh_allocations t = t.fresh

@@ -52,6 +52,11 @@ val give : ?vp:int -> t -> Heap.t -> now:int -> size_class -> Oop.t -> int
     by not copying them.  Counted separately from scavenge flushes. *)
 val abandon : t -> unit
 
+(** Call [f] on the list heads: tenured contexts parked here are
+    referenced only from the host side, so the incremental old-space
+    collector treats the heads as roots (E18). *)
+val iter_roots : t -> (Oop.t -> unit) -> unit
+
 val reuses : t -> int
 
 val fresh_allocations : t -> int

@@ -805,6 +805,10 @@ let prim_compile st ~nargs =
               | meth ->
                   st.sh.on_method_install ();
                   pop_all_push st ~nargs meth
+              (* a compiler bug is a primitive failure, but exhausted old
+                 space must stay loud: swallowing it here would turn heap
+                 death into a misleading 'compilation failed' *)
+              | exception (Heap.Image_full _ as e) -> raise e
               | exception _ -> Failed))
 
 let prim_decompile st ~nargs =

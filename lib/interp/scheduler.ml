@@ -133,6 +133,9 @@ let store t ~vp ~resource obj i v =
    | _ -> ());
   if Heap.store_would_remember h obj v then
     t.pending_remembers <- Oop.addr obj :: t.pending_remembers;
+  (* this bypasses [Heap.store_ptr], so the incremental collector's write
+     barrier must be run by hand (E18) *)
+  Heap.major_note h v;
   Heap.set_raw h obj i v
 
 (* Perform the deferred entry-table inserts, each under the entry-table
@@ -929,6 +932,14 @@ let better_ready t ~than:p =
       if found then true else check (priority - 1)
   in
   check Layout.Scheduler.priorities
+
+(* The stealing deques live in old space but are referenced only from the
+   host-side array, and the running table can hold the sole reference to
+   a Process mid-handoff: both are roots for the incremental old-space
+   collector (E18). *)
+let iter_roots t f =
+  Array.iter f t.deques;
+  Array.iter f t.running
 
 (* --- counters --- *)
 

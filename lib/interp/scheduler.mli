@@ -194,6 +194,11 @@ val better_ready : t -> than:int -> bool
 
 (** {2 Work-stealing counters} *)
 
+(** Call [f] on every stealing deque and running-table entry: both are
+    referenced only from the host side, so the incremental old-space
+    collector treats them as roots (E18). *)
+val iter_roots : t -> (Oop.t -> unit) -> unit
+
 val local_picks : t -> int
 val steals : t -> int
 val failed_steals : t -> int

@@ -62,6 +62,18 @@ type t = {
   mutable block_ctx_class : Oop.t;
   (* serialization checking (attached by the VM layer) *)
   mutable sanitizer : Sanitizer.t option;
+  (* incremental old-space collection (E18): swept holes are threaded on
+     size-segregated free lists (buckets 0..15 hold exact sizes 2..17,
+     bucket 16 is first-fit overflow for >= 18 words); the hooks are
+     installed by the VM layer when the major collector is enabled *)
+  free_lists : int list array;
+  mutable free_words : int;              (* words threaded on the lists *)
+  mutable free_list_hits : int;
+  mutable free_reused_words : int;
+  mutable scavenge_holes : int list;     (* free-list promotions, per scavenge *)
+  mutable major_dirty : (Oop.t -> unit) option;   (* the write barrier *)
+  mutable on_old_alloc : (int -> unit) option;    (* allocate-black *)
+  mutable on_old_exhausted : (int -> bool) option; (* forced completion *)
   (* statistics *)
   mutable allocations : int;
   mutable words_allocated : int;
@@ -118,6 +130,14 @@ let create ?(policy = Unlocked) ?(processors = 1) ?(tenure_age = 4)
     method_ctx_class = Oop.sentinel;
     block_ctx_class = Oop.sentinel;
     sanitizer = None;
+    free_lists = Array.make 17 [];
+    free_words = 0;
+    free_list_hits = 0;
+    free_reused_words = 0;
+    scavenge_holes = [];
+    major_dirty = None;
+    on_old_alloc = None;
+    on_old_exhausted = None;
     allocations = 0;
     words_allocated = 0;
     scavenge_count = 0;
@@ -187,16 +207,36 @@ let store_would_remember h (o : Oop.t) (v : Oop.t) =
   let a = Oop.addr o in
   a < h.new_base && a >= 2 && is_new h v && not (is_remembered h a)
 
+(* The incremental collector's write barrier, when installed (E18):
+   Dijkstra-style incremental update — the stored target is shaded, so no
+   pointer to a white old object can be hidden inside an already-scanned
+   one.  Pointer stores that bypass [store_ptr] (scheduler queue surgery,
+   free-context threading) call this directly before their raw store. *)
+let major_note h (v : Oop.t) =
+  match h.major_dirty with Some f -> f v | None -> ()
+
 (* Pointer store with the generation-scavenging store check.  Returns true
    when the store inserted the receiver into the entry table, so the caller
    can charge the entry-table lock. *)
 let store_ptr h (o : Oop.t) i (v : Oop.t) =
   let a = Oop.addr o in
   h.mem.(a + Layout.header_words + i) <- v;
+  (match h.major_dirty with Some f -> f v | None -> ());
   if a < h.new_base && a >= 2 && is_new h v && not (is_remembered h a) then begin
     remember h a;
     true
   end else false
+
+(* Swap-remove [a]'s entry-table entry: the incremental sweep purges the
+   entries of objects it frees.  Linear, but sweeps touch few remembered
+   objects relative to the table walks the scavenger already does. *)
+let rset_remove h a =
+  let i = ref 0 in
+  while !i < h.rset_len && h.rset.(!i) <> a do incr i done;
+  if !i < h.rset_len then begin
+    h.rset_len <- h.rset_len - 1;
+    h.rset.(!i) <- h.rset.(h.rset_len)
+  end
 
 (* --- allocation --- *)
 
@@ -244,16 +284,143 @@ let alloc_new h ~vp ~slots ~raw ?(bytes = false) ~cls () =
   h.words_allocated <- h.words_allocated + total;
   Oop.of_addr a
 
+(* --- the old-space free lists (E18) --- *)
+
+(* Dead padding: a raw filler pseudo-object.  Fillers may be a single
+   word (header only), which is why region walkers test the flag before
+   assuming a two-word header.  Written by the parallel scavenger over
+   abandoned buffer tails and by the incremental sweep over reclaimed
+   holes. *)
+let write_filler h a n =
+  h.mem.(a) <-
+    (n lsl Layout.size_shift) lor Layout.flag_raw lor Layout.flag_filler;
+  if n >= Layout.header_words then h.mem.(a + 1) <- Oop.sentinel
+
+let free_bucket n = if n < 18 then n - 2 else 16
+
+(* Thread the hole [a, a+n) onto its free list.  One-word scraps are
+   written as fillers but not threaded; the next sweep coalesces them
+   into their neighbours. *)
+let free_add h a n =
+  write_filler h a n;
+  if n >= 2 then begin
+    let b = free_bucket n in
+    h.free_lists.(b) <- a :: h.free_lists.(b);
+    h.free_words <- h.free_words + n
+  end
+
+(* Drop every threaded hole (they stay as plain fillers in the heap).
+   The sweep calls this before rebuilding the lists, so a filler absorbed
+   into a larger coalesced hole can never survive as a stale entry. *)
+let free_reset h =
+  Array.fill h.free_lists 0 (Array.length h.free_lists) [];
+  h.free_words <- 0
+
+(* Carve [total] words from the start of the hole [a, a+sz): re-thread a
+   remainder of 2+ words, leave a 1-word filler scrap otherwise. *)
+let free_carve h a sz total =
+  let rem = sz - total in
+  if rem >= 2 then free_add h (a + total) rem
+  else if rem = 1 then write_filler h (a + total) 1;
+  a
+
+(* Take [total] words from the free lists: exact buckets smallest-first,
+   then first fit in the overflow bucket. *)
+let free_take h total =
+  if total < 2 then None
+  else begin
+    let found = ref None in
+    let b = ref (free_bucket total) in
+    while !found = None && !b < 16 do
+      (match h.free_lists.(!b) with
+       | a :: rest ->
+           h.free_lists.(!b) <- rest;
+           h.free_words <- h.free_words - (!b + 2);
+           found := Some (a, !b + 2)
+       | [] -> ());
+      if !found = None then incr b
+    done;
+    (match !found with
+     | Some _ -> ()
+     | None ->
+         let rec fit acc = function
+           | [] -> ()
+           | a :: rest ->
+               let sz = size_words h a in
+               if sz >= total then begin
+                 h.free_lists.(16) <- List.rev_append acc rest;
+                 h.free_words <- h.free_words - sz;
+                 found := Some (a, sz)
+               end
+               else fit (a :: acc) rest
+         in
+         fit [] h.free_lists.(16));
+    match !found with
+    | Some (a, sz) ->
+        h.free_list_hits <- h.free_list_hits + 1;
+        h.free_reused_words <- h.free_reused_words + total;
+        Some (free_carve h a sz total)
+    | None -> None
+  end
+
+(* Raw old-space allocation: the free lists first, then the bump pointer;
+   [None] when neither can supply [total] words. *)
+let alloc_old_addr h total =
+  match free_take h total with
+  | Some a -> Some a
+  | None ->
+      if region_avail h.old >= total then begin
+        let a = h.old.ptr in
+        h.old.ptr <- h.old.ptr + total;
+        Some a
+      end
+      else None
+
+(* Allocation for scavenge-time promotion.  A promotion satisfied from a
+   swept hole lands outside the Cheney cursor's promote window, so its
+   address is queued on [scavenge_holes] for the scavenger to scan as an
+   explicit grey object. *)
+let promote_alloc h total =
+  match free_take h total with
+  | Some a ->
+      h.scavenge_holes <- a :: h.scavenge_holes;
+      Some a
+  | None ->
+      if region_avail h.old >= total then begin
+        let a = h.old.ptr in
+        h.old.ptr <- h.old.ptr + total;
+        Some a
+      end
+      else None
+
+(* Allocate-black: objects entering old space mid-cycle are marked (and
+   greyed) by the collector's hook, so an in-flight mark-sweep can never
+   free them. *)
+let mark_old_alloc h a =
+  match h.on_old_alloc with Some f -> f a | None -> ()
+
 (* Allocate directly in old space: permanent image objects (classes,
-   methods, literals) and objects too large for eden. *)
+   methods, literals) and objects too large for eden.  [Image_full] is a
+   last resort: with the incremental collector enabled, the
+   [on_old_exhausted] hook force-completes an in-flight major cycle (or
+   runs a full one) and the allocation is retried against whatever the
+   sweep reclaimed. *)
 let alloc_old h ~slots ~raw ?(bytes = false) ~cls () =
   let total = slots + Layout.header_words in
-  if region_avail h.old < total then
-    raise (Image_full "old space exhausted");
-  let a = h.old.ptr in
-  h.old.ptr <- h.old.ptr + total;
+  let a =
+    match alloc_old_addr h total with
+    | Some a -> a
+    | None -> (
+        match h.on_old_exhausted with
+        | Some force when force total -> (
+            match alloc_old_addr h total with
+            | Some a -> a
+            | None -> raise (Image_full "old space exhausted"))
+        | _ -> raise (Image_full "old space exhausted"))
+  in
   write_header h a ~total ~flags:(flags_of_format ~raw ~bytes) ~age:0 ~cls;
   fill h a ~from:Layout.header_words ~until:total (if raw then 0 else h.nil);
+  mark_old_alloc h a;
   h.allocations <- h.allocations + 1;
   h.words_allocated <- h.words_allocated + total;
   Oop.of_addr a
@@ -278,7 +445,13 @@ let string_value h (o : Oop.t) =
 
 (* --- statistics --- *)
 
-let old_used h = region_used h.old
+(* Live occupancy: words past the bump pointer minus words threaded on the
+   free lists (holes are dead by construction). *)
+let old_used h = region_used h.old - h.free_words
+let old_avail h = region_avail h.old + h.free_words
+let free_words h = h.free_words
+let free_list_hits h = h.free_list_hits
+let free_reused_words h = h.free_reused_words
 let survivor_used h = region_used (if h.past_is_a then h.surv_a else h.surv_b)
 let scavenge_count h = h.scavenge_count
 let allocations h = h.allocations

@@ -58,6 +58,22 @@ type t = {
   mutable method_ctx_class : Oop.t;  (** so the scavenger can bound frames *)
   mutable block_ctx_class : Oop.t;
   mutable sanitizer : Sanitizer.t option;  (** attached by the VM layer *)
+  free_lists : int list array;
+      (** old-space holes by size: buckets 0..15 hold exact sizes 2..17
+          words, bucket 16 is first-fit overflow (E18) *)
+  mutable free_words : int;  (** words threaded on the free lists *)
+  mutable free_list_hits : int;
+  mutable free_reused_words : int;
+  mutable scavenge_holes : int list;
+      (** promotions satisfied from holes in the current scavenge; the
+          scavenger drains these as explicit grey objects *)
+  mutable major_dirty : (Oop.t -> unit) option;
+      (** the incremental collector's write barrier, when a cycle runs *)
+  mutable on_old_alloc : (int -> unit) option;
+      (** allocate-black hook for objects entering old space mid-cycle *)
+  mutable on_old_exhausted : (int -> bool) option;
+      (** force-completes an in-flight major cycle; true if space may
+          have been reclaimed and the allocation should be retried *)
   mutable allocations : int;
   mutable words_allocated : int;
   mutable scavenge_count : int;
@@ -145,8 +161,18 @@ val store_would_remember : t -> Oop.t -> Oop.t -> bool
     charges the entry-table lock). *)
 val store_ptr : t -> Oop.t -> int -> Oop.t -> bool
 
+(** Run the incremental collector's write barrier on a stored value, if
+    one is installed.  Pointer stores that bypass {!store_ptr} (scheduler
+    queue surgery, free-context threading) must call this before their
+    raw store (E18). *)
+val major_note : t -> Oop.t -> unit
+
 (** Insert an address into the entry table and set its flag. *)
 val remember : t -> int -> unit
+
+(** Swap-remove an address from the entry table (the incremental sweep
+    purges entries of objects it frees). *)
+val rset_remove : t -> int -> unit
 
 val remembered_count : t -> int
 
@@ -164,9 +190,39 @@ val eden_used : t -> int
 val alloc_new :
   t -> vp:int -> slots:int -> raw:bool -> ?bytes:bool -> cls:Oop.t -> unit -> Oop.t
 
-(** Allocate a permanent object directly in old space.
-    @raise Image_full when old space is exhausted. *)
+(** Allocate a permanent object directly in old space: the free lists
+    first, then the bump pointer, then (with the incremental collector
+    enabled) a forced major-cycle completion and a retry.
+    @raise Image_full when old space is exhausted even after that. *)
 val alloc_old : t -> slots:int -> raw:bool -> ?bytes:bool -> cls:Oop.t -> unit -> Oop.t
+
+(** {2 The old-space free lists (E18)} *)
+
+(** Write a raw filler pseudo-object over [a, a+n); [n] may be 1. *)
+val write_filler : t -> int -> int -> unit
+
+(** Thread the hole [a, a+n) onto its size bucket (and write a filler
+    over it); one-word scraps become fillers but are not threaded. *)
+val free_add : t -> int -> int -> unit
+
+(** Drop every threaded hole, leaving them as plain fillers; the sweep
+    calls this before rebuilding the lists. *)
+val free_reset : t -> unit
+
+(** Take [total] words from the free lists (exact bucket first, then
+    first-fit overflow), carving and re-threading any remainder. *)
+val free_take : t -> int -> int option
+
+(** Raw old-space allocation of [total] words: free lists, then bump
+    pointer; [None] when neither can satisfy it. *)
+val alloc_old_addr : t -> int -> int option
+
+(** Like {!alloc_old_addr}, but queues free-list hits on
+    [scavenge_holes] so the scavenger scans them as explicit greys. *)
+val promote_alloc : t -> int -> int option
+
+(** Run the allocate-black hook on a freshly allocated old address. *)
+val mark_old_alloc : t -> int -> unit
 
 val alloc_string_old : t -> cls:Oop.t -> string -> Oop.t
 
@@ -176,7 +232,18 @@ val string_value : t -> Oop.t -> string
 
 (** {2 Statistics} *)
 
+(** Live old-space occupancy: words past the bump pointer minus words
+    threaded on the free lists. *)
 val old_used : t -> int
+
+(** Words still allocatable in old space (bump headroom plus holes). *)
+val old_avail : t -> int
+
+val free_words : t -> int
+
+val free_list_hits : t -> int
+
+val free_reused_words : t -> int
 
 val survivor_used : t -> int
 

@@ -50,14 +50,13 @@ let copy_object h stats to_region from_addr =
         stats.survivor_objects <- stats.survivor_objects + 1;
         stats.survivor_words <- stats.survivor_words + total;
         a
-    | Promoted ->
-        if region_avail h.old < total then
-          raise (Image_full "old space exhausted during scavenge");
-        let a = h.old.ptr in
-        h.old.ptr <- h.old.ptr + total;
-        stats.tenured_objects <- stats.tenured_objects + 1;
-        stats.tenured_words <- stats.tenured_words + total;
-        a
+    | Promoted -> (
+        match promote_alloc h total with
+        | None -> raise (Image_full "old space exhausted during scavenge")
+        | Some a ->
+            stats.tenured_objects <- stats.tenured_objects + 1;
+            stats.tenured_words <- stats.tenured_words + total;
+            a)
   in
   Array.blit h.mem from_addr h.mem dest total;
   (* refresh age; clear the remembered flag on the copy (re-established by
@@ -67,6 +66,8 @@ let copy_object h stats to_region from_addr =
   in
   h.mem.(dest) <-
     (total lsl Layout.size_shift) lor (next_age lsl Layout.age_shift) lor flags;
+  (* allocate-black: a mid-cycle promotion must not be swept (E18) *)
+  if choice = Promoted then mark_old_alloc h dest;
   (* install forwarding *)
   let new_oop = Oop.of_addr dest in
   h.mem.(from_addr) <- Layout.forwarded_marker;
@@ -112,6 +113,7 @@ let scavenge h =
   in
   to_region.ptr <- to_region.base;
   let promote_start = h.old.ptr in
+  h.scavenge_holes <- [];
   (* 1. roots *)
   List.iter
     (fun cell ->
@@ -156,6 +158,16 @@ let scavenge h =
       let a = !old_scan in
       if update_fields h stats ~in_from to_region a then remember h a;
       old_scan := a + size_words h a
+    done;
+    (* promotions satisfied from swept holes land below [promote_start],
+       outside the cursor's window, so they are queued as explicit greys *)
+    while h.scavenge_holes <> [] do
+      progress := true;
+      let batch = h.scavenge_holes in
+      h.scavenge_holes <- [];
+      List.iter
+        (fun a -> if update_fields h stats ~in_from to_region a then remember h a)
+        batch
     done
   done;
   (* 4. flip *)
@@ -271,14 +283,8 @@ let make_wstate i =
     old_buf = { bptr = 0; blimit = 0 };
     grey = [] }
 
-(* Dead padding over the unused tail of an abandoned buffer.  Fillers may
-   be a single word (header only), which is why walkers test the flag
-   before assuming a two-word header. *)
-let write_filler h a n =
-  h.mem.(a) <-
-    (n lsl Layout.size_shift) lor Layout.flag_raw lor Layout.flag_filler;
-  if n >= Layout.header_words then h.mem.(a + 1) <- Oop.sentinel
-
+(* Dead padding over the unused tail of an abandoned buffer; the filler
+   writer lives in [Heap] and is shared with the incremental sweep. *)
 let seal h b =
   let rem = b.blimit - b.bptr in
   if rem > 0 then write_filler h b.bptr rem;
@@ -318,7 +324,25 @@ let copy_object_par h san cm stats to_region w from_addr =
   let total = size_words h from_addr in
   let next_age = min (age h from_addr + 1) Layout.age_mask in
   let promote () =
-    match alloc_in h san cm w w.old_buf h.old total with
+    let dest =
+      match alloc_in h san cm w w.old_buf h.old total with
+      | Some a -> Some a
+      | None -> (
+          (* bump headroom is gone: try the swept holes.  A hole is a
+             one-object chunk — register it so the copy check passes. *)
+          match free_take h total with
+          | Some a ->
+              w.st.chunks_claimed <- w.st.chunks_claimed + 1;
+              w.st.coord_cycles <- w.st.coord_cycles + chunk_claim_cost cm;
+              (match san with
+               | Some s ->
+                   Sanitizer.scavenge_chunk s ~worker:w.st.worker ~base:a
+                     ~limit:(a + total)
+               | None -> ());
+              Some a
+          | None -> None)
+    in
+    match dest with
     | Some a ->
         stats.tenured_objects <- stats.tenured_objects + 1;
         stats.tenured_words <- stats.tenured_words + total;
@@ -339,6 +363,8 @@ let copy_object_par h san cm stats to_region w from_addr =
   let flags = h.mem.(dest) land (Layout.flag_raw lor Layout.flag_bytes) in
   h.mem.(dest) <-
     (total lsl Layout.size_shift) lor (next_age lsl Layout.age_shift) lor flags;
+  (* allocate-black: a mid-cycle promotion must not be swept (E18) *)
+  if dest < h.new_base then mark_old_alloc h dest;
   let new_oop = Oop.of_addr dest in
   (match san with
    | Some s ->

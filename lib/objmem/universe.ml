@@ -71,6 +71,22 @@ let create heap =
 
 let heap u = u.heap
 
+(* The universe's well-known objects are host-side references the heap
+   cannot see; the incremental old-space collector treats them as image
+   roots (E18). *)
+let iter_roots u f =
+  f u.nil; f u.true_; f u.false_; f u.scheduler;
+  let c = u.classes in
+  f c.object_c; f c.undefined_object; f c.boolean; f c.true_c; f c.false_c;
+  f c.small_integer; f c.character; f c.string; f c.symbol; f c.array;
+  f c.association; f c.compiled_method; f c.method_dictionary;
+  f c.method_context; f c.block_context; f c.process; f c.semaphore;
+  f c.linked_list; f c.processor_scheduler; f c.class_c; f c.message;
+  f c.float_c;
+  Hashtbl.iter (fun _ s -> f s) u.symtab;
+  Hashtbl.iter (fun _ a -> f a) u.globals;
+  Array.iter f u.char_table
+
 (* --- symbols --- *)
 
 let intern u name =

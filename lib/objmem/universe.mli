@@ -49,6 +49,12 @@ val create : Heap.t -> t
 
 val heap : t -> Heap.t
 
+(** Apply [f] to every well-known object the universe holds host-side:
+    nil/true/false, the scheduler, the kernel classes, interned symbols,
+    global Associations and the character table.  The incremental
+    old-space collector treats these as image roots (E18). *)
+val iter_roots : t -> (Oop.t -> unit) -> unit
+
 (** {2 Symbols} *)
 
 (** Intern a symbol, allocating it in old space on first use. *)

@@ -99,6 +99,67 @@ let check h =
     end
   in
   Hashtbl.iter (fun a () -> check_object a) starts;
+  (* The old-space free lists (E18): every threaded hole must be a filler
+     inside the allocated part of old space, of a size matching its
+     bucket, and no address may be threaded twice. *)
+  let threaded = Hashtbl.create 64 in
+  let free_total = ref 0 in
+  Array.iteri
+    (fun b holes ->
+      List.iter
+        (fun a ->
+          if Hashtbl.mem threaded a then
+            report a "address threaded on the free lists twice"
+          else Hashtbl.replace threaded a ();
+          if a < h.old.base || a >= h.old.ptr then
+            report a "free-list entry outside allocated old space"
+          else if not (is_filler h a) then
+            report a "free-list entry is not a filler"
+          else begin
+            let sz = size_words h a in
+            free_total := !free_total + sz;
+            if b < 16 && sz <> b + 2 then
+              report a
+                (Printf.sprintf "free-list entry of %d words in bucket %d" sz b);
+            if b = 16 && sz < 18 then
+              report a
+                (Printf.sprintf "overflow free-list entry of only %d words" sz)
+          end)
+        holes)
+    h.free_lists;
+  if !free_total <> h.free_words then
+    report h.old.base
+      (Printf.sprintf "free_words is %d but the threaded holes total %d"
+         h.free_words !free_total);
+  List.rev !problems
+
+(* Reachability versus the mark bitmap: run between mark completion and
+   the first sweep slice (marks final, nothing freed yet), this checks
+   that the incremental marker — barrier, allocate-black, new-space
+   rescan and all — lost no reachable old object.  [marked] is the
+   collector's bitmap predicate; [roots] must cover the same roots the
+   marker scanned.  Traversal mirrors {!census}: scanned fields only. *)
+let check_marked h ~marked ~roots =
+  let problems = ref [] in
+  let seen = Hashtbl.create 1024 in
+  let rec visit o =
+    if Oop.is_ptr o && not (Oop.equal o Oop.sentinel)
+       && not (Hashtbl.mem seen o)
+    then begin
+      Hashtbl.add seen o ();
+      let a = Oop.addr o in
+      if a >= 2 && a < h.new_base && not (marked a) then
+        problems :=
+          { addr = a; what = "reachable old object is not marked" }
+          :: !problems;
+      let limit = Scavenger.scan_limit h a in
+      for i = 0 to limit - 1 do
+        visit h.mem.(a + Layout.header_words + i)
+      done;
+      visit (class_at h a)
+    end
+  in
+  List.iter visit roots;
   List.rev !problems
 
 (* --- reachable census ---

@@ -11,8 +11,18 @@ type problem = { addr : int; what : string }
 
 val pp_problem : Format.formatter -> problem -> unit
 
-(** The empty list means the heap is consistent. *)
+(** The empty list means the heap is consistent.  Also validates the
+    old-space free lists (E18): every threaded hole is a filler inside
+    allocated old space, sized for its bucket, threaded once, and the
+    threaded total matches [free_words]. *)
 val check : Heap.t -> problem list
+
+(** Reachability versus the incremental collector's mark bitmap: run
+    between mark completion and the first sweep slice, reports every
+    old object reachable from [roots] that [marked] does not cover.
+    The empty list means the marker lost nothing (E18). *)
+val check_marked :
+  Heap.t -> marked:(int -> bool) -> roots:Oop.t list -> problem list
 
 (** A census of the objects reachable from the given roots: totals plus
     per-class counts, keyed by class-oop address (classes live at stable

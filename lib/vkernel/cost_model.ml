@@ -30,6 +30,11 @@ type t = {
   scavenge_base : int;      (* fixed cost of one scavenge *)
   scavenge_per_word : int;  (* copying one surviving word *)
   scavenge_per_remembered : int; (* scanning one entry-table object *)
+  (* incremental old-space mark-sweep (E18) *)
+  major_slice_base : int;      (* rendezvous + state reload per slice *)
+  major_mark_per_object : int; (* grey-stack pop + header test *)
+  major_mark_per_word : int;   (* scanning one field during marking *)
+  major_sweep_per_word : int;  (* sweeping one old-space word *)
   (* synchronization (the V kernel's spin-locks) *)
   lock_acquire : int;       (* uncontended interlocked test-and-set + release *)
   delay_quantum : int;      (* kernel Delay timeout used when a spin fails *)
@@ -78,6 +83,10 @@ let firefly = {
   scavenge_base = 12000;
   scavenge_per_word = 15;
   scavenge_per_remembered = 25;
+  major_slice_base = 3000;
+  major_mark_per_object = 10;
+  major_mark_per_word = 6;
+  major_sweep_per_word = 3;
   lock_acquire = 12;
   delay_quantum = 150;
   sched_op = 25;
@@ -118,6 +127,10 @@ let uniform = {
   scavenge_base = 1;
   scavenge_per_word = 1;
   scavenge_per_remembered = 1;
+  major_slice_base = 1;
+  major_mark_per_object = 1;
+  major_mark_per_word = 1;
+  major_sweep_per_word = 1;
   lock_acquire = 1;
   delay_quantum = 4;
   sched_op = 2;

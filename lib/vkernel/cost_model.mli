@@ -30,6 +30,11 @@ type t = {
   scavenge_base : int;  (** fixed cost of a scavenge (incl. rendezvous) *)
   scavenge_per_word : int;
   scavenge_per_remembered : int;
+  major_slice_base : int;
+      (** fixed cost of one incremental mark-sweep slice (E18) *)
+  major_mark_per_object : int;  (** grey-stack pop + header test *)
+  major_mark_per_word : int;  (** scanning one field during marking *)
+  major_sweep_per_word : int;  (** sweeping one old-space word *)
   lock_acquire : int;  (** uncontended interlocked test-and-set *)
   delay_quantum : int;  (** the kernel Delay timeout used when a spin fails *)
   sched_op : int;  (** one ready-queue operation under the scheduler lock *)

@@ -245,6 +245,36 @@ let scavenge_copy t ~worker ~addr ~words =
 
 let scavenge_end t = t.scav <- None
 
+(* --- the incremental major-collection phase (E18) --- *)
+
+let major_resource = "major collection"
+
+(* Cycle-level events (start, mark complete, cycle complete) are
+   simulation events, recorded whenever the sanitizer is active so a
+   post-mortem dump shows where the collector was. *)
+let major_event t ~now detail =
+  if active t then
+    Trace.record t.trace ~vp:(-1) ~time:now ~kind:Trace.Major
+      ~resource:major_resource ~detail
+
+(* Record one bounded slice.  A slice may legitimately overrun the budget
+   by the last work unit it started, but a gross overrun (4x) means the
+   slice loop lost track of its cost accounting — that is a collector
+   bug, not a measurement artifact.  Gated on [active] like the scavenge
+   phase: the engine disarms the lock checker around the slice. *)
+let major_slice t ~now ~cost ~budget =
+  if active t then begin
+    Trace.record t.trace ~vp:(-1) ~time:now ~kind:Trace.Major
+      ~resource:major_resource
+      ~detail:(Printf.sprintf "slice %d cycles (budget %d)" cost budget);
+    if budget > 0 && cost > 4 * budget then
+      report_violation t ~vp:(-1) ~now ~resource:major_resource
+        (Printf.sprintf
+           "slice ran %d cycles against a budget of %d (over the 4x hard \
+            ceiling)"
+           cost budget)
+  end
+
 let print_report t =
   Printf.printf "sanitizer: mode=%s violations=%d\n"
     (match t.mode with Off -> "off" | Report -> "report" | Strict -> "strict")

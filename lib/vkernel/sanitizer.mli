@@ -122,6 +122,22 @@ val scavenge_copy : t -> worker:int -> addr:int -> words:int -> unit
 (** Close the phase and drop its tracking state. *)
 val scavenge_end : t -> unit
 
+(** {2 The incremental major-collection phase (E18)}
+
+    Like the scavenge phase, these fire whenever the sanitizer is
+    {e active}: the engine disarms the lock checker around each bounded
+    mark/sweep slice, but the collector's own discipline is still worth
+    machine-checking. *)
+
+(** Record a cycle-level collector event (start / mark complete / cycle
+    complete) in the trace ring. *)
+val major_event : t -> now:int -> string -> unit
+
+(** Record one bounded slice; a slice whose cost exceeds four times the
+    configured budget is a violation (the slice loop lost track of its
+    accounting). *)
+val major_slice : t -> now:int -> cost:int -> budget:int -> unit
+
 (** Count a violation: trace it, accumulate the message, raise
     {!Violation} in [Strict] mode. *)
 val report_violation :

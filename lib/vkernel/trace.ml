@@ -14,6 +14,7 @@ type kind =
   | Sched_decision
   | Fault_event
   | Steal
+  | Major
 
 type event = {
   vp : int;
@@ -72,6 +73,7 @@ let kind_name = function
   | Sched_decision -> "decide"
   | Fault_event -> "FAULT"
   | Steal -> "steal"
+  | Major -> "major"
 
 let pp_event fmt e =
   let vp = if e.vp < 0 then "--" else string_of_int e.vp in

@@ -19,6 +19,7 @@ type kind =
   | Sched_decision  (** the schedule explorer perturbed a decision *)
   | Fault_event  (** an injected fault or a recovery action *)
   | Steal  (** a work-stealing scheduler took a Process from a victim *)
+  | Major  (** an incremental old-space collection event (E18) *)
 
 type event = {
   vp : int;  (** virtual processor id, or -1 for the engine *)

@@ -370,6 +370,49 @@ let test_broken_steal_found_every_seed () =
         true c.Explorer.reproduces)
     r.Explorer.counterexamples
 
+(* --- the incremental old-space collector (E18) --- *)
+
+(* The differential oracle across collector on/off: collector slices
+   shift lock timelines and clock totals, but mark-sweep never moves or
+   frees a reachable object, so every perturbed collector run must
+   compute the collector-free reference's observables. *)
+let test_major_explores_clean_vs_off () =
+  let setup = Explorer.major_setup ~quick:true () in
+  (* the workload must actually exercise the collector, or the oracle is
+     vacuous: check cycles complete on an unperturbed run of the same
+     configuration and source *)
+  let vm = Vm.create setup.Explorer.config in
+  ignore (Vm.eval vm setup.Explorer.source);
+  (match vm.Vm.major with
+   | Some mj ->
+       check_bool "the workload completes collector cycles" true
+         (Major.cycles_completed mj >= 1)
+   | None -> Alcotest.fail "collector not configured");
+  let r =
+    Explorer.explore
+      ~reference_setup:(Explorer.major_reference_setup ~quick:true ())
+      setup ~seeds:3
+  in
+  check "collector explores clean against the collector-free reference" 0
+    (List.length r.Explorer.counterexamples);
+  check_bool "the seeds actually perturbed the schedule" true
+    (r.Explorer.perturbations > 0)
+
+let major_vs_off_prop =
+  let reference =
+    lazy (Explorer.reference (Explorer.major_reference_setup ~quick:true ()))
+  in
+  QCheck.Test.make ~count:15
+    ~name:"collector runs match the collector-free observables on every seed"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let o = Explorer.run_seed (Explorer.major_setup ~quick:true ()) ~seed in
+      Explorer.check ~reference:(Lazy.force reference) o = None)
+
+let test_broken_major_found () =
+  expect_counterexample "major-nobarrier"
+    (Explorer.broken_major_setup ~quick:true ())
+
 (* --- fault plumbing --- *)
 
 (* The fault setup arms the watchdog, but an injector that never fires
@@ -433,4 +476,10 @@ let () =
       ("calendar",
        [ Alcotest.test_case "explores clean vs scan" `Quick
            test_calendar_explores_clean_vs_scan;
-         q calendar_vs_scan_prop ]) ]
+         q calendar_vs_scan_prop ]);
+      ("major",
+       [ Alcotest.test_case "explores clean vs collector-free" `Quick
+           test_major_explores_clean_vs_off;
+         q major_vs_off_prop;
+         Alcotest.test_case "broken barrier caught" `Quick
+           test_broken_major_found ]) ]
