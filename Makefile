@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke dpor-smoke gc-smoke bench clean
+.PHONY: all build test check smoke-parallel-scavenge explore-smoke fault-smoke steal-smoke server-smoke dpor-smoke gc-smoke cluster-smoke bench clean
 
 all: build
 
@@ -91,6 +91,22 @@ gc-smoke:
 	dune exec bin/mst.exe -- explore --config=major-nobarrier --seeds=4 --quick \
 	  --expect-violation --dump /tmp/mst-explore-major
 
+# E19 replicated image cluster: three replicas over a durable command
+# log with one injected crash — the victim must rejoin from a checkpoint
+# and reproduce the reference fingerprint; the torn-checkpoint scenario
+# must fall back past the damaged file; the deliberately-divergent
+# replica (one dropped log entry) must be caught by the detector; the
+# replica fault campaign (torn checkpoint, crash mid-replay, double
+# crash) must record zero incorrect outcomes.
+cluster-smoke:
+	dune exec bin/mst.exe -- cluster --requests=24 --crash-seed=5 \
+	  --expect-rejoin
+	dune exec bin/mst.exe -- cluster --requests=24 --crash-seed=5 \
+	  --scenario=torn-checkpoint --expect-rejoin
+	dune exec bin/mst.exe -- cluster --requests=12 --skip-lsn=3 \
+	  --expect-divergence
+	dune exec bin/mst.exe -- faults --campaign=replica --seeds=2 --quick
+
 check:
 	dune build
 	dune runtest
@@ -101,6 +117,7 @@ check:
 	$(MAKE) server-smoke
 	$(MAKE) dpor-smoke
 	$(MAKE) gc-smoke
+	$(MAKE) cluster-smoke
 
 # The full reproduction harness (slow); `make bench-quick` for a pass
 # with reduced repetitions.

@@ -305,6 +305,85 @@ let run_e18_gc ~quick () =
   write_gc_json ~iterations rows s;
   Format.fprintf fmt "@.(rows written to %s)@." gc_json_file
 
+(* --- E19: replicated image cluster --- *)
+
+let cluster_json_file = "BENCH_e19_cluster.json"
+
+let write_cluster_json ~requests rows =
+  let oc = open_out cluster_json_file in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"e19_replicated_cluster\",\n\
+     \  \"replicas\": %d,\n  \"requests\": %d,\n  \"rows\": [\n"
+    Replica.default_params.Replica.replicas requests;
+  List.iteri
+    (fun i (label, (o : Replica.outcome)) ->
+      Printf.fprintf oc
+        "    {\"run\": %S, \"entries\": %d, \"waves\": %d, \"crashes\": %d, \
+         \"rejoins\": %d, \"fallbacks\": %d, \"availability_permil\": %d, \
+         \"missed_entries\": %d, \"max_rejoin_lag\": %d, \
+         \"divergences\": %d, \"converged\": %b}%s\n"
+        label o.Replica.entries o.Replica.waves o.Replica.crashes
+        o.Replica.rejoins o.Replica.fallbacks o.Replica.availability_permil
+        o.Replica.missed o.Replica.max_rejoin_lag
+        (List.length o.Replica.divergences)
+        o.Replica.converged
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let run_e19_cluster ~quick () =
+  section
+    "E19: replicated image cluster — availability under injected replica \
+     crashes";
+  let requests = if quick then 24 else 48 in
+  let base = { Replica.default_params with Replica.requests } in
+  let runs =
+    [ ("fault-free", base);
+      ("single-crash", { base with Replica.crash_seed = Some 5 });
+      ("torn-checkpoint",
+       { base with Replica.crash_seed = Some 5;
+         Replica.scenario = Some Replica.Torn_checkpoint });
+      ("double-crash",
+       { base with Replica.crash_seed = Some 5;
+         Replica.scenario = Some Replica.Double_crash }) ]
+  in
+  let rows = List.map (fun (label, p) -> (label, Replica.run p)) runs in
+  Format.fprintf fmt
+    "  %-16s %7s %7s %9s %6s %5s %s@." "run" "crashes" "rejoins" "fallbacks"
+    "avail" "lag" "verdict";
+  List.iter
+    (fun (label, (o : Replica.outcome)) ->
+      Format.fprintf fmt "  %-16s %7d %7d %9d %6d %5d %s@." label
+        o.Replica.crashes o.Replica.rejoins o.Replica.fallbacks
+        o.Replica.availability_permil o.Replica.max_rejoin_lag
+        (if o.Replica.converged && o.Replica.divergences = [] then
+           "converged"
+         else "DIVERGED"))
+    rows;
+  (* the cluster's whole claim is that a rejoined replica reproduces the
+     reference fingerprint — fail the harness on any divergence *)
+  List.iter
+    (fun (label, (o : Replica.outcome)) ->
+      if (not o.Replica.converged) || o.Replica.divergences <> [] then begin
+        Format.fprintf fmt
+          "@.FAIL: %s run did not converge to the reference fingerprint@."
+          label;
+        List.iter
+          (fun d -> Format.fprintf fmt "  %s@." d)
+          o.Replica.divergences;
+        exit 1
+      end)
+    rows;
+  (* the crash rows must actually exercise the recovery path *)
+  (match List.assoc_opt "single-crash" rows with
+   | Some o when o.Replica.rejoins = 0 ->
+       Format.fprintf fmt "@.FAIL: the single-crash run never rejoined@.";
+       exit 1
+   | _ -> ());
+  write_cluster_json ~requests rows;
+  Format.fprintf fmt "@.(rows written to %s)@." cluster_json_file
+
 (* --- E8/E10: scavenge economics --- *)
 
 let run_scavenge ~quick () =
@@ -441,6 +520,7 @@ let all_sections ~quick =
     ("e16-steal", fun () -> run_e16_steal ~quick ());
     ("e17-server", fun () -> run_e17_server ~quick ());
     ("e18-gc", fun () -> run_e18_gc ~quick ());
+    ("e19-cluster", fun () -> run_e19_cluster ~quick ());
     ("scavenge", fun () -> run_scavenge ~quick ());
     ("instrumentation", fun () -> run_instrumentation ~quick ());
     ("parallel-scavenge", fun () -> run_parallel_scavenge ~quick ());

@@ -510,8 +510,9 @@ let faults_cmd =
   let campaign =
     let doc =
       "Fault family to sample: $(b,crash), $(b,stall), $(b,lock), \
-       $(b,device), $(b,gc) or $(b,mixed).  Defaults to $(b,mixed) for \
-       campaigns and $(b,lock) for $(b,--deadlock) hunts."
+       $(b,device), $(b,gc), $(b,mixed) or $(b,replica) (crash-and-rejoin \
+       scenarios over the replicated image cluster, E19).  Defaults to \
+       $(b,mixed) for campaigns and $(b,lock) for $(b,--deadlock) hunts."
     in
     Arg.(value & opt (some campaign_conv) None & info [ "campaign" ] ~doc)
   in
@@ -651,13 +652,24 @@ let faults_cmd =
   in
   let run_campaign ~campaign ~seeds ~first_seed ~quick ~watchdog ~backoff =
     let campaign = Option.value campaign ~default:Fault.Mixed in
-    let summary =
-      Fault_study.run_campaign ~campaign ~seeds ~first_seed ~quick
-        ~watchdog_quanta:watchdog ~backoff_quanta:backoff
-        ~log:(fun line -> Printf.printf "%s\n%!" line) ()
-    in
-    Fault_study.print Format.std_formatter summary;
-    if summary.Fault_study.failed > 0 then exit 1
+    match campaign with
+    | Fault.Replica ->
+        (* the replica campaign runs the cluster, not a macro benchmark:
+           its oracle is the cluster's own divergence detector *)
+        let summary =
+          Fault_study.run_replica_campaign ~seeds ~first_seed ~quick
+            ~log:(fun line -> Printf.printf "%s\n%!" line) ()
+        in
+        Fault_study.print_replica Format.std_formatter summary;
+        if summary.Fault_study.r_incorrect > 0 then exit 1
+    | _ ->
+        let summary =
+          Fault_study.run_campaign ~campaign ~seeds ~first_seed ~quick
+            ~watchdog_quanta:watchdog ~backoff_quanta:backoff
+            ~log:(fun line -> Printf.printf "%s\n%!" line) ()
+        in
+        Fault_study.print Format.std_formatter summary;
+        if summary.Fault_study.failed > 0 then exit 1
   in
   let run campaign seeds first_seed quick watchdog backoff deadlock dump
       replay expect_deadlock shrink_budget =
@@ -820,6 +832,155 @@ let serve_cmd =
       $ sessions $ workers $ loop $ requests $ think_ms $ interval_ms
       $ admit $ engine $ differential)
 
+(* --- cluster --- *)
+
+let cluster_cmd =
+  let replicas =
+    let doc = "Simulated machines in the cluster." in
+    Arg.(value & opt int Replica.default_params.Replica.replicas
+         & info [ "replicas" ] ~doc)
+  in
+  let requests =
+    let doc = "Command-log entries to generate and serve." in
+    Arg.(value & opt int Replica.default_params.Replica.requests
+         & info [ "requests" ] ~doc)
+  in
+  let sessions =
+    let doc = "Client sessions issuing the requests (1..16)." in
+    Arg.(value & opt int Replica.default_params.Replica.sessions
+         & info [ "sessions" ] ~doc)
+  in
+  let shards =
+    let doc = "Application shards the requests are keyed to (1..16)." in
+    Arg.(value & opt int Replica.default_params.Replica.shards
+         & info [ "shards" ] ~doc)
+  in
+  let slots =
+    let doc =
+      "Worker Processes (and virtual processors) per replica: the maximum \
+       number of independent log entries dispatched in one wave."
+    in
+    Arg.(value & opt int Replica.default_params.Replica.slots
+         & info [ "slots" ] ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Log entries between checkpoints." in
+    Arg.(value & opt int Replica.default_params.Replica.checkpoint_every
+         & info [ "checkpoint-every" ] ~doc)
+  in
+  let log_seed =
+    let doc = "Workload seed for the generated command log." in
+    Arg.(value & opt int Replica.default_params.Replica.log_seed
+         & info [ "log-seed" ] ~doc)
+  in
+  let crash_seed =
+    let doc =
+      "Arm the fault injector with this seed: replica crashes are sampled \
+       at log-entry boundaries and crashed replicas rejoin from their \
+       checkpoints."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-seed" ] ~docv:"SEED" ~doc)
+  in
+  let scenario =
+    let doc =
+      "Aim the injected crash at the recovery path: $(b,torn-checkpoint) \
+       (the crash tears the victim's newest checkpoint), \
+       $(b,crash-mid-replay) (the victim dies again halfway through \
+       replay) or $(b,double-crash) (the second fault targets the same \
+       replica again)."
+    in
+    Arg.(value
+         & opt (some (enum
+             [ ("torn-checkpoint", Replica.Torn_checkpoint);
+               ("crash-mid-replay", Replica.Crash_mid_replay);
+               ("double-crash", Replica.Double_crash) ])) None
+         & info [ "scenario" ] ~doc)
+  in
+  let skip_lsn =
+    let doc =
+      "Deliberately-divergent configuration: replica 0 silently drops log \
+       entry $(docv).  The divergence detector must catch it (pair with \
+       $(b,--expect-divergence))."
+    in
+    Arg.(value & opt (some int) None & info [ "skip-lsn" ] ~docv:"LSN" ~doc)
+  in
+  let dir =
+    let doc = "Checkpoint and log directory (a temp directory when absent)." in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let expect_rejoin =
+    let doc =
+      "Succeed only when at least one replica crashed and rejoined — for \
+       smoke tests that must prove the recovery path ran."
+    in
+    Arg.(value & flag & info [ "expect-rejoin" ] ~doc)
+  in
+  let expect_divergence =
+    let doc =
+      "Succeed only when the divergence detector fired — for the \
+       deliberately-divergent configuration."
+    in
+    Arg.(value & flag & info [ "expect-divergence" ] ~doc)
+  in
+  let run replicas requests sessions shards slots checkpoint_every log_seed
+      crash_seed scenario skip_lsn dir expect_rejoin expect_divergence =
+    let p =
+      { Replica.default_params with
+        Replica.replicas; requests; sessions; shards; slots; checkpoint_every;
+        log_seed; crash_seed; scenario; skip_lsn; dir }
+    in
+    let o =
+      try Replica.run ~log:(fun line -> Printf.printf "%s\n%!" line) p with
+      | Replica.Cluster_error msg ->
+          Printf.eprintf "error: %s\n" msg;
+          exit 2
+      | Cmdlog.Corrupt { path; what } ->
+          Printf.eprintf "error: corrupt command log %s: %s\n" path what;
+          exit 2
+      | Snapshot.Corrupt { path; what } ->
+          Printf.eprintf "error: corrupt checkpoint %s: %s\n" path what;
+          exit 2
+    in
+    Format.printf "%a" Replica.pp o;
+    if o.Replica.fault_plan <> [] then begin
+      Printf.printf "fault plan:\n";
+      List.iter
+        (fun line -> Printf.printf "  %s\n" line)
+        (String.split_on_char '\n'
+           (String.trim (Format.asprintf "%a" Fault.pp o.Replica.fault_plan)))
+    end;
+    let failed = ref false in
+    let fail fmt =
+      Printf.ksprintf (fun m -> Printf.printf "FAIL: %s\n" m; failed := true)
+        fmt
+    in
+    if expect_divergence then begin
+      if o.Replica.divergences = [] then
+        fail "expected the divergence detector to fire; it did not"
+    end
+    else begin
+      if o.Replica.divergences <> [] then fail "replicas diverged";
+      if not o.Replica.converged then
+        fail "cluster did not converge to the reference fingerprint"
+    end;
+    if expect_rejoin && o.Replica.rejoins = 0 then
+      fail "expected a crash and rejoin; none happened (try another \
+            --crash-seed)";
+    exit (if !failed then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Run the replicated image cluster (E19): R simulated machines \
+          execute a durable command log in dependency-aware waves, with \
+          checkpoints, injected replica crashes, crash-rejoin by \
+          restore-and-replay, and a divergence detector against a \
+          non-replicated reference")
+    Term.(
+      const run $ replicas $ requests $ sessions $ shards $ slots
+      $ checkpoint_every $ log_seed $ crash_seed $ scenario $ skip_lsn $ dir
+      $ expect_rejoin $ expect_divergence)
+
 (* --- disasm / decompile / browse --- *)
 
 let find_method vm cls_name sel_name =
@@ -878,6 +1039,6 @@ let main_cmd =
     (Cmd.info "mst" ~version:"1.0"
        ~doc:"Multiprocessor Smalltalk on a simulated Firefly")
     [ eval_cmd; run_cmd; explore_cmd; faults_cmd; disasm_cmd; decompile_cmd;
-      browse_cmd; serve_cmd ]
+      browse_cmd; serve_cmd; cluster_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

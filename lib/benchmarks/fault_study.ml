@@ -51,7 +51,8 @@ let campaign_config ~campaign ~watchdog_quanta ~backoff_quanta =
   let scavenge_workers =
     match campaign with
     | Fault.Gc | Fault.Mixed -> 3
-    | Fault.Crash | Fault.Stall | Fault.Lock | Fault.Device ->
+    | Fault.Crash | Fault.Stall | Fault.Lock | Fault.Device
+    | Fault.Replica ->
         c.Config.scavenge_workers
   in
   { c with
@@ -198,3 +199,94 @@ let print fmt s =
     Format.fprintf fmt "; mean recovery overhead %+d permil@."
       s.mean_overhead_permil
   else Format.fprintf fmt "@."
+
+(* --- the replica campaign (E19) ---
+
+   The cluster is its own harness: every run already carries a
+   non-replicated reference and a divergence detector, so the campaign's
+   oracle is simply the outcome — a run is correct when every replica
+   converged to the reference fingerprint and no divergence was
+   recorded.  The three scenarios aim the crash at the recovery path
+   itself: a checkpoint torn by the crash (the rejoin must fall back), a
+   second crash in the middle of replay (the rejoin must restart), and a
+   double crash of the same replica (recover, then recover again). *)
+
+type replica_row = {
+  r_seed : int;
+  r_scenario : string;
+  r_outcome : Replica.outcome;
+  r_correct : bool;
+}
+
+type replica_summary = {
+  r_rows : replica_row list;
+  r_correct_rows : int;
+  r_incorrect : int;
+  r_crashes : int;
+  r_rejoins : int;
+  r_fallbacks : int;
+}
+
+let replica_scenarios =
+  [ Replica.Torn_checkpoint; Replica.Crash_mid_replay; Replica.Double_crash ]
+
+let run_replica_campaign ?(seeds = 4) ?(first_seed = 0) ?(quick = false)
+    ?(log = fun _ -> ()) () =
+  let base =
+    if quick then
+      { Replica.default_params with Replica.requests = 16;
+        Replica.checkpoint_every = 6 }
+    else { Replica.default_params with Replica.requests = 32 }
+  in
+  let rows =
+    List.concat_map
+      (fun scenario ->
+        List.init seeds (fun i ->
+            let seed = first_seed + i in
+            let p =
+              { base with
+                Replica.crash_seed = Some (1 + seed);
+                Replica.log_seed = 1 + seed;
+                Replica.scenario = Some scenario }
+            in
+            let o = Replica.run p in
+            let correct = o.Replica.converged && o.Replica.divergences = [] in
+            log
+              (Printf.sprintf
+                 "seed %d %-16s %d crash(es), %d rejoin(s), %d fallback(s), \
+                  availability %d permil: %s"
+                 seed
+                 (Replica.scenario_name scenario)
+                 o.Replica.crashes o.Replica.rejoins o.Replica.fallbacks
+                 o.Replica.availability_permil
+                 (if correct then "converged" else "INCORRECT"));
+            { r_seed = seed;
+              r_scenario = Replica.scenario_name scenario;
+              r_outcome = o;
+              r_correct = correct }))
+      replica_scenarios
+  in
+  let count f = List.fold_left (fun n r -> n + f r) 0 rows in
+  { r_rows = rows;
+    r_correct_rows = count (fun r -> if r.r_correct then 1 else 0);
+    r_incorrect = count (fun r -> if r.r_correct then 0 else 1);
+    r_crashes = count (fun r -> r.r_outcome.Replica.crashes);
+    r_rejoins = count (fun r -> r.r_outcome.Replica.rejoins);
+    r_fallbacks = count (fun r -> r.r_outcome.Replica.fallbacks) }
+
+let print_replica fmt s =
+  Format.fprintf fmt
+    "Replica campaign: %d run(s), %d crash(es), %d rejoin(s), %d checkpoint \
+     fallback(s)@."
+    (List.length s.r_rows) s.r_crashes s.r_rejoins s.r_fallbacks;
+  Format.fprintf fmt "  %-5s %-16s %7s %7s %9s %5s  %s@." "seed" "scenario"
+    "crashes" "rejoins" "fallbacks" "avail" "verdict";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-5d %-16s %7d %7d %9d %5d  %s@." r.r_seed
+        r.r_scenario r.r_outcome.Replica.crashes r.r_outcome.Replica.rejoins
+        r.r_outcome.Replica.fallbacks r.r_outcome.Replica.availability_permil
+        (if r.r_correct then "converged" else "INCORRECT"))
+    s.r_rows;
+  Format.fprintf fmt "  correct %d/%d, incorrect %d@." s.r_correct_rows
+    (List.length s.r_rows) s.r_incorrect

@@ -56,3 +56,38 @@ val run_campaign :
   summary
 
 val print : Format.formatter -> summary -> unit
+
+(** {2 The replica campaign (E19)}
+
+    Crash-and-rejoin scenarios over the replicated image cluster
+    ({!Replica}): each seeded run injects replica crashes aimed at the
+    recovery path itself — a checkpoint torn by the crash, a second
+    crash in the middle of replay, a double crash of the same replica —
+    and the oracle is the cluster's own divergence detector: every run
+    must converge to the non-replicated reference fingerprint. *)
+
+type replica_row = {
+  r_seed : int;
+  r_scenario : string;
+  r_outcome : Replica.outcome;
+  r_correct : bool;
+}
+
+type replica_summary = {
+  r_rows : replica_row list;
+  r_correct_rows : int;
+  r_incorrect : int;  (** must be 0: divergence or non-convergence *)
+  r_crashes : int;
+  r_rejoins : int;
+  r_fallbacks : int;
+}
+
+val run_replica_campaign :
+  ?seeds:int ->
+  ?first_seed:int ->
+  ?quick:bool ->
+  ?log:(string -> unit) ->
+  unit ->
+  replica_summary
+
+val print_replica : Format.formatter -> replica_summary -> unit

@@ -196,6 +196,36 @@ let schedule_dependent vm =
   in
   fun o -> List.exists (Oop.equal (Heap.class_at h (Oop.addr o))) cut
 
+(* Class identity that survives snapshot/restore and holds across
+   independently-bootstrapped images: the FNV-1a hash of the class's
+   global name.  Census per-class keys default to class addresses, which
+   are stable within one image but an accident of allocation order
+   between images — exactly what the E19 replica fingerprints must not
+   see.  Built by walking the sorted global names, so the mapping itself
+   is deterministic; an unnamed class falls back to its address (none
+   exist in the kernel image, and replica workloads only instantiate
+   named classes). *)
+let stable_class_key vm =
+  let u = vm.Vm.u in
+  let fnv s =
+    let h = ref 0x811C9DC5 in
+    String.iter
+      (fun c -> h := ((!h lxor Char.code c) * 0x01000193) land max_int)
+      s;
+    !h
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      match Universe.get_global u name with
+      | Some v when Oop.is_ptr v -> Hashtbl.replace tbl v (fnv name)
+      | _ -> ())
+    (Universe.global_names u);
+  fun cls ->
+    match Hashtbl.find_opt tbl cls with
+    | Some k -> k
+    | None -> if Oop.is_ptr cls then Oop.addr cls else -1
+
 (* Evaluate the workload under [driver]'s policy (or the default when
    [None]) and collect the outcome.  Every run gets a fresh VM: the
    simulation has no other state, so identical inputs give identical

@@ -75,6 +75,22 @@ val fault_setup :
   ?processors:int -> ?quick:bool -> ?watchdog_quanta:int ->
   ?backoff_quanta:int -> unit -> setup
 
+(** Roots that exist at stable identities across runs of one program:
+    the specials and every global Association. *)
+val stable_roots : Vm.t -> Oop.t list
+
+(** The census stop predicate that fences off scheduler plumbing —
+    Process objects, suspended context chains, the run queues — whose
+    shape legitimately varies with the interleaving. *)
+val schedule_dependent : Vm.t -> Oop.t -> bool
+
+(** Class identity that survives snapshot/restore and holds across
+    independently-bootstrapped images: each named class maps to the
+    FNV-1a hash of its global name (an unnamed class falls back to its
+    address).  Pass as [Verify.census ~class_key] when censuses from
+    different images are compared (E19). *)
+val stable_class_key : Vm.t -> Oop.t -> int
+
 (** What a schedule may not change. *)
 type observables = {
   result : string;

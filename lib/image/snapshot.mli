@@ -1,0 +1,55 @@
+(** Image snapshot/restore (E19).
+
+    A checkpoint captures the object memory's used prefixes (old space,
+    eden and its slices, both survivor semispaces), the entry table, the
+    old-space free lists and the allocation counters, plus caller-labeled
+    "register" arrays for host-side scalars the heap does not own.
+    Restore overwrites the memory of an {e identically-bootstrapped}
+    skeleton VM — the deterministic bootstrap puts every kernel object at
+    the same address, so host-side name tables remain valid; host-side
+    caches pointing into the old memory (method caches, free-context
+    lists, decoded contexts) are the caller's to flush, exactly as after
+    an injected processor crash.
+
+    The durable format is a self-describing header line
+    ["MST-SNAP v1 fp=... entries=... len=... sum=..."] followed by a
+    checksummed marshalled payload.  Truncation, bit-rot, version skew
+    and header/payload disagreement all raise the structured {!Corrupt}
+    before any state is touched. *)
+
+(** A checkpoint file that cannot be used: empty, truncated, wrong
+    version, damaged or unparseable.  The CLI reports it and exits 2;
+    the replica manager falls back to the previous checkpoint. *)
+exception Corrupt of { path : string; what : string }
+
+(** A restore target that cannot receive the image: different heap
+    geometry or slice count — a configuration bug, not a damaged file. *)
+exception Mismatch of string
+
+type heap_image
+
+type registers = (string * int array) list
+
+type t = {
+  fingerprint : int;  (** census fingerprint at capture *)
+  entries : int;  (** log entries applied at capture *)
+  heap : heap_image;
+  registers : registers;
+}
+
+val capture :
+  Heap.t -> fingerprint:int -> entries:int -> registers:registers -> t
+
+(** Overwrite the target heap with the image and return the registers.
+    @raise Mismatch when the geometry differs. *)
+val restore : t -> Heap.t -> registers
+
+val save : string -> t -> unit
+
+(** Header fields without unmarshalling the payload: enough to rank
+    checkpoints by applied-entry count. *)
+type header = { h_fingerprint : int; h_entries : int }
+
+val read_header : string -> header
+
+val load : string -> t

@@ -185,10 +185,17 @@ let check_marked h ~marked ~roots =
 type census = {
   objects : int;
   words : int;
-  per_class : (int * int) list;  (* class oop addr |-> reachable count *)
+  per_class : (int * int) list;  (* class key |-> reachable count *)
 }
 
-let census ?(stop = fun _ -> false) h ~roots =
+(* The per-class key defaults to the class oop's address, which is stable
+   across runs of one bootstrap but an accident of allocation order
+   between different images.  E19 compares censuses across snapshot,
+   restore and independently-bootstrapped replicas, where an address is
+   exactly the kind of accident the fingerprint must not see, so callers
+   there pass [class_key] mapping each class oop to an identity derived
+   from its name. *)
+let census ?(stop = fun _ -> false) ?class_key h ~roots =
   let seen = Hashtbl.create 1024 in
   let by_class = Hashtbl.create 64 in
   let objects = ref 0 and words = ref 0 in
@@ -201,7 +208,11 @@ let census ?(stop = fun _ -> false) h ~roots =
       incr objects;
       words := !words + size_words h a;
       let cls = class_at h a in
-      let key = if Oop.is_ptr cls then Oop.addr cls else -1 in
+      let key =
+        match class_key with
+        | Some f -> f cls
+        | None -> if Oop.is_ptr cls then Oop.addr cls else -1
+      in
       Hashtbl.replace by_class key
         (1 + Option.value ~default:0 (Hashtbl.find_opt by_class key));
       visit cls;
@@ -221,3 +232,15 @@ let census ?(stop = fun _ -> false) h ~roots =
 let pp_census fmt c =
   Format.fprintf fmt "%d object(s), %d word(s), %d class(es)" c.objects
     c.words (List.length c.per_class)
+
+(* One comparable word per census: FNV-1a over the totals and the sorted
+   per-class table.  Combined with [class_key] this is the replica
+   fingerprint E19 ships in checkpoint headers and divergence reports —
+   equal graphs hash equal regardless of where allocation happened to
+   place them. *)
+let fingerprint c =
+  let mix h d = ((h lxor d) * 0x01000193) land max_int in
+  List.fold_left
+    (fun h (cls, n) -> mix (mix h cls) n)
+    (mix (mix 0x811C9DC5 c.objects) c.words)
+    c.per_class

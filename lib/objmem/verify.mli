@@ -34,13 +34,29 @@ val check_marked :
     Traversal does not enter objects satisfying [stop] (they are neither
     counted nor scanned); callers use it to fence off runtime state that
     legitimately varies with the schedule, such as Process objects and
-    their context chains. *)
+    their context chains.
+
+    [class_key] overrides the per-class key: E19 compares censuses
+    across snapshot/restore and independently-bootstrapped replicas,
+    where a class's address is an accident of allocation order, so those
+    callers key each class oop by an identity derived from its name
+    instead. *)
 type census = {
   objects : int;
   words : int;
   per_class : (int * int) list;
 }
 
-val census : ?stop:(Oop.t -> bool) -> Heap.t -> roots:Oop.t list -> census
+val census :
+  ?stop:(Oop.t -> bool) ->
+  ?class_key:(Oop.t -> int) ->
+  Heap.t ->
+  roots:Oop.t list ->
+  census
 
 val pp_census : Format.formatter -> census -> unit
+
+(** One comparable word per census (FNV-1a over totals and the sorted
+    per-class table): the replica fingerprint E19 stores in checkpoint
+    headers and divergence reports. *)
+val fingerprint : census -> int

@@ -52,6 +52,8 @@ type fault =
   | Holder_crash              (* lock holder dies inside the section *)
   | Device_timeout of int     (* device wedges for N cycles *)
   | Worker_crash of int       (* scavenge worker K dies at a barrier *)
+  | Replica_crash of int      (* replica K dies at a log-entry boundary
+                                 (E19; resolved modulo live replicas) *)
 
 type step = { index : int; fault : fault }
 
@@ -59,8 +61,13 @@ type plan = step list
 
 (* Which instrumentation point is asking.  Each fault kind belongs to one
    point; a replayed fault of the wrong kind for its query is dropped
-   rather than derailing the run, exactly like {!Explore.decide}. *)
-type point = Sched_check | Lock_acquire | Device_op | Gc_barrier
+   rather than derailing the run, exactly like {!Explore.decide}.
+   [Log_entry] is queried by the E19 cluster manager once per replica at
+   every wave boundary of the shared command log — the only place a
+   whole simulated machine is allowed to die, so what a crash leaves
+   behind is a prefix of applied log entries, never a half-applied
+   command. *)
+type point = Sched_check | Lock_acquire | Device_op | Gc_barrier | Log_entry
 
 let matches_point point fault =
   match (point, fault) with
@@ -68,7 +75,9 @@ let matches_point point fault =
   | Lock_acquire, (Holder_stall _ | Holder_crash) -> true
   | Device_op, Device_timeout _ -> true
   | Gc_barrier, Worker_crash _ -> true
-  | (Sched_check | Lock_acquire | Device_op | Gc_barrier), _ -> false
+  | Log_entry, Replica_crash _ -> true
+  | (Sched_check | Lock_acquire | Device_op | Gc_barrier | Log_entry), _ ->
+      false
 
 type params = {
   crash_permil : int;
@@ -80,6 +89,7 @@ type params = {
   device_permil : int;
   device_bound : int;
   worker_crash_permil : int;
+  replica_crash_permil : int;  (* per (replica, wave-boundary) query (E19) *)
   max_faults : int;  (* cap on honoured faults per run *)
 }
 
@@ -87,13 +97,15 @@ let no_faults =
   { crash_permil = 0; stall_permil = 0; stall_bound = 0;
     holder_stall_permil = 0; holder_stall_bound = 0;
     holder_crash_permil = 0; device_permil = 0; device_bound = 0;
-    worker_crash_permil = 0; max_faults = 0 }
+    worker_crash_permil = 0; replica_crash_permil = 0; max_faults = 0 }
 
 (* Campaigns: which family of faults a study run samples.  Per-point
    rates are chosen against very different query frequencies — sched
    checks fire thousands of times per benchmark, GC barriers a handful —
-   so the permil values are not comparable across kinds. *)
-type campaign = Crash | Stall | Lock | Device | Gc | Mixed
+   so the permil values are not comparable across kinds.  [Replica] is
+   the cluster-level campaign: its queries come once per replica per
+   wave boundary, a few dozen per run. *)
+type campaign = Crash | Stall | Lock | Device | Gc | Mixed | Replica
 
 let campaign_name = function
   | Crash -> "crash"
@@ -102,6 +114,7 @@ let campaign_name = function
   | Device -> "device"
   | Gc -> "gc"
   | Mixed -> "mixed"
+  | Replica -> "replica"
 
 let campaign_of_name = function
   | "crash" -> Some Crash
@@ -110,6 +123,7 @@ let campaign_of_name = function
   | "device" -> Some Device
   | "gc" -> Some Gc
   | "mixed" -> Some Mixed
+  | "replica" -> Some Replica
   | _ -> None
 
 let params_of_campaign = function
@@ -127,7 +141,8 @@ let params_of_campaign = function
       { crash_permil = 1; stall_permil = 20; stall_bound = 3000;
         holder_stall_permil = 8; holder_stall_bound = 3000;
         holder_crash_permil = 2; device_permil = 15; device_bound = 4000;
-        worker_crash_permil = 150; max_faults = 8 }
+        worker_crash_permil = 150; replica_crash_permil = 0; max_faults = 8 }
+  | Replica -> { no_faults with replica_crash_permil = 120; max_faults = 1 }
 
 let default_params = params_of_campaign Mixed
 
@@ -151,12 +166,14 @@ type t = {
   mutable holder_crashes : int;
   mutable device_timeouts : int;
   mutable worker_crashes : int;
+  mutable replica_crashes : int;
 }
 
 let injector mode trace =
   { mode; trace; queries = 0; last_index = -1; injected_count = 0;
     rev_injected = []; crashes = 0; stalls = 0; holder_stalls = 0;
-    holder_crashes = 0; device_timeouts = 0; worker_crashes = 0 }
+    holder_crashes = 0; device_timeouts = 0; worker_crashes = 0;
+    replica_crashes = 0 }
 
 let seeded ?(params = default_params) ?trace ~seed () =
   injector (Seeded (Rng.make seed, params)) trace
@@ -176,6 +193,7 @@ let holder_stalls t = t.holder_stalls
 let holder_crashes t = t.holder_crashes
 let device_timeouts t = t.device_timeouts
 let worker_crashes t = t.worker_crashes
+let replica_crashes t = t.replica_crashes
 
 let describe = function
   | Vp_crash -> "vp crash"
@@ -184,6 +202,7 @@ let describe = function
   | Holder_crash -> "holder crash"
   | Device_timeout n -> Printf.sprintf "device timeout %d" n
   | Worker_crash k -> Printf.sprintf "worker %d crash" k
+  | Replica_crash k -> Printf.sprintf "replica %d crash" k
 
 (* Sample a fault for one query of [point] from the seed. *)
 let gen_at point rng p =
@@ -206,6 +225,11 @@ let gen_at point rng p =
       if Rng.chance rng p.worker_crash_permil then
         (* worker index resolved modulo the live workers by the applier *)
         Some (Worker_crash (Rng.below rng 64))
+      else None
+  | Log_entry ->
+      if Rng.chance rng p.replica_crash_permil then
+        (* replica index resolved modulo the live replicas by the applier *)
+        Some (Replica_crash (Rng.below rng 64))
       else None
 
 (* Answer one injection query.  Returns a *candidate* fault: the caller
@@ -239,7 +263,8 @@ let applied t ~vp ~now ~resource fault =
    | Holder_stall _ -> t.holder_stalls <- t.holder_stalls + 1
    | Holder_crash -> t.holder_crashes <- t.holder_crashes + 1
    | Device_timeout _ -> t.device_timeouts <- t.device_timeouts + 1
-   | Worker_crash _ -> t.worker_crashes <- t.worker_crashes + 1);
+   | Worker_crash _ -> t.worker_crashes <- t.worker_crashes + 1
+   | Replica_crash _ -> t.replica_crashes <- t.replica_crashes + 1);
   match t.trace with
   | None -> ()
   | Some tr ->
@@ -311,6 +336,7 @@ let fingerprint plan =
         | Holder_crash -> 4
         | Device_timeout n -> (n lsl 3) lor 5
         | Worker_crash k -> (k lsl 3) lor 6
+        | Replica_crash k -> (k lsl 3) lor 7
       in
       let h = (h * 0x01000193) lxor index in
       ((h * 0x01000193) lxor d) land max_int)
@@ -400,7 +426,8 @@ let pp fmt plan =
       | Holder_stall n -> Format.fprintf fmt "holdstall %d %d@." index n
       | Holder_crash -> Format.fprintf fmt "holdcrash %d@." index
       | Device_timeout n -> Format.fprintf fmt "timeout %d %d@." index n
-      | Worker_crash k -> Format.fprintf fmt "workercrash %d %d@." index k)
+      | Worker_crash k -> Format.fprintf fmt "workercrash %d %d@." index k
+      | Replica_crash k -> Format.fprintf fmt "replicacrash %d %d@." index k)
     plan
 
 let save path plan =
@@ -444,6 +471,7 @@ let load path =
              | [ "holdcrash"; i ] -> add (nat i) Holder_crash
              | [ "timeout"; i; n ] -> add (nat i) (Device_timeout (nat n))
              | [ "workercrash"; i; k ] -> add (nat i) (Worker_crash (nat k))
+             | [ "replicacrash"; i; k ] -> add (nat i) (Replica_crash (nat k))
              | _ -> bad ()
            end
          done

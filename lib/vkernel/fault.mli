@@ -35,14 +35,18 @@ type fault =
   | Holder_crash  (** lock holder dies inside the critical section *)
   | Device_timeout of int  (** device wedges for N cycles *)
   | Worker_crash of int  (** scavenge worker dies at a barrier *)
+  | Replica_crash of int
+      (** whole replica dies at a log-entry boundary (E19); the index is
+          resolved modulo the live replicas by the applier *)
 
 type step = { index : int; fault : fault }
 
 type plan = step list
 
 (** Which instrumentation point is asking; each fault kind belongs to
-    exactly one point. *)
-type point = Sched_check | Lock_acquire | Device_op | Gc_barrier
+    exactly one point.  [Log_entry] is queried once per replica at every
+    wave boundary of the E19 command log. *)
+type point = Sched_check | Lock_acquire | Device_op | Gc_barrier | Log_entry
 
 val matches_point : point -> fault -> bool
 
@@ -56,6 +60,7 @@ type params = {
   device_permil : int;
   device_bound : int;
   worker_crash_permil : int;
+  replica_crash_permil : int;  (** per (replica, wave-boundary) query (E19) *)
   max_faults : int;  (** cap on honoured faults per run *)
 }
 
@@ -63,7 +68,7 @@ type params = {
 val no_faults : params
 
 (** Which family of faults a campaign samples. *)
-type campaign = Crash | Stall | Lock | Device | Gc | Mixed
+type campaign = Crash | Stall | Lock | Device | Gc | Mixed | Replica
 
 val campaign_name : campaign -> string
 val campaign_of_name : string -> campaign option
@@ -98,6 +103,7 @@ val holder_stalls : t -> int
 val holder_crashes : t -> int
 val device_timeouts : t -> int
 val worker_crashes : t -> int
+val replica_crashes : t -> int
 
 val describe : fault -> string
 

@@ -140,7 +140,8 @@ let fault_plan_arb =
         Gen.map (fun n -> Fault.Holder_stall n) (Gen.int_range 1 5000);
         Gen.return Fault.Holder_crash;
         Gen.map (fun n -> Fault.Device_timeout n) (Gen.int_range 1 5000);
-        Gen.map (fun k -> Fault.Worker_crash k) (Gen.int_range 0 7) ]
+        Gen.map (fun k -> Fault.Worker_crash k) (Gen.int_range 0 7);
+        Gen.map (fun k -> Fault.Replica_crash k) (Gen.int_range 0 7) ]
   in
   let gen =
     Gen.map
